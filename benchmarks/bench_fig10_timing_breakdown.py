@@ -1,0 +1,63 @@
+"""Fig 10: per-iteration component timing breakdown on Frontier, 64 GCDs.
+
+Runs the discrete-event engine (real rank programs, phantom payloads)
+and reports rank 0's per-iteration phase times: the benchmark is
+compute-bound until the final trailing iterations, where communication
+waits dominate.
+"""
+
+from conftest import run_once
+
+from repro.bench import figures, render_records
+
+
+def test_fig10_timing_breakdown(benchmark, show):
+    rows = run_once(benchmark, figures.fig10_timing_breakdown)
+    show(render_records(rows, title="Fig 10: per-iteration breakdown (rank 0)",
+                        float_fmt="{:.4f}"))
+    assert len(rows) > 5
+    # rows[0] includes the look-ahead pipeline fill; use the next sample
+    # as the steady-state early point.
+    early, last = rows[1], rows[-1]
+    # Early iterations: GEMM dominates (computationally bound).
+    assert early["gemm_s"] > early["comm_wait_s"]
+    assert early["comm_fraction_pct"] < 25.0
+    # GEMM time shrinks dramatically toward the end.
+    assert last["gemm_s"] < 0.2 * early["gemm_s"]
+    # "the HPL-AI benchmark is computationally bounded until the final
+    # trailing iterations": the tail is communication-dominated.
+    assert last["comm_fraction_pct"] > 60.0
+
+
+def test_fig10_gantt_view(benchmark, show):
+    """Per-rank Gantt of a small run: the visual form of Fig 10."""
+    from repro.core.config import BenchmarkConfig
+    from repro.core.executors import PhantomExecutor
+    from repro.core.hplai import hplai_rank_program
+    from repro.machine import FRONTIER, CommCosts
+    from repro.simulate import Engine
+    from repro.simulate.timeline import busy_fraction, render_gantt
+
+    def run():
+        cfg = BenchmarkConfig(n=3072 * 8, block=3072, machine=FRONTIER,
+                              p_rows=2, p_cols=2, bcast_algorithm="ring2m")
+        engine = Engine(
+            4, CommCosts(FRONTIER),
+            node_of_rank=cfg.node_grid.node_of_rank,
+            mpi=FRONTIER.mpi, record_timeline=True,
+        )
+
+        def factory(rank):
+            pir, pic = cfg.grid.coords_of(rank)
+            return hplai_rank_program(
+                cfg, PhantomExecutor(cfg, pir, pic, rank), rank, None
+            )
+
+        result = engine.run(factory)
+        return engine.timeline, result.elapsed
+
+    timeline, elapsed = run_once(benchmark, run)
+    show(render_gantt(timeline, width=96))
+    fractions = busy_fraction(timeline, elapsed)
+    # The GPUs stay predominantly busy (compute-bound run).
+    assert all(f > 0.5 for f in fractions.values())

@@ -1,0 +1,57 @@
+"""Fig 11: the exascale achievement runs.
+
+Summit: 1.411 EFLOPS (N = 9,953,280, B = 768, P = 162x162, 3x2 grid,
+library Bcast).  Frontier (~40% of the system): 2.387 EFLOPS
+(N = 20,606,976, B = 3072, P = 172x172, Ring2M, 4x2 grid).  The paper
+also projects >5 EFLOPS for full-scale Frontier.
+"""
+
+from conftest import run_once
+
+from repro.bench import figures, render_records
+
+
+def test_fig11_exascale_runs(benchmark, show):
+    rows = run_once(benchmark, figures.fig11_exascale_runs)
+    show(render_records(rows, title="Fig 11: exascale achievement runs",
+                        float_fmt="{:.3f}"))
+    by_run = {r["run"].split()[0]: r for r in rows}
+
+    summit = by_run["summit"]
+    frontier = by_run["frontier"]
+    # Both runs land within 15% of the paper's sustained figures and
+    # both exceed an exaflop.
+    assert 0.85 < summit["ratio_vs_paper"] < 1.15
+    assert 0.85 < frontier["ratio_vs_paper"] < 1.15
+    assert summit["measured_eflops"] > 1.0
+    assert frontier["measured_eflops"] > 2.0
+
+    # "the N is over 20M compared with the ~10M for Summit": Frontier
+    # solves a much larger problem on a fraction of the machine.
+    assert frontier["N"] > 2.0 * summit["N"]
+
+    # The full-Frontier projection clears the paper's 5 EFLOPS bar.
+    full = next(r for r in rows if "full" in r["run"])
+    assert full["measured_eflops"] > 5.0
+
+
+def test_hpl_vs_hplai(benchmark, show):
+    rows = run_once(benchmark, figures.hpl_vs_hplai)
+    show(render_records(rows, title="HPL-AI vs HPL per-GCD throughput",
+                        float_fmt="{:.2f}"))
+    summit = next(r for r in rows if r["machine"] == "summit")
+    # Paper headline: 9.5x HPL on Summit; accept the 8-12x zone.
+    assert 8.0 < summit["speedup"] < 12.0
+    frontier = next(r for r in rows if r["machine"] == "frontier")
+    assert frontier["speedup"] > 4.0  # mixed precision wins everywhere
+
+
+def test_frontier_vs_summit_projection(benchmark, show):
+    rows = run_once(benchmark, figures.frontier_vs_summit_projection)
+    show(render_records(rows, title="Full-scale Frontier vs Summit "
+                        "(paper expectation: ~3x)", float_fmt="{:.2f}"))
+    rec = rows[0]
+    # "about 3x": the model lands at 3-4x once Frontier's larger N and
+    # node count compound (paper's 3x was a pre-run estimate from the
+    # 1.58x per-node figure alone).
+    assert 2.5 < rec["ratio"] < 4.5

@@ -1,0 +1,32 @@
+"""Fig 7: MI250X GEMM performance vs leading dimension (LDA).
+
+LDA = 122880 (a multiple of 8192) loses ~45% GEMM throughput; the
+paper therefore runs N_L = 119808 even though more memory is available
+(Section V-D).
+"""
+
+from conftest import run_once
+
+from repro.bench import figures, render_records
+
+
+def test_fig7_lda_effect(benchmark, show):
+    rows = run_once(benchmark, figures.fig7_lda_effect)
+    show(render_records(
+        [r for r in rows if r["gemm_size"] > 80000],
+        title="Fig 7 (large sizes): GEMM TFLOP/s by LDA",
+    ))
+    by_lda = {}
+    for r in rows:
+        by_lda.setdefault(r["LDA"], []).append(r["gemm_tflops"])
+    means = {lda: sum(v) / len(v) for lda, v in by_lda.items()}
+    # 122880 is significantly below every other LDA.
+    for lda, mean in means.items():
+        if lda == 122880:
+            continue
+        assert means[122880] < 0.7 * mean, (
+            f"LDA=122880 should trail LDA={lda}: {means}"
+        )
+    # The healthy LDAs are mutually close (within 15%).
+    healthy = [m for lda, m in means.items() if lda != 122880]
+    assert max(healthy) / min(healthy) < 1.15

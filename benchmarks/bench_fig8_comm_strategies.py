@@ -1,0 +1,79 @@
+"""Fig 8: per-GCD performance across communication strategies and
+node-local grids, plus the port-binding (Finding 5) and GPU-aware-MPI
+(Finding 7) studies.
+"""
+
+from conftest import run_once
+
+from repro.bench import figures, render_records
+
+
+def test_fig8_comm_strategies(benchmark, show):
+    rows = run_once(benchmark, figures.fig8_comm_strategies)
+    show(render_records(rows, title="Fig 8: GFLOPS/GCD by strategy and node grid"))
+
+    summit = [r for r in rows if r["machine"] == "summit"]
+    frontier = [r for r in rows if r["machine"] == "frontier"]
+
+    def lookup(rows_, algo, grid):
+        return next(
+            r["gflops_per_gcd"] for r in rows_
+            if r["algorithm"] == algo and r["grid"] == grid
+        )
+
+    # Finding 6 (Summit side): rings do NOT beat the tuned library
+    # broadcast; paper measured rings 2.3-11.5% slower.
+    for grid in ("3x2", "2x3", "6x1", "1x6"):
+        assert lookup(summit, "bcast", grid) >= lookup(summit, "ring1", grid)
+    # Summit's best configuration is Bcast (paper: Bcast + 2x3/3x2 grid).
+    best_summit = max(summit, key=lambda r: r["gflops_per_gcd"])
+    assert best_summit["algorithm"] == "bcast"
+    assert best_summit["grid"] in ("3x2", "2x3")
+
+    # The Summit spread best-vs-poorest is enormous because Spectrum
+    # MPI's IBcast is pathologically slow (paper: 603% improvement).
+    worst_summit = min(summit, key=lambda r: r["gflops_per_gcd"])
+    assert worst_summit["algorithm"] == "ibcast"
+    spread = best_summit["gflops_per_gcd"] / worst_summit["gflops_per_gcd"] - 1
+    assert spread > 3.0
+
+    # Finding 6 (Frontier side): rings outperform the library broadcast
+    # (paper: 20.0-34.4%), Ring2M best.
+    best_frontier = max(frontier, key=lambda r: r["gflops_per_gcd"])
+    assert best_frontier["algorithm"] == "ring2m"
+    gains = [
+        lookup(frontier, "ring2m", g) / lookup(frontier, "bcast", g) - 1
+        for g in ("2x4", "4x2", "8x1", "1x8")
+    ]
+    assert max(gains) > 0.15, f"ring advantage too small: {gains}"
+    assert all(g > 0 for g in gains)
+
+    # Finding 8: grid tuning helps; the Frontier balanced grid beats the
+    # 8x1 column-major one for the winning algorithm (paper: 2.7%).
+    assert lookup(frontier, "ring2m", "2x4") > lookup(frontier, "ring2m", "8x1")
+    # Frontier's grid-tuning benefit is weaker than Summit's (Finding 8).
+    summit_grid_gain = lookup(summit, "bcast", "3x2") / lookup(summit, "bcast", "6x1")
+    frontier_grid_gain = lookup(frontier, "ring2m", "2x4") / lookup(frontier, "ring2m", "8x1")
+    assert frontier_grid_gain < summit_grid_gain * 1.25
+
+
+def test_fig8_finding5_port_binding(benchmark, show):
+    rows = run_once(benchmark, figures.fig8_finding5_port_binding)
+    show(render_records(rows, title="Finding 5: Summit port binding",
+                        float_fmt="{:.1f}"))
+    # Paper: 35.6-59.7% overall improvement across strategies; our model
+    # spans that zone (strategy-dependent).
+    improvements = [r["improvement_pct"] for r in rows]
+    assert min(improvements) > 3.0
+    assert max(improvements) > 35.0
+
+
+def test_fig8_finding7_gpu_aware(benchmark, show):
+    rows = run_once(benchmark, figures.fig8_finding7_gpu_aware)
+    show(render_records(rows, title="Finding 7: Frontier GPU-aware MPI",
+                        float_fmt="{:.1f}"))
+    improvements = [r["improvement_pct"] for r in rows]
+    # Paper: 40.3-56.6% across settings; GPU-aware must help everywhere
+    # and substantially for the broadcast-heavy strategies.
+    assert all(i > 0 for i in improvements)
+    assert max(improvements) > 25.0

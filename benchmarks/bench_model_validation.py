@@ -1,0 +1,60 @@
+"""Cross-validation: analytic model vs discrete-event engine.
+
+The paper stresses its performance model is "a guideline for tuning ...
+not a complete model".  This bench quantifies that: for a sweep of
+configurations small enough for the event engine, the analytic estimate
+must bracket the engine within a known band and — more importantly —
+preserve the *orderings* the tuner relies on.
+"""
+
+from conftest import run_once
+
+from repro.bench import render_records
+from repro.core.config import BenchmarkConfig
+from repro.core.driver import simulate_run
+from repro.machine import FRONTIER, SUMMIT
+from repro.model.perf_model import estimate_run
+
+CASES = [
+    ("frontier ring2m 4x4", FRONTIER, 3072 * 16, 3072, 4, "ring2m"),
+    ("frontier bcast  4x4", FRONTIER, 3072 * 16, 3072, 4, "bcast"),
+    ("frontier ring2m 6x6", FRONTIER, 3072 * 12, 3072, 6, "ring2m"),
+    ("summit   bcast  6x6", SUMMIT, 768 * 64, 768, 6, "bcast"),
+    ("summit   ring1  6x6", SUMMIT, 768 * 64, 768, 6, "ring1"),
+]
+
+
+def test_model_vs_engine_sweep(benchmark, show):
+    def sweep():
+        rows = []
+        for label, machine, nl, block, p, algo in CASES:
+            cfg = BenchmarkConfig(
+                n=nl * p, block=block, machine=machine,
+                p_rows=p, p_cols=p, bcast_algorithm=algo,
+            )
+            eng = simulate_run(cfg)
+            mod = estimate_run(cfg)
+            rows.append(
+                {
+                    "case": label,
+                    "engine_fact_s": eng.elapsed_factorization,
+                    "model_fact_s": mod.elapsed_factorization,
+                    "ratio": mod.elapsed_factorization
+                    / eng.elapsed_factorization,
+                }
+            )
+        return rows
+
+    rows = run_once(benchmark, sweep)
+    show(render_records(rows, title="analytic model vs event engine",
+                        float_fmt="{:.3f}"))
+    # The model is an upper-bound guideline: never wildly off.
+    for r in rows:
+        assert 0.7 < r["ratio"] < 2.0, r
+    # Ordering preservation within each machine's algorithm pair.
+    by_case = {r["case"]: r for r in rows}
+    eng_order = (by_case["frontier ring2m 4x4"]["engine_fact_s"]
+                 < by_case["frontier bcast  4x4"]["engine_fact_s"])
+    mod_order = (by_case["frontier ring2m 4x4"]["model_fact_s"]
+                 < by_case["frontier bcast  4x4"]["model_fact_s"])
+    assert eng_order == mod_order

@@ -1,0 +1,20 @@
+"""Section V-D: N_L tuning — 119808 beats 122880 at 64/256/1024 GCDs.
+
+The larger local size loses because LDA = 122880 is a multiple of 8192
+and triggers rocBLAS's leading-dimension pathology (Fig 7), so *more
+work at a lower rate* nets out slower per GCD.
+"""
+
+from conftest import run_once
+
+from repro.bench import figures, render_records
+
+
+def test_nl_tuning(benchmark, show):
+    rows = run_once(benchmark, figures.nl_tuning)
+    show(render_records(rows, title="Section V-D: N_L tuning on Frontier"))
+    for gcds in (64, 256, 1024):
+        subset = {r["N_L"]: r["gflops_per_gcd"] for r in rows if r["gcds"] == gcds}
+        assert subset[119808] > subset[122880], (
+            f"at {gcds} GCDs, N_L=119808 must beat 122880: {subset}"
+        )

@@ -1,0 +1,31 @@
+"""Roofline analysis: the paper's "well balanced system" claim, quantified.
+
+Not a figure in the paper, but the quantitative backbone of several of
+its statements: GEMM must be compute-bound (it is, by ~2-8x margin at
+the chosen B), casts are streaming-bound by construction, and the chosen
+local sizes N_L sit just above the network roofline's knee — the
+surface-to-volume reason "codes should ... run as much as possible on
+GPUs given ... the larger high bandwidth memory" (Finding 1).
+"""
+
+from conftest import run_once
+
+from repro.bench import figures, render_records
+
+
+def test_roofline_report(benchmark, show):
+    rows = run_once(benchmark, figures.roofline_report)
+    show(render_records(rows, title="Roofline analysis", float_fmt="{:.2f}"))
+
+    def point(machine, phase):
+        return next(r for r in rows
+                    if r["machine"] == machine and r["phase"] == phase)
+
+    for machine in ("summit", "frontier"):
+        assert point(machine, "gemm")["bound"] == "compute"
+        assert point(machine, "cast")["bound"] == "memory"
+        assert point(machine, "iteration (network)")["bound"] == "compute"
+        # The paper's N_L sits above (but within 2x of) the network knee.
+        knee = point(machine, "min N_L for compute-bound")["flops_per_byte"]
+        used = 61440 if machine == "summit" else 119808
+        assert knee <= used <= 2.5 * knee

@@ -1,0 +1,25 @@
+"""Section VI-A: strong scaling.
+
+The paper reports (without a chart, "due to limited space") that under
+strong scaling the application becomes communication bound at scale,
+matching the communication and panel-solve terms of the performance
+model.
+"""
+
+from conftest import run_once
+
+from repro.bench import figures, render_records
+
+
+def test_strong_scaling(benchmark, show):
+    rows = run_once(benchmark, figures.strong_scaling)
+    show(render_records(rows, title="Section VI-A: strong scaling (Summit)"))
+    assert len(rows) >= 3
+    # Time keeps dropping with more GCDs...
+    for a, b in zip(rows, rows[1:]):
+        assert b["elapsed_s"] < a["elapsed_s"]
+    # ...but efficiency decays monotonically: communication/panel terms
+    # stop amortizing (the paper's observation).
+    for a, b in zip(rows, rows[1:]):
+        assert b["strong_eff_pct"] < a["strong_eff_pct"]
+    assert rows[-1]["strong_eff_pct"] < 60.0

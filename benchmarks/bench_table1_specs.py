@@ -1,0 +1,17 @@
+"""Table I: key architectural specifications for Summit and Frontier."""
+
+from conftest import run_once
+
+from repro.bench import figures, render_records
+
+
+def test_table1_specs(benchmark, show):
+    rows = run_once(benchmark, figures.table1_specs)
+    show(render_records(rows, title="Table I: architectural specifications"))
+    by_spec = {r["spec"]: r for r in rows}
+    assert by_spec["Number of Nodes"]["Summit"] == 4608
+    assert by_spec["Number of Nodes"]["Frontier"] == 9408
+    assert by_spec["FP16 TFLOPS (Node)"]["Summit"] == "750"
+    assert by_spec["FP16 TFLOPS (Node)"]["Frontier"] == "1192"
+    assert by_spec["# of NICs"]["Summit"] == 2
+    assert by_spec["# of NICs"]["Frontier"] == 4

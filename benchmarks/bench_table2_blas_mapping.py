@@ -1,0 +1,17 @@
+"""Table II: cross-platform BLAS library function mapping."""
+
+from conftest import run_once
+
+from repro.bench import figures, render_records
+
+
+def test_table2_blas_mapping(benchmark, show):
+    rows = run_once(benchmark, figures.table2_blas_mapping)
+    show(render_records(rows, title="Table II: cross-platform BLAS mapping"))
+    by_op = {r["BLAS"]: r for r in rows}
+    assert by_op["GEMM"]["Summit"] == "cublasSgemmEx"
+    assert by_op["GEMM"]["Frontier"] == "rocblas_gemm_ex"
+    assert by_op["GETRF"]["Summit"] == "cusolverDnSgetrf"
+    assert by_op["GETRF"]["Frontier"] == "rocsolver_sgetrf"
+    # TRSV stays on openBLAS (CPU) on both systems.
+    assert by_op["TRSV"]["Summit"] == by_op["TRSV"]["Frontier"]

@@ -1,0 +1,36 @@
+"""Shared helpers for the figure/table regeneration benchmarks.
+
+Every benchmark in this directory regenerates one exhibit of the paper's
+evaluation section, prints the series it produces (so CI logs double as
+the reproduction record), and asserts the paper's qualitative findings —
+who wins, by roughly what factor, where crossovers fall.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def show():
+    """Print a rendered table under pytest -s without extra imports."""
+
+    def _show(text: str) -> None:
+        print()
+        print(text)
+
+    return _show
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run a generator function exactly once under pytest-benchmark.
+
+    These are simulation/model workloads, not microbenchmarks; one round
+    is both sufficient and necessary (some cost minutes at full scale).
+    """
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1,
+                              iterations=1)

@@ -1,0 +1,50 @@
+#!/usr/bin/env python
+"""Reproduce the paper's exascale achievement runs (Fig 11).
+
+Evaluates the analytic performance model at the exact configurations of
+the paper's record runs — Summit (N ~ 10M over 26,244 GCDs) and ~40% of
+Frontier (N = 20.6M over 29,584 GCDs) — plus the full-system Frontier
+projection, and compares HPL-AI against the published HPL numbers (the
+9.5x mixed-precision headline).
+
+Run:  python examples/exascale_projection.py
+"""
+
+from repro.bench.figures import fig11_exascale_runs, hpl_vs_hplai
+from repro.bench.reporting import render_records
+from repro.core.config import BenchmarkConfig
+from repro.machine import FRONTIER
+from repro.model.perf_model import estimate_run
+from repro.util.format import format_flops, format_seconds
+
+
+def main() -> None:
+    print(render_records(
+        fig11_exascale_runs(),
+        title="Fig 11: exascale achievement runs (model vs paper)",
+        float_fmt="{:.3f}",
+    ))
+    print()
+    print(render_records(
+        hpl_vs_hplai(),
+        title="Mixed precision vs double precision (HPL-AI / HPL)",
+        float_fmt="{:.1f}",
+    ))
+
+    # Where does the time go at 29,584 GCDs?
+    cfg = BenchmarkConfig(
+        n=119808 * 172, block=3072, machine=FRONTIER,
+        p_rows=172, p_cols=172, q_rows=4, q_cols=2,
+        bcast_algorithm="ring2m",
+    )
+    res = estimate_run(cfg)
+    print(f"\nFrontier achievement run anatomy "
+          f"({format_flops(res.total_flops_per_s)} in "
+          f"{format_seconds(res.elapsed)}):")
+    for phase, seconds in sorted(res.breakdown.items(), key=lambda kv: -kv[1]):
+        share = 100.0 * seconds / res.elapsed
+        print(f"  {phase:>14}: {seconds:8.1f} s  ({share:4.1f}%)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Quickstart: solve an HPL-AI system on a simulated distributed machine.
+
+This example runs the *numerically exact* path: the full distributed
+mixed-precision algorithm — FP32 panel factorization, FP16 trailing
+updates, FP64 iterative refinement with on-the-fly matrix regeneration —
+executes over a 2x2 virtual process grid with real data, while the
+discrete-event engine simultaneously models how long the same run would
+take on Frontier hardware.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import HplAiMatrix, solve_hplai
+from repro.precision import FP16, FP64, round_to
+from repro.util.format import format_seconds
+
+N, BLOCK, GRID = 512, 64, 2
+
+
+def main() -> None:
+    print(f"Solving an HPL-AI system: N={N}, B={BLOCK}, "
+          f"{GRID}x{GRID} process grid (Frontier model)\n")
+
+    res = solve_hplai(n=N, block=BLOCK, p_rows=GRID, p_cols=GRID,
+                      machine="frontier")
+
+    # -- numerics ---------------------------------------------------------
+    matrix = HplAiMatrix(N, seed=42)
+    a = matrix.dense()
+    b = matrix.rhs()
+    x_ref = np.linalg.solve(a, b)
+
+    print("numerics:")
+    print(f"  residual ||b - A x||_inf   = {res.residual_norm:.3e}")
+    print(f"  error vs dense FP64 solve  = {np.max(np.abs(res.x - x_ref)):.3e}")
+    print(f"  IR iterations to converge  = {res.ir_iterations}")
+
+    # Why refinement is needed: the FP16-rounded matrix alone carries
+    # ~2^-11 relative error per entry.
+    fp16_error = np.max(np.abs(round_to(a, FP16) - a)) / np.max(np.abs(a))
+    print(f"  FP16 storage error (rel)   = {fp16_error:.2e} "
+          f"(vs FP64 eps = {FP64.eps:.2e})")
+
+    # -- simulated performance ------------------------------------------------
+    print("\nsimulated Frontier performance:")
+    print(f"  factorization   {format_seconds(res.elapsed_factorization)}")
+    print(f"  refinement      {format_seconds(res.elapsed_refinement)}")
+    print(f"  per-GCD rate    {res.gflops_per_gcd:.1f} GFLOPS "
+          "(tiny N: the GPUs are barely warmed up)")
+
+    assert res.ir_converged, "refinement must converge to FP64 accuracy"
+    print("\nOK: mixed precision + iterative refinement recovered "
+          "double-precision accuracy.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""The paper's tuning methodology on a simulated machine (Figs 4, 8).
+
+Walks the three knobs Section V tunes — block size B, broadcast
+algorithm, node-local grid — and shows how the optimum differs between
+Summit (V100 + Spectrum MPI on a fat tree) and Frontier (MI250X + young
+Slingshot stack), ending with each machine's best configuration.
+
+Run:  python examples/tuning_study.py
+"""
+
+from repro.bench.reporting import render_records
+from repro.core.config import BenchmarkConfig
+from repro.machine import FRONTIER, SUMMIT
+from repro.model.perf_model import estimate_run
+from repro.model.tuner import sweep_block_sizes, sweep_node_grids
+
+
+def best(rows, key="gflops_per_gcd"):
+    return max(rows, key=lambda r: r[key])
+
+
+def main() -> None:
+    # -- 1. block size -----------------------------------------------------
+    summit_b = sweep_block_sizes(
+        SUMMIT, n_local=61440, p=54,
+        blocks=[256, 512, 768, 1024, 1280, 2048, 3072],
+        q_rows=3, q_cols=2, bcast_algorithm="bcast",
+    )
+    frontier_b = sweep_block_sizes(
+        FRONTIER, n_local=119808, p=32,
+        blocks=[512, 768, 1024, 1536, 2304, 3072],
+        q_rows=2, q_cols=4, bcast_algorithm="ring2m",
+    )
+    print(render_records(summit_b, title="Summit: B sweep at 2916 GCDs"))
+    print()
+    print(render_records(frontier_b, title="Frontier: B sweep at 1024 GCDs"))
+    print(f"\n-> optimal B: Summit {best(summit_b)['B']} (paper: 768), "
+          f"Frontier {best(frontier_b)['B']} (paper: 3072)")
+
+    # -- 2. broadcast algorithm -------------------------------------------
+    print("\nbroadcast strategies (GFLOPS/GCD):")
+    for machine, nl, b, p, qr, qc in [
+        (SUMMIT, 61440, 768, 54, 3, 2),
+        (FRONTIER, 119808, 3072, 32, 2, 4),
+    ]:
+        scores = {}
+        for algo in ("bcast", "ibcast", "ring1", "ring1m", "ring2m"):
+            cfg = BenchmarkConfig(
+                n=nl * p, block=b, machine=machine, p_rows=p, p_cols=p,
+                q_rows=qr, q_cols=qc, bcast_algorithm=algo,
+            )
+            scores[algo] = estimate_run(cfg).gflops_per_gcd
+        winner = max(scores, key=scores.get)
+        line = "  ".join(f"{a}={v:,.0f}" for a, v in scores.items())
+        print(f"  {machine.name:>9}: {line}")
+        print(f"  {'':>9}  -> winner: {winner} "
+              f"(paper: {'bcast' if machine is SUMMIT else 'ring2m'})")
+
+    # -- 3. node-local grid -----------------------------------------------
+    print()
+    summit_g = sweep_node_grids(SUMMIT, 61440, 768, 54, "bcast")
+    frontier_g = sweep_node_grids(FRONTIER, 119808, 3072, 32, "ring2m")
+    print(render_records(summit_g, title="Summit: node-local grid sweep"))
+    print()
+    print(render_records(frontier_g, title="Frontier: node-local grid sweep"))
+    print(f"\n-> best grids: Summit {best(summit_g)['grid']} "
+          f"(paper: 3x2/2x3), Frontier {best(frontier_g)['grid']} "
+          f"(paper: 2x4/4x2)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""What-if projection: HPL-AI on a hypothetical next-generation system.
+
+The paper's portability argument ("expected to be the case also for
+Intel GPUs") invites the question: what would this benchmark do on a
+machine that doesn't exist yet?  This example builds a plausible
+"NextGen" system with :func:`repro.machine.custom.build_machine` —
+roughly doubling Frontier's per-GCD FP16 rate and NIC bandwidth with a
+mature software stack — retunes B and the broadcast for it, and projects
+the achievable HPL-AI figure.
+
+Run:  python examples/what_if_machine.py
+"""
+
+from repro.bench.reporting import render_records
+from repro.core.config import BenchmarkConfig
+from repro.machine.custom import build_machine
+from repro.model.perf_model import estimate_run
+from repro.model.tuner import sweep_block_sizes
+from repro.util.format import format_flops
+
+
+def main() -> None:
+    nextgen = build_machine(
+        name="NextGen",
+        num_nodes=8192,
+        gcds_per_node=8,
+        fp16_tflops_per_gcd=300.0,
+        fp64_tflops_per_gcd=55.0,
+        gpu_memory_gib=96.0,
+        nic_bw_gbs_per_node=50.0,
+        gemm_efficiency=0.8,
+        gemm_b_half=300.0,  # assume the BLAS matured: saturates early
+        mature_mpi=True,
+        hbm_bw_gbs=3000.0,
+    )
+    print(f"built machine: {nextgen.name} — {nextgen.total_gcds} GCDs, "
+          f"{nextgen.node.fp16_tflops:.0f} TF FP16/node\n")
+
+    # 1. Tune B for the new BLAS behaviour.
+    nl = 9216 * 16  # ~85 GiB... keep fp32 local inside 96 GiB GPU
+    nl = 138240  # 3072*45: ~76 GiB fp32
+    rows = sweep_block_sizes(
+        nextgen, n_local=nl, p=32,
+        blocks=[512, 768, 1024, 1536, 2304, 3072],
+        bcast_algorithm="bcast",
+    )
+    print(render_records(rows, title="NextGen: B sweep at 1024 GCDs"))
+    best_b = max(rows, key=lambda r: r["gflops_per_gcd"])["B"]
+    print(f"-> tuned B = {best_b} (the mature BLAS saturates much "
+          "earlier than Frontier's rocBLAS did)\n")
+
+    # 2. Broadcast choice on the mature stack.
+    scores = {}
+    for algo in ("bcast", "ring2m"):
+        cfg = BenchmarkConfig(
+            n=nl * 32, block=best_b, machine=nextgen, p_rows=32, p_cols=32,
+            q_rows=2, q_cols=4, bcast_algorithm=algo,
+        )
+        scores[algo] = estimate_run(cfg).gflops_per_gcd
+    winner = max(scores, key=scores.get)
+    gap = 100 * (scores["ring2m"] / scores["bcast"] - 1)
+    print(f"broadcast: bcast={scores['bcast']:,.0f} vs "
+          f"ring2m={scores['ring2m']:,.0f} GFLOPS/GCD ({gap:+.1f}% for "
+          f"rings) -> {winner}; a mature MPI shrinks Frontier's 20-34% "
+          "ring advantage to noise, as on Summit\n")
+
+    # 3. Full-machine projection.
+    p = 248  # 248^2 = 61504 of 65536 GCDs
+    cfg = BenchmarkConfig(
+        n=nl * p, block=best_b, machine=nextgen, p_rows=p, p_cols=p,
+        q_rows=2, q_cols=4, bcast_algorithm=winner,
+    )
+    res = estimate_run(cfg)
+    print(f"full-machine projection: N = {cfg.n:,} on {cfg.num_ranks:,} "
+          f"GCDs -> {format_flops(res.total_flops_per_s)}")
+    print(f"  ({res.gflops_per_gcd / 1000:.1f} TF/GCD effective, "
+          f"{100 * res.gflops_per_gcd / 1000 / 300:.0f}% of FP16 peak)")
+
+
+if __name__ == "__main__":
+    main()

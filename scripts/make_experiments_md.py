@@ -1,0 +1,19 @@
+#!/usr/bin/env python
+"""Regenerate EXPERIMENTS.md (wrapper around repro.bench.report_md).
+
+Invoke from the repository root:  python scripts/make_experiments_md.py
+"""
+
+from repro.bench.report_md import generate_experiments_markdown
+
+
+def main() -> None:
+    """Write EXPERIMENTS.md next to the current working directory."""
+    text = generate_experiments_markdown()
+    with open("EXPERIMENTS.md", "w") as fh:
+        fh.write(text)
+    print(f"wrote EXPERIMENTS.md ({len(text.splitlines())} lines)")
+
+
+if __name__ == "__main__":
+    main()

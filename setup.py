@@ -1,0 +1,10 @@
+"""Thin setup.py shim.
+
+Kept only so legacy editable installs (``pip install -e . --no-use-pep517``)
+work in offline environments lacking the ``wheel`` package; all real
+metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

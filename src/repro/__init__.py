@@ -1,0 +1,45 @@
+"""repro — a reproduction of the SC'22 paper
+"Climbing the Summit and Pushing the Frontier of Mixed Precision
+Benchmarks at Extreme Scale" (Lu et al., ORNL).
+
+The package implements the HPL-AI (HPL-MxP) mixed-precision benchmark —
+unpivoted block LU in FP16/FP32 plus FP64 iterative refinement — over a
+simulated distributed machine, together with the paper's performance
+model, tuning studies and extreme-scale projections for the OLCF Summit
+and Frontier systems.
+
+Quick start::
+
+    from repro import solve_hplai
+    result = solve_hplai(n=512, block=64)
+    print(result.residual_norm, result.ir_iterations)
+
+See README.md for the architecture overview and DESIGN.md for the
+paper-to-module mapping.
+"""
+
+from repro._version import __version__
+
+__all__ = ["__version__", "solve_hplai", "simulate_run", "HplAiMatrix", "get_machine"]
+
+
+def __getattr__(name):
+    # Lazy re-exports so `import repro` stays light while the convenient
+    # top-level API remains available.
+    if name == "solve_hplai":
+        from repro.core.driver import solve_hplai
+
+        return solve_hplai
+    if name == "simulate_run":
+        from repro.core.driver import simulate_run
+
+        return simulate_run
+    if name == "HplAiMatrix":
+        from repro.lcg.matrix import HplAiMatrix
+
+        return HplAiMatrix
+    if name == "get_machine":
+        from repro.machine import get_machine
+
+        return get_machine
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

@@ -1,0 +1,3 @@
+"""Package version (kept in its own module so __init__ stays import-light)."""
+
+__version__ = "1.0.0"

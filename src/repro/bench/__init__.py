@@ -1,0 +1,13 @@
+"""Regeneration harness for every table and figure in the paper.
+
+Each ``fig*``/``table*`` function in :mod:`repro.bench.figures` computes
+the data series behind one exhibit of the paper's evaluation section;
+:mod:`repro.bench.reporting` renders them as ASCII tables.  The
+``benchmarks/`` directory wraps these in pytest-benchmark entries, and
+the CLI exposes them via ``hplai-sim figure <id>``.
+"""
+
+from repro.bench import figures
+from repro.bench.reporting import render_series, render_records
+
+__all__ = ["figures", "render_series", "render_records"]

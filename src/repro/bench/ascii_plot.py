@@ -1,0 +1,130 @@
+"""Terminal plotting for the benchmark figures.
+
+The paper's exhibits are line charts and heat maps; these helpers render
+the same data as Unicode/ASCII so ``hplai-sim figure <id> --plot`` and
+the examples can show *shapes*, not just tables, with zero plotting
+dependencies.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.errors import ConfigurationError
+
+_MARKS = "ox+*#@%&"
+_SHADES = " .:-=+*#%@"
+
+
+def line_plot(
+    series: Dict[str, Sequence[tuple]],
+    width: int = 64,
+    height: int = 16,
+    title: Optional[str] = None,
+    x_label: str = "",
+    y_label: str = "",
+    logx: bool = False,
+) -> str:
+    """Plot named ``[(x, y), ...]`` series on a shared canvas.
+
+    Each series gets a distinct mark; a legend maps marks to names.
+    """
+    import math
+
+    if not series or all(len(pts) == 0 for pts in series.values()):
+        raise ConfigurationError("nothing to plot")
+    xs = [x for pts in series.values() for x, _y in pts]
+    ys = [y for pts in series.values() for _x, y in pts]
+
+    def fx(x: float) -> float:
+        if logx:
+            if x <= 0:
+                raise ConfigurationError("logx requires positive x values")
+            return math.log10(x)
+        return float(x)
+
+    x_lo, x_hi = min(fx(x) for x in xs), max(fx(x) for x in xs)
+    y_lo, y_hi = min(ys), max(ys)
+    if x_hi == x_lo:
+        x_hi = x_lo + 1.0
+    if y_hi == y_lo:
+        y_hi = y_lo + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for (name, pts), mark in zip(series.items(), _MARKS):
+        for x, y in pts:
+            col = round((fx(x) - x_lo) / (x_hi - x_lo) * (width - 1))
+            row = round((y - y_lo) / (y_hi - y_lo) * (height - 1))
+            grid[height - 1 - row][col] = mark
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    if y_label:
+        lines.append(f"[y: {y_label}]")
+    top = f"{y_hi:,.0f}" if abs(y_hi) >= 100 else f"{y_hi:.3g}"
+    bot = f"{y_lo:,.0f}" if abs(y_lo) >= 100 else f"{y_lo:.3g}"
+    pad = max(len(top), len(bot))
+    for i, row in enumerate(grid):
+        label = top if i == 0 else (bot if i == height - 1 else "")
+        lines.append(f"{label:>{pad}} |" + "".join(row))
+    x_lo_disp = 10 ** x_lo if logx else x_lo
+    x_hi_disp = 10 ** x_hi if logx else x_hi
+    lines.append(" " * pad + " +" + "-" * width)
+    lines.append(
+        " " * pad + f"  {x_lo_disp:,.0f}"
+        + " " * max(width - 24, 1)
+        + f"{x_hi_disp:,.0f}"
+        + (f"  [x: {x_label}{', log' if logx else ''}]" if x_label else "")
+    )
+    legend = "   ".join(
+        f"{mark}={name}" for (name, _pts), mark in zip(series.items(), _MARKS)
+    )
+    lines.append("legend: " + legend)
+    return "\n".join(lines)
+
+
+def heat_map(
+    rows: Sequence[Sequence[float]],
+    row_labels: Sequence[object],
+    col_labels: Sequence[object],
+    title: Optional[str] = None,
+) -> str:
+    """Render a matrix of values as shaded cells (Fig 3 style)."""
+    if not rows:
+        raise ConfigurationError("nothing to plot")
+    flat = [v for r in rows for v in r]
+    lo, hi = min(flat), max(flat)
+    span = (hi - lo) or 1.0
+
+    def shade(v: float) -> str:
+        idx = int((v - lo) / span * (len(_SHADES) - 1))
+        return _SHADES[idx] * 3
+
+    label_w = max(len(str(r)) for r in row_labels)
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header = " " * (label_w + 1) + " ".join(f"{str(c):>3}"[:3] for c in col_labels)
+    lines.append(header)
+    for lab, row in zip(row_labels, rows):
+        lines.append(
+            f"{str(lab):>{label_w}} " + " ".join(shade(v) for v in row)
+        )
+    lines.append(f"scale: '{_SHADES[0]}' = {lo:,.1f}  ..  "
+                 f"'{_SHADES[-1]}' = {hi:,.1f}")
+    return "\n".join(lines)
+
+
+def records_to_series(
+    records: Sequence[dict], x_key: str, y_key: str, group_key: str
+) -> Dict[str, List[tuple]]:
+    """Group benchmark records into plottable series."""
+    out: Dict[str, List[tuple]] = {}
+    for rec in records:
+        out.setdefault(str(rec[group_key]), []).append(
+            (rec[x_key], rec[y_key])
+        )
+    for pts in out.values():
+        pts.sort(key=lambda p: p[0])
+    return out

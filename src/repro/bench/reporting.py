@@ -1,0 +1,48 @@
+"""Rendering helpers for benchmark output."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.util.format import render_table
+
+
+def render_records(
+    records: Sequence[Dict[str, object]],
+    title: str | None = None,
+    columns: Sequence[str] | None = None,
+    float_fmt: str = "{:.2f}",
+) -> str:
+    """Render a list of homogeneous dicts as an aligned ASCII table."""
+    if not records:
+        return f"{title or '(empty)'}\n(no rows)"
+    cols = list(columns) if columns else list(records[0].keys())
+    rows = []
+    for rec in records:
+        row = []
+        for c in cols:
+            v = rec.get(c, "")
+            if isinstance(v, float):
+                v = float_fmt.format(v)
+            row.append(v)
+        rows.append(row)
+    return render_table(cols, rows, title=title)
+
+
+def render_series(
+    x_name: str,
+    x_values: Sequence[object],
+    series: Dict[str, Sequence[float]],
+    title: str | None = None,
+    float_fmt: str = "{:.2f}",
+) -> str:
+    """Render an x-axis plus named series (a figure's line plot as text)."""
+    headers = [x_name] + list(series.keys())
+    rows = []
+    for i, x in enumerate(x_values):
+        row = [x]
+        for name in series:
+            v = series[name][i]
+            row.append(float_fmt.format(v) if isinstance(v, float) else v)
+        rows.append(row)
+    return render_table(headers, rows, title=title)

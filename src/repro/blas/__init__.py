@@ -1,0 +1,47 @@
+"""Dense linear-algebra kernels used by the HPL-AI and HPL drivers.
+
+These are the Python equivalents of the vendor BLAS/solver calls in
+Table II of the paper (cublasSgemmEx / rocblas_gemm_ex, *strsm,
+*sgetrf, openBLAS trsv).  All kernels are pure NumPy and operate on the
+precisions they would on the GPU:
+
+- :func:`gemm_mixed` — FP16 operands, FP32 accumulation (the tensor-core
+  / MFMA path used for the trailing-matrix update);
+- :func:`getrf_nopiv` — unpivoted LU of the FP32 diagonal block;
+- :func:`getrf_partial` — pivoted LU (the HPL FP64 baseline);
+- :func:`trsm` — the four [R|L][UP|LOW] triangular panel solves;
+- :func:`trsv` / :func:`gemv` — CPU-side refinement kernels.
+"""
+
+from repro.blas.gemm import gemm, gemm_mixed, gemm_update
+from repro.blas.getrf import getrf_nopiv, getrf_partial, recursive_getrf_nopiv
+from repro.blas.trsm import (
+    trsm,
+    trsm_left_lower,
+    trsm_left_upper,
+    trsm_right_lower,
+    trsm_right_upper,
+)
+from repro.blas.trsv import trsv_lower_unit, trsv_upper
+from repro.blas.gemv import gemv, gemv_update
+from repro.blas.shim import BlasShim, get_shim
+
+__all__ = [
+    "gemm",
+    "gemm_mixed",
+    "gemm_update",
+    "getrf_nopiv",
+    "getrf_partial",
+    "recursive_getrf_nopiv",
+    "trsm",
+    "trsm_left_lower",
+    "trsm_left_upper",
+    "trsm_right_lower",
+    "trsm_right_upper",
+    "trsv_lower_unit",
+    "trsv_upper",
+    "gemv",
+    "gemv_update",
+    "BlasShim",
+    "get_shim",
+]

@@ -1,0 +1,33 @@
+"""Dense matrix-vector products (GEMV) for the residual computation.
+
+During iterative refinement the residual ``r = b - A x`` is computed in
+FP64 with the matrix *regenerated on the fly* (paper Section III-C): each
+process regenerates its block-column ``A[:, k]``, multiplies by ``x[k]``,
+and a single Allreduce sums the partial products.  These kernels are the
+local pieces of that computation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+def gemv(a: np.ndarray, x: np.ndarray) -> np.ndarray:
+    """Plain ``A @ x``."""
+    if a.ndim != 2 or x.ndim != 1 or a.shape[1] != x.shape[0]:
+        raise ConfigurationError(
+            f"gemv shapes incompatible: A {a.shape}, x {x.shape}"
+        )
+    return a @ x
+
+
+def gemv_update(y: np.ndarray, a: np.ndarray, x: np.ndarray) -> np.ndarray:
+    """``y <- y - A @ x`` in place; the residual accumulation kernel."""
+    if y.ndim != 1 or y.shape[0] != a.shape[0]:
+        raise ConfigurationError(
+            f"gemv_update shapes incompatible: y {y.shape}, A {a.shape}"
+        )
+    y -= gemv(a, x)
+    return y

@@ -1,0 +1,131 @@
+"""LU factorization kernels (GETRF).
+
+HPL-AI omits pivoting — the input matrix is constructed so that unpivoted
+elimination is stable — so the *Diagonal Update* step of Algorithm 1 is a
+plain unpivoted GETRF of the B×B diagonal block (cusolverDnSgetrf /
+rocsolver_sgetrf with a null pivot array).  The HPL FP64 baseline keeps
+partial pivoting, provided here as :func:`getrf_partial`.
+
+Factors are stored packed, LAPACK-style: the strict lower triangle holds
+L (unit diagonal implied) and the upper triangle holds U.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError, SingularMatrixError
+
+
+def _check_square(a: np.ndarray, name: str = "a") -> int:
+    if a.ndim != 2 or a.shape[0] != a.shape[1]:
+        raise ConfigurationError(f"{name} must be square, got shape {a.shape}")
+    return a.shape[0]
+
+
+def getrf_nopiv(a: np.ndarray, check_pivots: bool = True) -> np.ndarray:
+    """Unpivoted right-looking LU of ``a``, in place, packed L\\U.
+
+    Raises :class:`SingularMatrixError` if a pivot underflows to zero (or
+    is non-finite) — with the HPL-AI matrix construction this indicates a
+    bug or an ill-suited input rather than an expected event.
+    """
+    n = _check_square(a)
+    for k in range(n):
+        pivot = a[k, k]
+        if check_pivots and (pivot == 0.0 or not np.isfinite(pivot)):
+            raise SingularMatrixError(
+                f"zero or non-finite pivot at step {k}: {pivot!r}"
+            )
+        if k + 1 < n:
+            a[k + 1 :, k] /= pivot
+            # Rank-1 trailing update; np.outer would upcast fp32 -> fp64,
+            # so use broadcasting in the array dtype.
+            a[k + 1 :, k + 1 :] -= a[k + 1 :, k : k + 1] * a[k : k + 1, k + 1 :]
+    return a
+
+
+def recursive_getrf_nopiv(a: np.ndarray, threshold: int = 32) -> np.ndarray:
+    """Cache-friendly recursive unpivoted LU, in place, packed L\\U.
+
+    Splits the block in half, factors the left part, solves the two
+    panels and updates the trailing quadrant with GEMM — the same
+    recursion GPU solver libraries use so most flops land in matmul.
+    Numerically equivalent (up to rounding order) to :func:`getrf_nopiv`.
+    """
+    n = _check_square(a)
+    if n <= threshold:
+        return getrf_nopiv(a)
+    h = n // 2
+    # Factor the left column block [A11; A21].
+    recursive_getrf_nopiv(a[:h, :h], threshold)
+    l11 = np.tril(a[:h, :h], -1)
+    np.fill_diagonal(l11, 1.0)
+    u11 = np.triu(a[:h, :h])
+    # A21 <- A21 U11^{-1} ; A12 <- L11^{-1} A12.
+    a[h:, :h] = _solve_upper_right(u11, a[h:, :h])
+    a[:h, h:] = _solve_lower_left_unit(l11, a[:h, h:])
+    # Trailing update and recursion.
+    a[h:, h:] -= a[h:, :h] @ a[:h, h:]
+    recursive_getrf_nopiv(a[h:, h:], threshold)
+    return a
+
+
+def getrf_partial(a: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """LU with partial (row) pivoting, in place: the HPL baseline kernel.
+
+    Returns ``(a, piv)`` where ``piv[k]`` is the row swapped with row
+    ``k`` at step ``k`` (LAPACK ipiv convention, 0-based).
+    """
+    n = _check_square(a)
+    piv = np.arange(n)
+    for k in range(n):
+        p = k + int(np.argmax(np.abs(a[k:, k])))
+        if a[p, k] == 0.0:
+            raise SingularMatrixError(f"matrix is singular at column {k}")
+        if p != k:
+            a[[k, p], :] = a[[p, k], :]
+        piv[k] = p
+        if k + 1 < n:
+            a[k + 1 :, k] /= a[k, k]
+            a[k + 1 :, k + 1 :] -= a[k + 1 :, k : k + 1] * a[k : k + 1, k + 1 :]
+    return a, piv
+
+
+def apply_pivots(b: np.ndarray, piv: np.ndarray) -> np.ndarray:
+    """Apply the row interchanges recorded by :func:`getrf_partial` to ``b``."""
+    for k, p in enumerate(piv):
+        if p != k:
+            b[[k, p]] = b[[p, k]]
+    return b
+
+
+def unpack_lu(a: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Expand a packed L\\U factorization into explicit (L, U) matrices."""
+    _check_square(a)
+    lower = np.tril(a, -1)
+    np.fill_diagonal(lower, 1.0)
+    upper = np.triu(a)
+    return lower, upper
+
+
+# -- internal triangular solves used by the recursion ---------------------
+
+
+def _solve_upper_right(u: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Solve ``X U = B`` for X with U upper triangular (non-unit)."""
+    # X = B U^{-1}  <=>  U^T X^T = B^T (lower-triangular solve).
+    import scipy.linalg as sla
+
+    return sla.solve_triangular(
+        u.T, b.T, lower=True, unit_diagonal=False
+    ).T.astype(b.dtype, copy=False)
+
+
+def _solve_lower_left_unit(l: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Solve ``L X = B`` for X with L unit lower triangular."""
+    import scipy.linalg as sla
+
+    return sla.solve_triangular(l, b, lower=True, unit_diagonal=True).astype(
+        b.dtype, copy=False
+    )

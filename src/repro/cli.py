@@ -1,0 +1,460 @@
+"""Command-line interface: ``hplai-sim`` (or ``python -m repro``).
+
+Subcommands mirror the workflows in the paper:
+
+- ``solve``   — numerically exact distributed solve (small N);
+- ``run``     — timing simulation of a configuration (event engine);
+- ``model``   — analytic estimate of a configuration at any scale;
+- ``tune``    — block-size / node-grid parameter search;
+- ``scan``    — slow-GCD mini-benchmark sweep;
+- ``figure``  — regenerate a paper table/figure by id;
+- ``specs``   — print machine presets.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro._version import __version__
+
+
+def _add_machine_arg(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--machine", choices=("summit", "frontier"), default="frontier",
+        help="machine preset (default: frontier)",
+    )
+
+
+def _add_run_args(p: argparse.ArgumentParser) -> None:
+    _add_machine_arg(p)
+    p.add_argument("--nl", type=int, default=None,
+                   help="local matrix size N_L (default: paper value)")
+    p.add_argument("-b", "--block", type=int, default=None,
+                   help="block size B (default: paper value)")
+    p.add_argument("-p", "--grid", type=int, default=4,
+                   help="process grid dimension P_r = P_c (default 4)")
+    p.add_argument("--qr", type=int, default=None, help="node-local grid rows")
+    p.add_argument("--qc", type=int, default=None, help="node-local grid cols")
+    p.add_argument("--bcast", default=None,
+                   choices=("bcast", "ibcast", "ring1", "ring1m", "ring2m"),
+                   help="panel broadcast algorithm (default: machine best)")
+    p.add_argument("--no-lookahead", action="store_true")
+    p.add_argument("--no-gpu-aware", action="store_true")
+    p.add_argument("--no-port-binding", action="store_true")
+
+
+def _build_config(args, n_override: Optional[int] = None):
+    from repro.core.config import BenchmarkConfig
+    from repro.machine import get_machine
+
+    machine = get_machine(args.machine)
+    defaults = {
+        "summit": dict(nl=61440, block=768, bcast="bcast"),
+        "frontier": dict(nl=119808, block=3072, bcast="ring2m"),
+    }[machine.name]
+    nl = args.nl or defaults["nl"]
+    block = args.block or defaults["block"]
+    kwargs = dict(
+        n=n_override if n_override is not None else nl * args.grid,
+        block=block,
+        machine=machine,
+        p_rows=args.grid,
+        p_cols=args.grid,
+        bcast_algorithm=args.bcast or defaults["bcast"],
+        lookahead=not args.no_lookahead,
+        gpu_aware=not args.no_gpu_aware,
+        port_binding=not args.no_port_binding,
+    )
+    if args.qr:
+        kwargs["q_rows"] = args.qr
+    if args.qc:
+        kwargs["q_cols"] = args.qc
+    return BenchmarkConfig(**kwargs)
+
+
+def _print_result(res, out=None) -> None:
+    from repro.util.format import format_flops, format_seconds
+
+    out = out if out is not None else sys.stdout
+    s = res.summary()
+    for key, val in s.items():
+        print(f"  {key:>16}: {val}", file=out)
+    print(f"  {'throughput':>16}: {format_flops(res.total_flops_per_s)}", file=out)
+    print(f"  {'wall (virtual)':>16}: {format_seconds(res.elapsed)}", file=out)
+
+
+def cmd_solve(args) -> int:
+    """Run a numerically exact distributed solve and report accuracy."""
+    from repro.core.driver import solve_hplai
+
+    res = solve_hplai(
+        n=args.n, block=args.block, p_rows=args.grid, p_cols=args.grid,
+        machine=args.machine,
+    )
+    print(f"solved N={args.n} on a {args.grid}x{args.grid} grid "
+          f"({args.machine} model)")
+    print(f"  residual ||b-Ax||_inf = {res.residual_norm:.3e}")
+    print(f"  IR iterations         = {res.ir_iterations} "
+          f"(converged={res.ir_converged})")
+    print(f"  simulated time        = {res.elapsed:.6f} s "
+          f"({res.gflops_per_gcd:.1f} GFLOPS/GCD)")
+    return 0 if res.ir_converged else 1
+
+
+def cmd_run(args) -> int:
+    """Simulate a configuration on the discrete-event engine."""
+    from repro.core.driver import simulate_run
+
+    cfg = _build_config(args)
+    res = simulate_run(cfg)
+    print("event-engine simulation:")
+    _print_result(res)
+    if args.json:
+        from repro.core.report import save_report
+
+        print(f"  report -> {save_report(res, args.json)}")
+    if args.trace:
+        from repro.core.report import save_trace_csv
+
+        print(f"  trace  -> {save_trace_csv(res, args.trace)}")
+    return 0
+
+
+def cmd_model(args) -> int:
+    """Estimate a configuration with the analytic model."""
+    from repro.model.perf_model import estimate_run
+
+    cfg = _build_config(args)
+    res = estimate_run(cfg)
+    print("analytic model estimate:")
+    _print_result(res)
+    print("  breakdown (s):")
+    for k, v in res.breakdown.items():
+        print(f"    {k:>14}: {v:.2f}")
+    if args.json:
+        from repro.core.report import save_report
+
+        print(f"  report -> {save_report(res, args.json)}")
+    return 0
+
+
+def cmd_tune(args) -> int:
+    """Sweep block sizes or node-local grids with the tuner."""
+    from repro.bench.reporting import render_records
+    from repro.machine import get_machine
+    from repro.model.tuner import sweep_block_sizes, sweep_node_grids
+
+    machine = get_machine(args.machine)
+    defaults = {"summit": (61440, 768, "bcast"),
+                "frontier": (119808, 3072, "ring2m")}[machine.name]
+    nl = args.nl or defaults[0]
+    if args.what == "block":
+        blocks = [int(b) for b in args.values.split(",")] if args.values else [
+            256, 512, 768, 1024, 1536, 2048, 3072,
+        ]
+        rows = sweep_block_sizes(machine, nl, args.grid, blocks,
+                                 bcast_algorithm=defaults[2])
+        print(render_records(rows, title=f"B sweep on {machine.name}"))
+    else:
+        rows = sweep_node_grids(machine, nl, args.block or defaults[1],
+                                args.grid, defaults[2])
+        print(render_records(rows, title=f"node-grid sweep on {machine.name}"))
+    return 0
+
+
+def cmd_scan(args) -> int:
+    """Scan a simulated GCD fleet for slow outliers."""
+    from repro.machine import GcdFleet, get_machine
+    from repro.tools.slownode import scan_fleet
+
+    machine = get_machine(args.machine)
+    fleet = GcdFleet(args.gcds, seed=args.seed)
+    report = scan_fleet(fleet, machine)
+    print(report.render(top=args.top))
+    return 0
+
+
+FIGURES = {
+    "table1": ("table1_specs", "Table I: architectural specifications"),
+    "table2": ("table2_blas_mapping", "Table II: BLAS mapping"),
+    "fig3": ("fig3_gemm_heatmap", "Fig 3: GEMM heat map"),
+    "fig4": ("fig4_blocksize_total", "Fig 4: B tuning at scale"),
+    "fig5": ("fig5_v100_kernels", "Fig 5: V100 kernel rates"),
+    "fig6": ("fig6_mi250x_kernels", "Fig 6: MI250X kernel rates"),
+    "fig7": ("fig7_lda_effect", "Fig 7: LDA effect"),
+    "fig8": ("fig8_comm_strategies", "Fig 8: comm strategies x grids"),
+    "fig9": ("fig9_weak_scaling", "Fig 9: weak scaling"),
+    "fig10": ("fig10_timing_breakdown", "Fig 10: timing breakdown"),
+    "fig11": ("fig11_exascale_runs", "Fig 11: exascale runs"),
+    "fig12": ("fig12_variability", "Fig 12: run variability"),
+    "hpl": ("hpl_vs_hplai", "HPL-AI vs HPL"),
+    "nl": ("nl_tuning", "Section V-D: N_L tuning"),
+    "scan": ("slownode_scan", "Section VI-B: slow-node scan"),
+    "strong": ("strong_scaling", "Section VI-A: strong scaling"),
+    "lookahead": ("ablation_lookahead", "Ablation: look-ahead"),
+    "projection": ("frontier_vs_summit_projection",
+                   "Full-scale Frontier vs Summit"),
+    "roofline": ("roofline_report", "Roofline analysis (balance)"),
+}
+
+
+def cmd_dat(args) -> int:
+    """Expand an HPL.dat file into runs and report the sweep."""
+    from repro.bench.reporting import render_records
+    from repro.core.driver import simulate_run
+    from repro.io.hpldat import expand_configs, parse_hpldat
+    from repro.model.perf_model import estimate_run
+
+    dat = parse_hpldat(args.file)
+    rows = []
+    for cfg in expand_configs(dat):
+        if args.engine:
+            res = simulate_run(cfg)
+        else:
+            res = estimate_run(cfg)
+        rows.append(
+            {
+                "N": cfg.n,
+                "NB": cfg.block,
+                "PxQ": f"{cfg.p_rows}x{cfg.p_cols}",
+                "bcast": cfg.bcast_algorithm,
+                "elapsed_s": res.elapsed,
+                "gflops_per_gcd": res.gflops_per_gcd,
+            }
+        )
+    mode = "event engine" if args.engine else "analytic model"
+    print(render_records(rows, title=f"HPL.dat sweep ({mode})"))
+    best = max(rows, key=lambda r: r["gflops_per_gcd"])
+    print(f"\nbest: N={best['N']}, NB={best['NB']}, {best['PxQ']} "
+          f"-> {best['gflops_per_gcd']:,.0f} GFLOPS/GCD")
+    return 0
+
+
+def cmd_campaign(args) -> int:
+    """Run the full record-run campaign workflow."""
+    from repro.machine import GcdFleet
+    from repro.tools.campaign import run_campaign
+
+    cfg = _build_config(args)
+    fleet = GcdFleet(
+        cfg.num_ranks + args.spare_nodes * cfg.machine.node.gcds_per_node,
+        seed=args.seed,
+    )
+    res = run_campaign(
+        cfg, fleet=fleet, num_runs=args.runs,
+        exclude_slow_nodes=not args.no_scan,
+        do_warmup=not args.no_warmup,
+    )
+    print(res.render())
+    from repro.util.format import format_flops
+
+    print(f"\nbest run: {format_flops(res.best.total_flops_per_s)} "
+          f"(run {res.best.index + 1}); post-first variability "
+          f"{res.variability:.2%}")
+    return 0
+
+
+#: figures that can be rendered as terminal plots: id -> (x, y, group, logx)
+_PLOTTABLE = {
+    "fig4": ("B", "gflops_per_gcd", "machine", False),
+    "fig9": ("gcds", "gflops_per_gcd", "machine", True),
+    "fig10": ("iteration", "comm_fraction_pct", None, False),
+    "fig12": ("run", "relative_perf_pct", "machine", False),
+}
+
+
+def cmd_figure(args) -> int:
+    """Regenerate one paper table/figure (optionally plotted)."""
+    from repro.bench import figures as figmod
+    from repro.bench.reporting import render_records
+
+    fn_name, title = FIGURES[args.id]
+    rows = getattr(figmod, fn_name)()
+    print(render_records(rows, title=title, float_fmt="{:.3f}"))
+    if args.plot:
+        from repro.bench.ascii_plot import line_plot, records_to_series
+
+        if args.id == "fig3":
+            from repro.bench.ascii_plot import heat_map
+
+            col_keys = [k for k in rows[0] if k.startswith("k=")]
+            print()
+            print(heat_map(
+                [[r[c] for c in col_keys] for r in rows],
+                [r["m=n"] for r in rows],
+                [c[2:] for c in col_keys],
+                title="Fig 3: GEMM TFLOP/s (rows: m=n, cols: k)",
+            ))
+        elif args.id in _PLOTTABLE:
+            x, y, group, logx = _PLOTTABLE[args.id]
+            if group is None:
+                series = {"rank 0": [(r[x], r[y]) for r in rows]}
+            else:
+                series = records_to_series(rows, x, y, group)
+            print()
+            print(line_plot(series, title=title, x_label=x, y_label=y,
+                            logx=logx))
+        else:
+            print("\n(no plot renderer for this figure; table only)")
+    return 0
+
+
+def cmd_gantt(args) -> int:
+    """Simulate a small run and render its per-rank Gantt timeline."""
+    from repro.core.executors import PhantomExecutor
+    from repro.core.hplai import hplai_rank_program
+    from repro.machine.topology import CommCosts
+    from repro.simulate.engine import Engine
+    from repro.simulate.timeline import busy_fraction, render_gantt
+
+    cfg = _build_config(args)
+    if cfg.num_ranks > 64:
+        print("gantt is meant for small runs; use -p <= 8")
+        return 1
+    costs = CommCosts(cfg.machine, port_binding=cfg.port_binding,
+                      gpu_aware=cfg.gpu_aware)
+    engine = Engine(
+        cfg.num_ranks, costs, node_of_rank=cfg.node_grid.node_of_rank,
+        mpi=cfg.machine.mpi, record_timeline=True,
+    )
+
+    def factory(rank):
+        p_ir, p_ic = cfg.grid.coords_of(rank)
+        return hplai_rank_program(
+            cfg, PhantomExecutor(cfg, p_ir, p_ic, rank), rank, None
+        )
+
+    result = engine.run(factory)
+    print(render_gantt(engine.timeline, width=args.width))
+    fracs = busy_fraction(engine.timeline, result.elapsed)
+    mean_busy = sum(fracs.values()) / len(fracs)
+    print(f"\nelapsed {result.elapsed:.3f}s (virtual); mean GCD busy "
+          f"fraction {mean_busy:.0%}")
+    return 0
+
+
+def cmd_report(args) -> int:
+    """Regenerate the EXPERIMENTS.md reproduction record."""
+    from repro.bench.report_md import generate_experiments_markdown
+
+    text = generate_experiments_markdown()
+    if args.out:
+        from pathlib import Path
+
+        Path(args.out).write_text(text)
+        print(f"wrote {args.out} ({len(text.splitlines())} lines)")
+    else:
+        print(text)
+    return 0
+
+
+def cmd_specs(args) -> int:
+    """Print the machine presets (Table I)."""
+    from repro.bench.figures import table1_specs
+    from repro.bench.reporting import render_records
+
+    print(render_records(table1_specs(), title="machine presets (Table I)"))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse parser for all subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="hplai-sim",
+        description=(
+            "Simulated-exascale HPL-AI benchmark suite (reproduction of "
+            "Lu et al., SC'22)."
+        ),
+    )
+    parser.add_argument("--version", action="version",
+                        version=f"%(prog)s {__version__}")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("solve", help="numerically exact distributed solve")
+    p.add_argument("-n", type=int, default=512, help="matrix size N")
+    p.add_argument("-b", "--block", type=int, default=64, help="block size B")
+    p.add_argument("-p", "--grid", type=int, default=2, help="grid dim")
+    _add_machine_arg(p)
+    p.set_defaults(func=cmd_solve)
+
+    p = sub.add_parser("run", help="event-engine timing simulation")
+    _add_run_args(p)
+    p.add_argument("--json", default=None, help="write a JSON run report")
+    p.add_argument("--trace", default=None,
+                   help="write the per-iteration trace as CSV")
+    p.set_defaults(func=cmd_run)
+
+    p = sub.add_parser("model", help="analytic estimate at any scale")
+    _add_run_args(p)
+    p.add_argument("--json", default=None, help="write a JSON run report")
+    p.set_defaults(func=cmd_model)
+
+    p = sub.add_parser("tune", help="parameter sweeps")
+    p.add_argument("what", choices=("block", "grid"))
+    p.add_argument("-p", "--grid", type=int, default=32)
+    p.add_argument("--nl", type=int, default=None)
+    p.add_argument("-b", "--block", type=int, default=None)
+    p.add_argument("--values", default=None,
+                   help="comma-separated block sizes to sweep")
+    _add_machine_arg(p)
+    p.set_defaults(func=cmd_tune)
+
+    p = sub.add_parser("scan", help="slow-GCD mini-benchmark scan")
+    p.add_argument("--gcds", type=int, default=512)
+    p.add_argument("--seed", type=int, default=2022)
+    p.add_argument("--top", type=int, default=10)
+    _add_machine_arg(p)
+    p.set_defaults(func=cmd_scan)
+
+    p = sub.add_parser("dat", help="run a sweep from an HPL.dat-style file")
+    p.add_argument("file", help="path to the HPL.dat file")
+    p.add_argument("--engine", action="store_true",
+                   help="use the event engine instead of the analytic model")
+    p.set_defaults(func=cmd_dat)
+
+    p = sub.add_parser(
+        "campaign", help="record-run campaign: scan, warm up, run, report"
+    )
+    _add_run_args(p)
+    p.add_argument("--runs", type=int, default=3)
+    p.add_argument("--spare-nodes", type=int, default=4,
+                   help="extra nodes in the pool for slow-node exclusion")
+    p.add_argument("--seed", type=int, default=2022)
+    p.add_argument("--no-scan", action="store_true")
+    p.add_argument("--no-warmup", action="store_true")
+    p.set_defaults(func=cmd_campaign)
+
+    p = sub.add_parser("figure", help="regenerate a paper table/figure")
+    p.add_argument("id", choices=sorted(FIGURES))
+    p.add_argument("--plot", action="store_true",
+                   help="also render a terminal plot where available")
+    p.set_defaults(func=cmd_figure)
+
+    p = sub.add_parser("gantt", help="per-rank Gantt of a small simulation")
+    _add_run_args(p)
+    p.add_argument("--width", type=int, default=100)
+    p.set_defaults(func=cmd_gantt)
+
+    p = sub.add_parser(
+        "report", help="regenerate the full paper-vs-measured record"
+    )
+    p.add_argument("--out", default=None,
+                   help="write to a file instead of stdout")
+    p.set_defaults(func=cmd_report)
+
+    p = sub.add_parser("specs", help="print machine presets")
+    p.set_defaults(func=cmd_specs)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,37 @@
+"""Virtual MPI: point-to-point facade and broadcast algorithms.
+
+The paper's communication tuning (Section IV-B / V-E) compares five
+broadcast strategies — library Bcast, nonblocking IBcast, and three
+hand-built ring pipelines (Ring1, Ring1M, Ring2M) — because the panel
+broadcast dominates HPL-AI communication.  All five are implemented here
+as generator "sub-programs" over the engine's point-to-point ops, so
+their latency/bandwidth/pipelining behaviour *emerges* from the
+simulated network rather than being asserted.
+"""
+
+from repro.comm.vmpi import BCAST_ALGORITHMS, RankComm, TAG_STRIDE
+from repro.comm.bcast import bcast_tree, ibcast_tree
+from repro.comm.ring import bcast_ring1, bcast_ring1m, bcast_ring2m
+from repro.comm.route import (
+    ROUTE_BUILDERS,
+    route_ring1,
+    route_ring1m,
+    route_ring2m,
+    route_tree,
+)
+
+__all__ = [
+    "BCAST_ALGORITHMS",
+    "RankComm",
+    "TAG_STRIDE",
+    "bcast_tree",
+    "ibcast_tree",
+    "bcast_ring1",
+    "bcast_ring1m",
+    "bcast_ring2m",
+    "ROUTE_BUILDERS",
+    "route_tree",
+    "route_ring1",
+    "route_ring1m",
+    "route_ring2m",
+]

@@ -1,0 +1,117 @@
+"""Tree broadcasts: the MPI library's Bcast and IBcast equivalents.
+
+Both use the classic binomial tree (what MPICH/Spectrum fall back to for
+large messages without topology tricks); the library's fat-tree tuning
+on Summit is modelled as a bandwidth boost on the blocking variant, and
+the poor Spectrum-MPI nonblocking progression as a derate on IBcast
+(:class:`repro.machine.spec.MpiModel`).
+
+Every broadcast function is a generator to be driven with
+``payload = yield from fn(...)``.  ``members`` must be the identical
+ordered list on every participating rank, and ``tag`` is a *logical* tag
+— each algorithm owns the wire-tag window
+``[tag * TAG_STRIDE, (tag+1) * TAG_STRIDE)``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Sequence
+
+from repro.errors import CommunicationError
+from repro.simulate.events import Isend, Recv, Send, Wait
+
+#: wire tags available to one logical collective
+TAG_STRIDE = 1024
+
+
+def _relative(rank: int, root: int, members: Sequence[int]) -> tuple:
+    try:
+        my_idx = members.index(rank)
+        root_idx = members.index(root)
+    except ValueError as exc:
+        raise CommunicationError(
+            f"rank {rank} or root {root} not in broadcast members {members}"
+        ) from exc
+    n = len(members)
+    return my_idx, root_idx, (my_idx - root_idx) % n, n
+
+
+def bcast_tree(
+    rank: int,
+    payload: Any,
+    root: int,
+    members: Sequence[int],
+    tag: int,
+    speed: float = 1.0,
+):
+    """Blocking binomial-tree broadcast (the library's MPI_Bcast).
+
+    Non-root ranks pass ``payload=None`` and receive the broadcast value
+    as the generator's return.
+    """
+    _my, root_idx, rel, n = _relative(rank, root, members)
+    wire = tag * TAG_STRIDE
+    if n == 1:
+        return payload
+    # Receive phase: find the bit at which we hang off the tree.
+    mask = 1
+    while mask < n:
+        if rel & mask:
+            src = members[(rel - mask + root_idx) % n]
+            payload = yield Recv(src, wire)
+            break
+        mask <<= 1
+    else:
+        mask = 1
+        while mask < n:
+            mask <<= 1
+    # Send phase: fan out to children at decreasing masks.
+    mask >>= 1
+    while mask >= 1:
+        if rel + mask < n and not rel & (mask - 1) and not rel & mask:
+            dst = members[(rel + mask + root_idx) % n]
+            yield Send(dst, payload, wire, speed=speed)
+        mask >>= 1
+    return payload
+
+
+def ibcast_tree(
+    rank: int,
+    payload: Any,
+    root: int,
+    members: Sequence[int],
+    tag: int,
+    speed: float = 1.0,
+):
+    """Nonblocking binomial-tree broadcast (the library's MPI_Ibcast).
+
+    Structurally the same tree, but all sends are posted nonblocking so
+    the transfers proceed while downstream code computes; each rank only
+    stalls for its own incoming message.  The ``speed`` derate models
+    libraries whose asynchronous progression is poor (Spectrum MPI).
+    """
+    _my, root_idx, rel, n = _relative(rank, root, members)
+    wire = tag * TAG_STRIDE
+    if n == 1:
+        return payload
+    mask = 1
+    while mask < n:
+        if rel & mask:
+            src = members[(rel - mask + root_idx) % n]
+            payload = yield Recv(src, wire)
+            break
+        mask <<= 1
+    else:
+        mask = 1
+        while mask < n:
+            mask <<= 1
+    handles: List[int] = []
+    mask >>= 1
+    while mask >= 1:
+        if rel + mask < n and not rel & (mask - 1) and not rel & mask:
+            dst = members[(rel + mask + root_idx) % n]
+            handles.append((yield Isend(dst, payload, wire, speed=speed)))
+        mask >>= 1
+    for h in handles:
+        yield Wait(h)
+    return payload

@@ -1,0 +1,222 @@
+"""Ring broadcasts: Ring1, Ring1M and Ring2M (paper Section IV-B).
+
+Ring broadcasts decompose the synchronized library broadcast into
+point-to-point sends that pipeline through the members, raising the
+effective bandwidth at the cost of per-hop latency.  Following HPL's
+variants:
+
+- **Ring1** — the message is cut into segments that flow around a single
+  chain rooted at the broadcast root.
+- **Ring1M** ("modified") — the rank immediately after the root receives
+  the *whole* message directly first.  That rank is the next diagonal
+  owner on the factorization's critical path, so shortening its latency
+  shortens the critical path.
+- **Ring2M** — the modified direct send plus *two* concurrent rings over
+  the remaining members, halving the pipeline depth.
+
+All functions are generators driven with ``yield from`` inside a rank
+program; ``members`` must be the identical ordered list on every rank.
+Wire tags live in the window ``[tag*TAG_STRIDE, (tag+1)*TAG_STRIDE)``:
+segment ``s`` of ring 0 uses offset ``s``, ring 1 uses ``512 + s``, and
+the modified direct send uses ``MAX_SEGMENTS``.  The first segment of a
+chain carries the actual segment count in-band, so receivers never need
+out-of-band agreement about how the root split the payload.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Sequence
+
+import numpy as np
+
+from repro.errors import CommunicationError
+from repro.comm.bcast import TAG_STRIDE
+from repro.simulate.events import Isend, Recv, Send, Wait
+from repro.simulate.phantom import PhantomArray
+
+#: hard ceiling so ring wire tags cannot collide across rings
+MAX_SEGMENTS = 255
+
+
+def _split(payload: Any, nseg: int) -> List[Any]:
+    """Split a payload into up to ``nseg`` transferable segments."""
+    nseg = max(1, min(nseg, MAX_SEGMENTS))
+    if nseg == 1:
+        return [payload]
+    if isinstance(payload, np.ndarray) and payload.ndim >= 1 and payload.shape[0] >= nseg:
+        return list(np.array_split(payload, nseg, axis=0))
+    if isinstance(payload, PhantomArray) and payload.ndim >= 1 and payload.shape[0] >= nseg:
+        rows = payload.shape[0]
+        base, extra = divmod(rows, nseg)
+        out = []
+        for i in range(nseg):
+            r = base + (1 if i < extra else 0)
+            out.append(PhantomArray((r,) + payload.shape[1:], payload.dtype))
+        return out
+    return [payload]
+
+
+def _join(segments: List[Any]) -> Any:
+    """Reassemble segments produced by :func:`_split`."""
+    if len(segments) == 1:
+        return segments[0]
+    first = segments[0]
+    if isinstance(first, np.ndarray):
+        return np.concatenate(segments, axis=0)
+    if isinstance(first, PhantomArray):
+        rows = sum(s.shape[0] for s in segments)
+        return PhantomArray((rows,) + first.shape[1:], first.dtype)
+    raise CommunicationError(
+        f"cannot reassemble ring segments of type {type(first).__name__}"
+    )
+
+
+def _chain(rank: int, root: int, members: Sequence[int]) -> List[int]:
+    """Members rotated so the root comes first."""
+    members = list(members)
+    try:
+        root_idx = members.index(root)
+    except ValueError as exc:
+        raise CommunicationError(
+            f"root {root} not in broadcast members {members}"
+        ) from exc
+    if rank not in members:
+        raise CommunicationError(f"rank {rank} not in broadcast members {members}")
+    return members[root_idx:] + members[:root_idx]
+
+
+def _feed_chain(first_dst: int, segs: List[Any], wire: int, speed: float):
+    """Root side of one pipeline: nonblocking sends of every segment.
+
+    Segment 0 is wrapped as ``(count, seg)`` so the chain learns the
+    segment count in-band.  Returns the send handles (caller waits).
+    """
+    handles = []
+    for s, seg in enumerate(segs):
+        msg = (len(segs), seg) if s == 0 else seg
+        handles.append((yield Isend(first_dst, msg, wire + s, speed=speed)))
+    return handles
+
+
+def _relay_chain(rank: int, chain: List[int], wire: int, speed: float):
+    """Non-root side of one pipeline: receive, forward, reassemble."""
+    pos = chain.index(rank)
+    prev_rank = chain[pos - 1]
+    nxt = chain[pos + 1] if pos + 1 < len(chain) else None
+    handles: List[int] = []
+    count, seg0 = yield Recv(prev_rank, wire)
+    if nxt is not None:
+        handles.append((yield Isend(nxt, (count, seg0), wire, speed=speed)))
+    received = [seg0]
+    for s in range(1, count):
+        seg = yield Recv(prev_rank, wire + s)
+        received.append(seg)
+        if nxt is not None:
+            handles.append((yield Isend(nxt, seg, wire + s, speed=speed)))
+    for h in handles:
+        yield Wait(h)
+    return _join(received)
+
+
+def bcast_ring1(
+    rank: int,
+    payload: Any,
+    root: int,
+    members: Sequence[int],
+    tag: int,
+    speed: float = 1.0,
+    segments: int = 8,
+):
+    """Single pipelined ring over all members."""
+    chain = _chain(rank, root, members)
+    if len(chain) == 1:
+        return payload
+    wire = tag * TAG_STRIDE
+    if rank == root:
+        segs = _split(payload, segments)
+        handles = yield from _feed_chain(chain[1], segs, wire, speed)
+        for h in handles:
+            yield Wait(h)
+        return payload
+    return (yield from _relay_chain(rank, chain, wire, speed))
+
+
+def bcast_ring1m(
+    rank: int,
+    payload: Any,
+    root: int,
+    members: Sequence[int],
+    tag: int,
+    speed: float = 1.0,
+    segments: int = 8,
+):
+    """Modified single ring: the root's successor gets the whole message
+    directly (it is the next diagonal owner on the critical path); the
+    remaining members form a pipelined chain fed by the root."""
+    chain = _chain(rank, root, members)
+    n = len(chain)
+    wire = tag * TAG_STRIDE
+    if n == 1:
+        return payload
+    direct = chain[1]
+    ring = [chain[0]] + chain[2:]
+    if rank == root:
+        direct_handle = yield Isend(direct, payload, wire + MAX_SEGMENTS, speed=speed)
+        handles = []
+        if len(ring) > 1:
+            segs = _split(payload, segments)
+            handles = yield from _feed_chain(ring[1], segs, wire, speed)
+        yield Wait(direct_handle)
+        for h in handles:
+            yield Wait(h)
+        return payload
+    if rank == direct:
+        return (yield Recv(root, wire + MAX_SEGMENTS))
+    return (yield from _relay_chain(rank, ring, wire, speed))
+
+
+def bcast_ring2m(
+    rank: int,
+    payload: Any,
+    root: int,
+    members: Sequence[int],
+    tag: int,
+    speed: float = 1.0,
+    segments: int = 8,
+):
+    """Modified double ring: direct send to the successor, then two
+    concurrent pipelined rings over the remaining members, halving the
+    pipeline depth relative to Ring1M."""
+    chain = _chain(rank, root, members)
+    n = len(chain)
+    wire = tag * TAG_STRIDE
+    if n <= 2:
+        return (yield from bcast_ring1m(rank, payload, root, members, tag, speed, segments))
+    direct = chain[1]
+    rest = chain[2:]
+    half = (len(rest) + 1) // 2
+    ring_a = [chain[0]] + rest[:half]
+    ring_b = [chain[0]] + rest[half:]
+    if rank == root:
+        direct_handle = yield Isend(direct, payload, wire + MAX_SEGMENTS, speed=speed)
+        segs = _split(payload, segments)
+        handles: List[int] = []
+        # Interleave the two rings' injections segment by segment so
+        # neither ring starves while sharing the root's NIC.
+        for s, seg in enumerate(segs):
+            msg = (len(segs), seg) if s == 0 else seg
+            if len(ring_a) > 1:
+                handles.append((yield Isend(ring_a[1], msg, wire + s, speed=speed)))
+            if len(ring_b) > 1:
+                handles.append(
+                    (yield Isend(ring_b[1], msg, wire + 512 + s, speed=speed))
+                )
+        yield Wait(direct_handle)
+        for h in handles:
+            yield Wait(h)
+        return payload
+    if rank == direct:
+        return (yield Recv(root, wire + MAX_SEGMENTS))
+    if rank in ring_a:
+        return (yield from _relay_chain(rank, ring_a, wire, speed))
+    return (yield from _relay_chain(rank, ring_b, wire + 512, speed))

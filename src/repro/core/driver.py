@@ -1,0 +1,196 @@
+"""Top-level benchmark drivers.
+
+Two entry points mirror the package's two fidelities:
+
+- :func:`solve_hplai` — run the full distributed algorithm with *real
+  data* on a (small) problem; the result contains the numerically exact
+  solution, residual and refinement count alongside the simulated
+  performance figures.
+- :func:`simulate_run` — run the identical rank programs with phantom
+  payloads at any scale the event engine can handle; only timing comes
+  back.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.config import BenchmarkConfig
+from repro.core.executors import ExactExecutor, PhantomExecutor
+from repro.core.hplai import hplai_rank_program
+from repro.errors import ConfigurationError
+from repro.machine import get_machine
+from repro.machine.spec import MachineSpec
+from repro.machine.topology import CommCosts
+from repro.simulate.engine import Engine, RankStats
+from repro.util import flops as fl
+
+
+@dataclass
+class RunResult:
+    """Outcome of one benchmark run (exact or simulated)."""
+
+    config: BenchmarkConfig
+    #: virtual wall-clock of the timed window (factorization + refinement)
+    elapsed: float
+    elapsed_factorization: float
+    elapsed_refinement: float
+    #: effective GFLOP/s per GCD, per the HPL-AI rules
+    gflops_per_gcd: float
+    #: total effective FLOP/s of the run
+    total_flops_per_s: float
+    ir_iterations: int
+    ir_converged: bool
+    exact: bool
+    residual_norm: float = float("nan")
+    x: Optional[np.ndarray] = None
+    stats: List[RankStats] = field(default_factory=list)
+    trace: List[dict] = field(default_factory=list)
+    engine_events: int = 0
+
+    def summary(self) -> Dict[str, object]:
+        """Headline metrics merged with the configuration facts."""
+        d = self.config.describe()
+        d.update(
+            elapsed_s=round(self.elapsed, 6),
+            gflops_per_gcd=round(self.gflops_per_gcd, 2),
+            total_flops=self.total_flops_per_s,
+            ir_iterations=self.ir_iterations,
+            ir_converged=self.ir_converged,
+        )
+        if self.exact:
+            d["residual_norm"] = self.residual_norm
+        return d
+
+
+def run_benchmark(
+    cfg: BenchmarkConfig,
+    exact: bool,
+    rate_multipliers: Optional[Sequence[float]] = None,
+    global_speed: float = 1.0,
+    collect_trace: bool = True,
+) -> RunResult:
+    """Execute one HPL-AI run on the event engine.
+
+    Parameters
+    ----------
+    cfg:
+        The run configuration.
+    exact:
+        Real data (numerically exact) vs phantom (timing only).
+    rate_multipliers:
+        Optional per-GCD speed multipliers (manufacturing variability /
+        slow nodes).
+    global_speed:
+        Uniform speed multiplier (warm-up effects, Fig 12); applied on
+        top of ``rate_multipliers``.
+    """
+    if global_speed <= 0:
+        raise ConfigurationError(f"global_speed must be positive, got {global_speed}")
+    if exact and cfg.panel_precision == "fp16":
+        # bf16 panels have FP32's exponent range: no underflow cap.
+        from repro.lcg.matrix import HplAiMatrix
+
+        HplAiMatrix(cfg.n, cfg.seed).check_fp16_safe()
+    mult = np.ones(cfg.num_ranks) * global_speed
+    if rate_multipliers is not None:
+        rates = np.asarray(rate_multipliers, dtype=float)
+        if rates.shape != (cfg.num_ranks,):
+            raise ConfigurationError(
+                f"rate_multipliers must have shape ({cfg.num_ranks},), "
+                f"got {rates.shape}"
+            )
+        mult = mult * rates
+
+    costs = CommCosts(
+        cfg.machine, port_binding=cfg.port_binding, gpu_aware=cfg.gpu_aware
+    )
+    engine = Engine(
+        cfg.num_ranks,
+        costs,
+        node_of_rank=cfg.node_grid.node_of_rank,
+        mpi=cfg.machine.mpi,
+        rate_multipliers=mult,
+    )
+
+    trace: List[dict] = []
+    exec_cls = ExactExecutor if exact else PhantomExecutor
+
+    def factory(rank: int):
+        p_ir, p_ic = cfg.grid.coords_of(rank)
+        ex = exec_cls(cfg, p_ir, p_ic, rank)
+        return hplai_rank_program(
+            cfg, ex, rank, trace if collect_trace else None
+        )
+
+    outcome = engine.run(factory)
+
+    # Phase times: every rank's timed window is barrier-aligned, so take
+    # rank 0's markers.
+    r0 = outcome.returns[0]
+    elapsed = max(ret["t_total"] for ret in outcome.returns)
+    t_fact = max(ret["t_factorization"] for ret in outcome.returns)
+    t_ir = max(ret["t_refinement"] for ret in outcome.returns)
+    gflops = fl.per_gcd_gflops(cfg.n, cfg.num_ranks, elapsed)
+
+    result = RunResult(
+        config=cfg,
+        elapsed=elapsed,
+        elapsed_factorization=t_fact,
+        elapsed_refinement=t_ir,
+        gflops_per_gcd=gflops,
+        total_flops_per_s=fl.hpl_ai_flops(cfg.n) / elapsed,
+        ir_iterations=r0["ir_iterations"],
+        ir_converged=r0["ir_converged"],
+        exact=exact,
+        stats=list(outcome.stats),
+        trace=trace,
+        engine_events=outcome.events,
+    )
+    if exact:
+        result.residual_norm = r0["residual_norm"]
+        result.x = r0["x"]
+    return result
+
+
+def solve_hplai(
+    n: int,
+    block: int,
+    p_rows: int = 1,
+    p_cols: int = 1,
+    machine: MachineSpec | str = "summit",
+    **kwargs,
+) -> RunResult:
+    """Solve an HPL-AI system exactly on a simulated distributed machine.
+
+    Convenience wrapper: builds the configuration, runs the real-data
+    distributed algorithm, and returns the :class:`RunResult` whose
+    ``x`` solves ``A x = b`` to FP64 accuracy.
+
+    >>> res = solve_hplai(n=256, block=32, p_rows=2, p_cols=2)
+    >>> res.ir_converged
+    True
+    """
+    if isinstance(machine, str):
+        machine = get_machine(machine)
+    cfg = BenchmarkConfig(
+        n=n, block=block, machine=machine, p_rows=p_rows, p_cols=p_cols, **kwargs
+    )
+    return run_benchmark(cfg, exact=True)
+
+
+def simulate_run(
+    cfg: BenchmarkConfig,
+    rate_multipliers: Optional[Sequence[float]] = None,
+    global_speed: float = 1.0,
+) -> RunResult:
+    """Timing-only run of the full rank programs at any engine scale."""
+    return run_benchmark(
+        cfg,
+        exact=False,
+        rate_multipliers=rate_multipliers,
+        global_speed=global_speed,
+    )

@@ -1,0 +1,530 @@
+"""Per-rank executors: local storage, kernels, and their modelled times.
+
+The factorization and refinement rank programs
+(:mod:`repro.core.hplai`, :mod:`repro.core.refine`) are written against
+the executor interface so the *same* program runs in two modes:
+
+- :class:`ExactExecutor` — allocates the FP32 local matrix, performs the
+  real NumPy kernels (so the run is numerically exact and the residual
+  is meaningful) *and* charges the machine model's kernel times;
+- :class:`PhantomExecutor` — no data, identical shapes and charged
+  times; scales to thousands of ranks.
+
+All methods return ``(payload, seconds)`` or plain ``seconds``; the rank
+program yields ``Compute(kind, seconds)`` ops so the engine accounts for
+time (and applies per-GCD variability).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.blas.shim import get_shim
+from repro.blas.trsv import trsv_lower_unit, trsv_upper
+from repro.core.config import BenchmarkConfig
+from repro.core.layout import StepPlan, make_step_plan
+from repro.errors import ConfigurationError
+from repro.lcg.matrix import HplAiMatrix
+from repro.precision.analysis import hpl_ai_tolerance
+from repro.simulate.phantom import PhantomArray
+from repro.util import flops as fl
+
+
+class ExecutorBase:
+    """Shared layout/timing logic; subclasses add (or omit) the data."""
+
+    #: True when matrix data exists and results are numerically meaningful
+    exact = False
+
+    def __init__(self, cfg: BenchmarkConfig, p_ir: int, p_ic: int, rank: int):
+        self.cfg = cfg
+        self.p_ir = p_ir
+        self.p_ic = p_ic
+        self.rank = rank
+        self.km = cfg.machine.gpu_kernels
+        self.cm = cfg.machine.cpu_kernels
+        self.b = cfg.block
+        self._ir_iter = 0
+        # Triangular-sweep work that overlaps the solve's serial chain
+        # (pipelined distributed TRSV): accumulated off the critical path
+        # and charged once per sweep.
+        self._deferred_gemv_s = 0.0
+
+    # -- layout ------------------------------------------------------------
+
+    def plan(self, k: int) -> StepPlan:
+        """Layout facts for step k (cached-free, pure arithmetic)."""
+        return make_step_plan(self.cfg, self.p_ir, self.p_ic, k)
+
+    # -- timing helpers ---------------------------------------------------------
+
+    def _t_fill(self) -> float:
+        n_elems = self.cfg.local_rows * self.cfg.local_cols
+        regen = self.cm.regen_time(n_elems)
+        h2d = self.km.h2d_time(n_elems * 4)  # FP32 upload
+        return regen + h2d
+
+    def _t_getrf(self) -> float:
+        return self.km.getrf_time(self.b)
+
+    def _t_trsm(self, nrhs: int) -> float:
+        return self.km.trsm_time(self.b, nrhs) if nrhs > 0 else 0.0
+
+    def _t_cast(self, rows: int, cols: int) -> float:
+        return self.km.cast_time(rows * cols) if rows * cols > 0 else 0.0
+
+    def _t_gemm(self, m: int, n: int) -> float:
+        if m <= 0 or n <= 0:
+            return 0.0
+        return self.km.gemm_time(m, n, self.b, lda=self.cfg.local_rows)
+
+    def _t_d2h(self) -> float:
+        return self.km.h2d_time(self.cfg.local_rows * self.cfg.local_cols * 4)
+
+    # -- IR timing ------------------------------------------------------------
+
+    def _t_ir_residual(self) -> float:
+        # Each rank regenerates its local rows of every block-column its
+        # process column owns: N_Lr x B entries per owned column, i.e.
+        # N^2 / P entries per rank per refinement iteration.
+        cols = self.cfg.col_dim.blocks_per_proc
+        entries = cols * self.cfg.local_rows * self.b
+        return self.cm.regen_time(entries) + self.cm.gemv_time(
+            self.cfg.local_rows, cols * self.b
+        )
+
+    def _t_ir_block_gemv(self, nblocks: int) -> float:
+        if nblocks <= 0:
+            return 0.0
+        return self.cm.gemv_time(nblocks * self.b, self.b)
+
+    def _charge_col_update(self, nblocks: int) -> float:
+        """Pipelined sweep timing: only the block feeding the *next*
+        segment's reduce sits on the serial chain; the rest is deferred
+        and charged at sweep end (it overlaps other columns' steps)."""
+        if nblocks <= 0:
+            return 0.0
+        self._deferred_gemv_s += self._t_ir_block_gemv(nblocks - 1)
+        return self._t_ir_block_gemv(1)
+
+    def ir_sweep_deferred(self) -> float:
+        """Off-critical-path sweep work accumulated since the last call."""
+        secs = self._deferred_gemv_s
+        self._deferred_gemv_s = 0.0
+        return secs
+
+
+class PhantomExecutor(ExecutorBase):
+    """Timing-only executor: payloads are :class:`PhantomArray` stand-ins."""
+
+    exact = False
+
+    def __init__(self, cfg: BenchmarkConfig, p_ir: int, p_ic: int, rank: int):
+        super().__init__(cfg, p_ir, p_ic, rank)
+
+    # -- factorization ---------------------------------------------------------
+
+    def fill_local(self) -> float:
+        """Charge the local fill (regen + upload) time."""
+        return self._t_fill()
+
+    def getrf_diag(self, k: int) -> Tuple[PhantomArray, float]:
+        """Phantom diagonal factor + its modelled time."""
+        return PhantomArray((self.b, self.b), np.float32), self._t_getrf()
+
+    def trsm_row_panel(self, k: int, diag) -> float:
+        """Modelled U-panel TRSM time."""
+        return self._t_trsm(self.plan(k).trail_cols)
+
+    def trans_cast_u(self, k: int) -> Tuple[PhantomArray, float]:
+        """Phantom U16 panel + cast time."""
+        cols = self.plan(k).trail_cols
+        return (
+            PhantomArray((cols, self.b), np.float16),
+            self._t_cast(cols, self.b),
+        )
+
+    def trsm_col_panel(self, k: int, diag) -> float:
+        """Modelled L-panel TRSM time."""
+        return self._t_trsm(self.plan(k).trail_rows)
+
+    def cast_l(self, k: int) -> Tuple[PhantomArray, float]:
+        """Phantom L16 panel + cast time."""
+        rows = self.plan(k).trail_rows
+        return (
+            PhantomArray((rows, self.b), np.float16),
+            self._t_cast(rows, self.b),
+        )
+
+    def strip_col_update(self, k: int, l16, u16t) -> float:
+        """Modelled look-ahead column-strip GEMM time."""
+        return self._t_gemm(self.plan(k).trail_rows, self.b)
+
+    def strip_row_update(self, k: int, l16, u16t, owns_col: bool) -> float:
+        """Modelled look-ahead row-strip GEMM time."""
+        p = self.plan(k)
+        cols = p.trail_cols - (self.b if owns_col else 0)
+        return self._t_gemm(self.b, cols)
+
+    def gemm_trailing(self, k: int, l16, u16t, skip_row: bool, skip_col: bool) -> float:
+        """Modelled trailing-update GEMM time."""
+        p = self.plan(k)
+        m = p.trail_rows - (self.b if skip_row else 0)
+        n = p.trail_cols - (self.b if skip_col else 0)
+        return self._t_gemm(m, n)
+
+    def transfer_to_host(self) -> float:
+        """Modelled device-to-host transfer time."""
+        return self._t_d2h()
+
+    # -- iterative refinement ------------------------------------------------
+
+    def ir_setup(self) -> float:
+        """Charge refinement setup (b / diag generation)."""
+        # Generate b and diag(A); initial x = b / diag(A).
+        return self.cm.regen_time(2 * self.cfg.n)
+
+    def ir_residual_partial(self) -> Tuple[PhantomArray, float]:
+        """Phantom residual partial + its regen/GEMV time."""
+        return (
+            PhantomArray((self.cfg.n,), np.float64),
+            self._t_ir_residual(),
+        )
+
+    def ir_converged(self, r) -> bool:
+        """Phantom runs charge a fixed refinement depth."""
+        self._ir_iter += 1
+        return self._ir_iter > self.cfg.ir_fixed_iters
+
+    def ir_row_contrib(self, j: int, r, lower: bool) -> Tuple[PhantomArray, float]:
+        """Phantom sweep contribution segment."""
+        return PhantomArray((self.b,), np.float64), 0.0
+
+    def ir_diag_solve(self, j: int, y, lower: bool) -> Tuple[PhantomArray, float]:
+        """Phantom solved segment + TRSV time."""
+        return PhantomArray((self.b,), np.float64), self.cm.trsv_time(self.b)
+
+    def ir_col_update(self, j: int, w, lower: bool) -> float:
+        """Charge the sweep's local block-GEMV updates."""
+        nblocks = self._col_update_blocks(j, lower)
+        return self._charge_col_update(nblocks)
+
+    def _col_update_blocks(self, j: int, lower: bool) -> int:
+        if lower:
+            return self.cfg.row_dim.local_blocks_at_or_after(self.p_ir, j + 1)
+        total = self.cfg.row_dim.blocks_per_proc
+        return total - self.cfg.row_dim.local_blocks_at_or_after(self.p_ir, j)
+
+    def ir_store_solution_segment(self, j: int, w) -> None:
+        """No state to keep in phantom mode."""
+
+    def ir_solution_partial(self) -> Tuple[PhantomArray, float]:
+        """Phantom assembled solution vector."""
+        return PhantomArray((self.cfg.n,), np.float64), 0.0
+
+    def ir_matvec_partial(self, v) -> Tuple[PhantomArray, float]:
+        """Partial ``A @ v`` (same cost structure as the residual)."""
+        return (
+            PhantomArray((self.cfg.n,), np.float64),
+            self._t_ir_residual(),
+        )
+
+    def ir_apply_correction(self, d) -> float:
+        """Charge the x-update (axpy) time."""
+        return self.cm.gemv_time(1, self.cfg.n)  # axpy-scale cost
+
+    def ir_reset_sweep(self, lower: bool) -> None:
+        """No state to reset in phantom mode."""
+
+    def result_payload(self) -> dict:
+        """Timing-only result fields."""
+        return {
+            "exact": False,
+            "ir_iterations": self.cfg.ir_fixed_iters,
+        }
+
+
+class ExactExecutor(ExecutorBase):
+    """Real-data executor: NumPy kernels + the same modelled times."""
+
+    exact = True
+
+    def __init__(self, cfg: BenchmarkConfig, p_ir: int, p_ic: int, rank: int):
+        super().__init__(cfg, p_ir, p_ic, rank)
+        self.matrix = HplAiMatrix(cfg.n, cfg.seed)
+        self.shim = get_shim(cfg.machine.platform)
+        self.local: Optional[np.ndarray] = None
+        # IR state
+        self.x: Optional[np.ndarray] = None
+        self.b_vec: Optional[np.ndarray] = None
+        self.diag_a: Optional[np.ndarray] = None
+        self.update_acc: Optional[np.ndarray] = None
+        self.solve_partial: Optional[np.ndarray] = None
+        self.last_residual_norm = float("inf")
+        self.ir_iterations = 0
+
+    # -- factorization ---------------------------------------------------------
+
+    def fill_local(self) -> float:
+        """Generate the local pieces of A in FP64 and store as FP32.
+
+        Mirrors Algorithm 1 line 2 + the host-to-device copy: each local
+        block-cyclic tile is regenerated from the LCG.
+        """
+        cfg = self.cfg
+        b = self.b
+        local = np.empty((cfg.local_rows, cfg.local_cols), dtype=np.float32)
+        for lr in range(cfg.row_dim.blocks_per_proc):
+            gr = cfg.row_dim.global_block(self.p_ir, lr)
+            for lc in range(cfg.col_dim.blocks_per_proc):
+                gc = cfg.col_dim.global_block(self.p_ic, lc)
+                tile = self.matrix.block(gr * b, (gr + 1) * b, gc * b, (gc + 1) * b)
+                local[lr * b : (lr + 1) * b, lc * b : (lc + 1) * b] = tile
+        self.local = local
+        return self._t_fill()
+
+    def _diag_view(self, k: int) -> np.ndarray:
+        p = self.plan(k)
+        return self.local[
+            p.diag_r : p.diag_r + self.b, p.diag_c : p.diag_c + self.b
+        ]
+
+    def getrf_diag(self, k: int) -> Tuple[np.ndarray, float]:
+        """Factor the diagonal block in place; return a copy + time."""
+        block = self._diag_view(k)
+        self.shim.getrf(block)
+        return block.copy(), self._t_getrf()
+
+    def trsm_row_panel(self, k: int, diag: np.ndarray) -> float:
+        """Solve the U row panel in place (TRSM_L_LOW)."""
+        p = self.plan(k)
+        if p.trail_cols == 0:
+            return 0.0
+        row = slice(p.diag_r, p.diag_r + self.b)
+        panel = self.local[row, p.c1 :]
+        self.local[row, p.c1 :] = self.shim.trsm("L", "LOW", diag, panel)
+        return self._t_trsm(p.trail_cols)
+
+    def _panel_round(self, values: np.ndarray) -> np.ndarray:
+        """Round a panel to the configured storage precision."""
+        from repro.precision.bfloat import cast_panel
+
+        return cast_panel(values, self.cfg.panel_precision)
+
+    def _gemm_sub(self, c: np.ndarray, a: np.ndarray, bt: np.ndarray) -> None:
+        """``C -= A @ B^T{-stored}`` in the configured panel precision.
+
+        FP16 panels go through the tensor-core-contract shim (FP16
+        operands, FP32 accumulate); bf16 panels are already-rounded FP32
+        values, so the FP32 matmul *is* the bf16-in/FP32-accumulate
+        contract.
+        """
+        b_op = np.ascontiguousarray(bt.T)
+        if self.cfg.panel_precision == "fp16":
+            self.shim.gemm_update(c, a, b_op)
+        else:
+            c -= a @ b_op
+
+    def trans_cast_u(self, k: int) -> Tuple[np.ndarray, float]:
+        """Transpose + round the U panel to panel precision."""
+        p = self.plan(k)
+        row = slice(p.diag_r, p.diag_r + self.b)
+        u16t = self._panel_round(
+            np.ascontiguousarray(self.local[row, p.c1 :].T)
+        )
+        return u16t, self._t_cast(p.trail_cols, self.b)
+
+    def trsm_col_panel(self, k: int, diag: np.ndarray) -> float:
+        """Solve the L column panel in place (TRSM_R_UP)."""
+        p = self.plan(k)
+        if p.trail_rows == 0:
+            return 0.0
+        col = slice(p.diag_c, p.diag_c + self.b)
+        panel = self.local[p.r1 :, col]
+        self.local[p.r1 :, col] = self.shim.trsm("R", "UP", diag, panel)
+        return self._t_trsm(p.trail_rows)
+
+    def cast_l(self, k: int) -> Tuple[np.ndarray, float]:
+        """Round the L panel to panel precision."""
+        p = self.plan(k)
+        col = slice(p.diag_c, p.diag_c + self.b)
+        l16 = self._panel_round(self.local[p.r1 :, col])
+        return l16, self._t_cast(p.trail_rows, self.b)
+
+    def strip_col_update(self, k: int, l16, u16t) -> float:
+        """Look-ahead: update (rows >= k+1) x (col block k+1) early."""
+        p = self.plan(k)
+        if p.trail_rows == 0:
+            return 0.0
+        c = self.local[p.r1 :, p.c1 : p.c1 + self.b]
+        self._gemm_sub(c, l16, u16t[: self.b])
+        return self._t_gemm(p.trail_rows, self.b)
+
+    def strip_row_update(self, k: int, l16, u16t, owns_col: bool) -> float:
+        """Look-ahead: update (row block k+1) x (cols >= k+2) early."""
+        p = self.plan(k)
+        off = self.b if owns_col else 0
+        cols = p.trail_cols - off
+        if cols <= 0:
+            return 0.0
+        c = self.local[p.r1 : p.r1 + self.b, p.c1 + off :]
+        self._gemm_sub(c, l16[: self.b], u16t[off:])
+        return self._t_gemm(self.b, cols)
+
+    def gemm_trailing(self, k: int, l16, u16t, skip_row: bool, skip_col: bool) -> float:
+        """Apply the trailing update on the local tile."""
+        p = self.plan(k)
+        roff = self.b if skip_row else 0
+        coff = self.b if skip_col else 0
+        m = p.trail_rows - roff
+        n = p.trail_cols - coff
+        if m <= 0 or n <= 0:
+            return 0.0
+        c = self.local[p.r1 + roff :, p.c1 + coff :]
+        self._gemm_sub(c, l16[roff:], u16t[coff:])
+        return self._t_gemm(m, n)
+
+    def transfer_to_host(self) -> float:
+        """Charge the factored-matrix download time."""
+        return self._t_d2h()
+
+    # -- iterative refinement --------------------------------------------------
+
+    def ir_setup(self) -> float:
+        """Generate b and diag(A); initialize x = b / diag(A)."""
+        n = self.cfg.n
+        self.b_vec = self.matrix.rhs()
+        self.diag_a = self.matrix.diagonal()
+        self.x = self.b_vec / self.diag_a
+        self.update_acc = np.zeros(n)
+        self.solve_partial = np.zeros(n)
+        return self.cm.regen_time(2 * n)
+
+    def ir_residual_partial(self) -> Tuple[np.ndarray, float]:
+        """Algorithm 1 lines 34-42: partial ``-A x`` over this rank's tiles.
+
+        x(k) is broadcast to the process column owning block-column k
+        (line 37); each member then regenerates *its local rows* of that
+        block-column in FP64 on the fly and multiplies — N^2/P entries of
+        regeneration per rank.  (Our x is kept replicated, so the line-37
+        broadcast is a no-op data-wise; the work distribution matches.)
+        """
+        cfg, b = self.cfg, self.b
+        partial = np.zeros(cfg.n)
+        for lc in range(cfg.col_dim.blocks_per_proc):
+            j = cfg.col_dim.global_block(self.p_ic, lc)
+            xj = self.x[j * b : (j + 1) * b]
+            for lr in range(cfg.row_dim.blocks_per_proc):
+                g = cfg.row_dim.global_block(self.p_ir, lr)
+                tile = self.matrix.block(g * b, (g + 1) * b, j * b, (j + 1) * b)
+                partial[g * b : (g + 1) * b] -= tile @ xj
+        if self.rank == 0:
+            partial += self.b_vec
+        return partial, self._t_ir_residual()
+
+    def ir_matvec_partial(self, v: np.ndarray) -> Tuple[np.ndarray, float]:
+        """Partial ``A @ v`` over this rank's tiles (for GMRES).
+
+        Same on-the-fly regeneration pattern as the residual; the
+        Allreduce of the partials yields the full product.
+        """
+        cfg, b = self.cfg, self.b
+        partial = np.zeros(cfg.n)
+        for lc in range(cfg.col_dim.blocks_per_proc):
+            j = cfg.col_dim.global_block(self.p_ic, lc)
+            vj = v[j * b : (j + 1) * b]
+            for lr in range(cfg.row_dim.blocks_per_proc):
+                g = cfg.row_dim.global_block(self.p_ir, lr)
+                tile = self.matrix.block(g * b, (g + 1) * b, j * b, (j + 1) * b)
+                partial[g * b : (g + 1) * b] += tile @ vj
+        return partial, self._t_ir_residual()
+
+    def ir_converged(self, r: np.ndarray) -> bool:
+        """Algorithm 1 line 44 convergence test (identical on all ranks)."""
+        self.last_residual_norm = float(np.max(np.abs(r)))
+        tol = hpl_ai_tolerance(
+            self.cfg.n,
+            float(np.max(np.abs(self.diag_a))),
+            float(np.max(np.abs(self.x))),
+            float(np.max(np.abs(self.b_vec))),
+        )
+        if self.last_residual_norm < tol:
+            return True
+        self._ir_iter += 1
+        return False
+
+    # distributed triangular solves ------------------------------------------
+
+    def _local_block(self, g_row: int, g_col: int) -> np.ndarray:
+        """Local FP32 storage of global block (g_row, g_col); caller must
+        ensure this rank owns it."""
+        lr = self.cfg.row_dim.local_block(g_row)
+        lc = self.cfg.col_dim.local_block(g_col)
+        b = self.b
+        return self.local[lr * b : (lr + 1) * b, lc * b : (lc + 1) * b]
+
+    def ir_reset_sweep(self, lower: bool) -> None:
+        """Zero the sweep accumulators."""
+        self.update_acc[:] = 0.0
+        self.solve_partial[:] = 0.0
+
+    def ir_row_contrib(self, j: int, r, lower: bool) -> Tuple[np.ndarray, float]:
+        """This rank's contribution to segment j's right-hand side."""
+        b = self.b
+        seg = self.update_acc[j * b : (j + 1) * b].copy()
+        if self.p_ic == j % self.cfg.p_cols:
+            # The diagonal-column member folds in the sweep's RHS segment.
+            seg += r[j * b : (j + 1) * b]
+        return seg, 0.0
+
+    def ir_diag_solve(self, j: int, y, lower: bool) -> Tuple[np.ndarray, float]:
+        """TRSV of the j-th diagonal block (FP32 factors, FP64 rhs)."""
+        block = self._local_block(j, j).astype(np.float64)
+        if lower:
+            w = trsv_lower_unit(block, y)
+        else:
+            w = trsv_upper(block, y)
+        return w, self.cm.trsv_time(self.b)
+
+    def ir_col_update(self, j: int, w, lower: bool) -> float:
+        """Fold ``-T(i, j) @ w`` into the local accumulator for every
+        local block-row i strictly below (lower) / above (upper) j."""
+        b = self.b
+        count = 0
+        for lr in range(self.cfg.row_dim.blocks_per_proc):
+            g = self.cfg.row_dim.global_block(self.p_ir, lr)
+            if (lower and g > j) or (not lower and g < j):
+                block = self._local_block(g, j).astype(np.float64)
+                self.update_acc[g * b : (g + 1) * b] -= block @ w
+                count += 1
+        return self._charge_col_update(count)
+
+    def ir_store_solution_segment(self, j: int, w) -> None:
+        """Record segment j of the sweep solution."""
+        b = self.b
+        self.solve_partial[j * b : (j + 1) * b] = w
+
+    def ir_solution_partial(self) -> Tuple[np.ndarray, float]:
+        """This rank's stored solution segments (zeros elsewhere)."""
+        return self.solve_partial.copy(), 0.0
+
+    def ir_apply_correction(self, d: np.ndarray) -> float:
+        """x += d; count the refinement iteration."""
+        self.x += d
+        self.ir_iterations += 1
+        return self.cm.gemv_time(1, self.cfg.n)
+
+    # -- results ---------------------------------------------------------------
+
+    def result_payload(self) -> dict:
+        """Exact result fields: x, residual, iteration count."""
+        if self.x is None:
+            raise ConfigurationError("ir_setup was never run")
+        return {
+            "exact": True,
+            "x": self.x.copy(),
+            "residual_norm": self.last_residual_norm,
+            "ir_iterations": self.ir_iterations,
+        }

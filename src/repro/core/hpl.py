@@ -1,0 +1,102 @@
+"""The HPL (FP64, partial-pivoting) baseline.
+
+The paper's headline comparison — HPL-AI at 1.411 EFLOPS vs Summit's
+HPL R_max of 148.6 PFLOPS, a 9.5× ratio — needs a double-precision
+baseline.  Like the paper (which cites the official TOP500 run rather
+than re-implementing HPL at scale), we provide:
+
+- :func:`hpl_solve_fp64` — an exact FP64 solver with partial pivoting
+  built from this package's kernels, for correctness comparisons at
+  small N;
+- :func:`hpl_time_model` — an analytic throughput model of HPL on a
+  machine preset, anchored to the published R_max efficiencies, for the
+  at-scale ratio studies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.blas.getrf import apply_pivots, getrf_partial
+from repro.blas.trsv import trsv_lower_unit, trsv_upper
+from repro.errors import ConfigurationError
+from repro.machine.spec import MachineSpec
+from repro.util import flops as fl
+
+
+@dataclass(frozen=True)
+class HplResult:
+    """Outcome of an exact FP64 solve."""
+
+    x: np.ndarray
+    residual_norm: float
+    scaled_residual: float
+    flops: int
+
+
+def hpl_solve_fp64(a: np.ndarray, b: np.ndarray) -> HplResult:
+    """Solve ``A x = b`` in FP64 with partial pivoting (the HPL numerics).
+
+    ``a`` is consumed (factored in place on a copy).
+    """
+    if a.ndim != 2 or a.shape[0] != a.shape[1]:
+        raise ConfigurationError(f"A must be square, got {a.shape}")
+    n = a.shape[0]
+    if b.shape != (n,):
+        raise ConfigurationError(f"b must have shape ({n},), got {b.shape}")
+    a0 = np.array(a, dtype=np.float64)
+    work = a0.copy()
+    lu, piv = getrf_partial(work)
+    rhs = apply_pivots(b.astype(np.float64).copy(), piv)
+    y = trsv_lower_unit(lu, rhs)
+    x = trsv_upper(lu, y)
+    r = b - a0 @ x
+    r_norm = float(np.max(np.abs(r)))
+    a_norm = float(np.max(np.sum(np.abs(a0), axis=1)))
+    x_norm = float(np.max(np.abs(x)))
+    eps = float(np.finfo(np.float64).eps)
+    scaled = r_norm / (eps * a_norm * x_norm * n) if x_norm > 0 else 0.0
+    return HplResult(
+        x=x,
+        residual_norm=r_norm,
+        scaled_residual=scaled,
+        flops=fl.lu_flops(n) + 2 * n * n,
+    )
+
+
+def hpl_time_model(
+    machine: MachineSpec,
+    n: int,
+    num_gcds: int,
+    efficiency: float | None = None,
+) -> float:
+    """Modelled HPL wall-clock for problem size ``n`` on ``num_gcds``.
+
+    ``efficiency`` is the fraction of per-GCD FP64 peak HPL sustains;
+    when omitted it is derived from the machine's published R_max
+    (e.g. Summit: 148.6 PF / 27648 GCDs / 7.8 TF = 0.689).
+    """
+    if num_gcds <= 0 or n <= 0:
+        raise ConfigurationError("n and num_gcds must be positive")
+    peak = machine.node.gpu.fp64_tflops * 1e12
+    if efficiency is None:
+        if machine.hpl_rmax_pflops <= 0:
+            raise ConfigurationError(
+                f"machine {machine.name} has no published HPL R_max; pass "
+                "an explicit efficiency"
+            )
+        rmax_per_gcd = machine.hpl_rmax_pflops * 1e15 / machine.total_gcds
+        efficiency = rmax_per_gcd / peak
+    rate = num_gcds * peak * efficiency
+    return fl.lu_flops(n) / rate
+
+
+def hpl_gflops_per_gcd(machine: MachineSpec) -> float:
+    """Published HPL throughput per GCD (GFLOP/s)."""
+    if machine.hpl_rmax_pflops <= 0:
+        raise ConfigurationError(
+            f"machine {machine.name} has no published HPL R_max"
+        )
+    return machine.hpl_rmax_pflops * 1e15 / machine.total_gcds / 1e9

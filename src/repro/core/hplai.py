@@ -1,0 +1,290 @@
+"""The distributed HPL-AI factorization rank program (Algorithm 1).
+
+One generator per rank, engine-agnostic: local math and its modelled
+cost come from the executor (exact or phantom), communication goes
+through :class:`repro.comm.RankComm` using the routed (hardware-
+progressed) broadcasts.
+
+Two schedules are provided:
+
+- **synchronous** (``lookahead=False``): each step factors the diagonal,
+  solves and broadcasts the panels, then updates the whole trailing
+  matrix — communication sits on the critical path;
+- **look-ahead** (``lookahead=True``, Section IV-B): while the step-k
+  panels update the bulk of the trailing matrix, the step-(k+1) column
+  and row strips are updated first, factored, solved, cast, and their
+  broadcasts *initiated* — so the panel broadcast rides under the big
+  GEMM and the last two terms of eq. (1) become
+  ``max(T_BCAST_PANEL, T_GEMM)``.
+
+Wire-tag layout: step ``k`` uses logical tags ``8k .. 8k+5``
+(diag-row, diag-col, U-panel, L-panel); iterative refinement uses a
+disjoint high window (see :mod:`repro.core.refine`).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.comm.vmpi import RankComm
+from repro.core.config import BenchmarkConfig
+from repro.core.executors import ExecutorBase
+from repro.core.refine import refinement_phase
+from repro.simulate.events import Barrier, Compute, Now
+
+
+def _tag(k: int, phase: int) -> int:
+    return 8 * k + phase
+
+
+TAG_DIAG_ROW = 0
+TAG_DIAG_COL = 1
+TAG_U_PANEL = 2
+TAG_L_PANEL = 3
+
+
+def _diag_phase(cfg: BenchmarkConfig, ex: ExecutorBase, comm: RankComm, k: int):
+    """Factor A(k,k) on its owner and broadcast it along the pivot row
+    and column (Algorithm 1 lines 7-10).  Returns the packed LU diag
+    block on every participating rank (None elsewhere)."""
+    grid = cfg.grid
+    plan = ex.plan(k)
+    owner_rank = grid.rank_of(plan.owner_row, plan.owner_col)
+    diag = None
+    if plan.is_owner:
+        diag, secs = ex.getrf_diag(k)
+        yield Compute("getrf", secs)
+    if plan.in_pivot_row and cfg.p_cols > 1:
+        members = grid.row_members(plan.owner_row)
+        if plan.is_owner:
+            yield from comm.bcast_start(
+                diag, owner_rank, members, _tag(k, TAG_DIAG_ROW),
+                algorithm=cfg.diag_algorithm,
+            )
+        else:
+            diag = yield from comm.bcast_finish(owner_rank, _tag(k, TAG_DIAG_ROW))
+    if plan.in_pivot_col and cfg.p_rows > 1:
+        members = grid.col_members(plan.owner_col)
+        if plan.is_owner:
+            yield from comm.bcast_start(
+                diag, owner_rank, members, _tag(k, TAG_DIAG_COL),
+                algorithm=cfg.diag_algorithm,
+            )
+        else:
+            diag = yield from comm.bcast_finish(owner_rank, _tag(k, TAG_DIAG_COL))
+    return diag
+
+
+def _panel_compute(cfg, ex, comm, k: int, diag):
+    """TRSM + cast the panels this rank owns (lines 11-15 / 20-24).
+
+    Returns ``(u16t, l16)`` with the panels this rank *produced* (None
+    for the ones it will receive).
+    """
+    plan = ex.plan(k)
+    u16t = l16 = None
+    if plan.in_pivot_row and plan.trail_cols > 0:
+        secs = ex.trsm_row_panel(k, diag)
+        yield Compute("trsm", secs)
+        u16t, secs = ex.trans_cast_u(k)
+        yield Compute("cast", secs)
+    if plan.in_pivot_col and plan.trail_rows > 0:
+        secs = ex.trsm_col_panel(k, diag)
+        yield Compute("trsm", secs)
+        l16, secs = ex.cast_l(k)
+        yield Compute("cast", secs)
+    return u16t, l16
+
+
+def _panel_bcast_start(cfg, ex, comm: RankComm, k: int, u16t, l16):
+    """Initiate the two panel broadcasts (lines 16 / 25) from the roots."""
+    grid = cfg.grid
+    plan = ex.plan(k)
+    p_ir, p_ic = ex.p_ir, ex.p_ic
+    if plan.trail_cols > 0 and cfg.p_rows > 1 and plan.in_pivot_row:
+        # I own the U chunk for my process column; send it down the column.
+        members = grid.col_members(p_ic)
+        root = grid.rank_of(plan.owner_row, p_ic)
+        yield from comm.bcast_start(u16t, root, members, _tag(k, TAG_U_PANEL))
+    if plan.trail_rows > 0 and cfg.p_cols > 1 and plan.in_pivot_col:
+        members = grid.row_members(p_ir)
+        root = grid.rank_of(p_ir, plan.owner_col)
+        yield from comm.bcast_start(l16, root, members, _tag(k, TAG_L_PANEL))
+
+
+def _panel_bcast_finish(cfg, ex, comm: RankComm, k: int, u16t, l16):
+    """Receive the panels this rank did not produce."""
+    grid = cfg.grid
+    plan = ex.plan(k)
+    if plan.trail_cols > 0 and not plan.in_pivot_row and cfg.p_rows > 1:
+        root = grid.rank_of(plan.owner_row, ex.p_ic)
+        u16t = yield from comm.bcast_finish(root, _tag(k, TAG_U_PANEL))
+    if plan.trail_rows > 0 and not plan.in_pivot_col and cfg.p_cols > 1:
+        root = grid.rank_of(ex.p_ir, plan.owner_col)
+        l16 = yield from comm.bcast_finish(root, _tag(k, TAG_L_PANEL))
+    return u16t, l16
+
+
+def _full_panel_step(cfg, ex, comm, k: int):
+    """Synchronous diagonal + panel phase; returns (u16t, l16)."""
+    if cfg.progression == "inband":
+        return (yield from _full_panel_step_inband(cfg, ex, comm, k))
+    diag = yield from _diag_phase(cfg, ex, comm, k)
+    u16t, l16 = yield from _panel_compute(cfg, ex, comm, k, diag)
+    yield from _panel_bcast_start(cfg, ex, comm, k, u16t, l16)
+    u16t, l16 = yield from _panel_bcast_finish(cfg, ex, comm, k, u16t, l16)
+    return u16t, l16
+
+
+def _full_panel_step_inband(cfg, ex, comm, k: int):
+    """The no-async-progression variant: every broadcast runs in-band
+    (relay forwarding executes inside the rank programs, via the
+    generators in :mod:`repro.comm.bcast` / :mod:`repro.comm.ring`)."""
+    grid = cfg.grid
+    plan = ex.plan(k)
+    p_ir, p_ic = ex.p_ir, ex.p_ic
+    owner_rank = grid.rank_of(plan.owner_row, plan.owner_col)
+    diag = None
+    if plan.is_owner:
+        diag, secs = ex.getrf_diag(k)
+        yield Compute("getrf", secs)
+    if plan.in_pivot_row and cfg.p_cols > 1:
+        diag = yield from comm.bcast(
+            diag, owner_rank, grid.row_members(plan.owner_row),
+            _tag(k, TAG_DIAG_ROW), algorithm=cfg.diag_algorithm,
+        )
+    if plan.in_pivot_col and cfg.p_rows > 1:
+        diag = yield from comm.bcast(
+            diag, owner_rank, grid.col_members(plan.owner_col),
+            _tag(k, TAG_DIAG_COL), algorithm=cfg.diag_algorithm,
+        )
+    u16t, l16 = yield from _panel_compute(cfg, ex, comm, k, diag)
+    if plan.trail_cols > 0 and cfg.p_rows > 1:
+        root = grid.rank_of(plan.owner_row, p_ic)
+        u16t = yield from comm.bcast(
+            u16t, root, grid.col_members(p_ic), _tag(k, TAG_U_PANEL)
+        )
+    if plan.trail_rows > 0 and cfg.p_cols > 1:
+        root = grid.rank_of(p_ir, plan.owner_col)
+        l16 = yield from comm.bcast(
+            l16, root, grid.row_members(p_ir), _tag(k, TAG_L_PANEL)
+        )
+    return u16t, l16
+
+
+def factorization_phase(
+    cfg: BenchmarkConfig,
+    ex: ExecutorBase,
+    comm: RankComm,
+    trace: Optional[List[dict]] = None,
+):
+    """Run the block LU factorization; yields engine ops.
+
+    ``trace``, when given (rank 0), receives one dict per iteration with
+    wall-clock phase boundaries for the Fig-10 style breakdown.
+    """
+    nb = cfg.num_blocks
+
+    if not cfg.lookahead:
+        for k in range(nb):
+            t0 = yield Now()
+            u16t, l16 = yield from _full_panel_step(cfg, ex, comm, k)
+            t1 = yield Now()
+            secs = ex.gemm_trailing(k, u16t=u16t, l16=l16, skip_row=False,
+                                    skip_col=False)
+            yield Compute("gemm", secs)
+            if trace is not None:
+                t2 = yield Now()
+                trace.append({"k": k, "panel": t1 - t0, "gemm": t2 - t1,
+                              "recv": 0.0})
+        return
+
+    # -- look-ahead schedule -------------------------------------------------
+    u16t, l16 = yield from _full_panel_step(cfg, ex, comm, 0)
+    for k in range(nb):
+        nxt = k + 1
+        plan = ex.plan(k)
+        owns_next_row = plan.owns_next_row
+        owns_next_col = plan.owns_next_col
+        t0 = yield Now()
+        if nxt < nb:
+            # Pre-update the strips the next panels live in.
+            if owns_next_col:
+                secs = ex.strip_col_update(k, l16, u16t)
+                yield Compute("gemm", secs)
+            if owns_next_row:
+                secs = ex.strip_row_update(k, l16, u16t, owns_next_col)
+                yield Compute("gemm", secs)
+            # Factor/solve/cast the next panels and launch their broadcasts.
+            diag_next = yield from _diag_phase(cfg, ex, comm, nxt)
+            nxt_u, nxt_l = yield from _panel_compute(cfg, ex, comm, nxt, diag_next)
+            yield from _panel_bcast_start(cfg, ex, comm, nxt, nxt_u, nxt_l)
+        t1 = yield Now()
+        # The bulk trailing update overlaps the panel broadcasts in flight.
+        secs = ex.gemm_trailing(
+            k, l16=l16, u16t=u16t, skip_row=owns_next_row, skip_col=owns_next_col
+        )
+        yield Compute("gemm", secs)
+        t2 = yield Now()
+        if nxt < nb:
+            u16t, l16 = yield from _panel_bcast_finish(cfg, ex, comm, nxt, nxt_u, nxt_l)
+        if trace is not None:
+            t3 = yield Now()
+            trace.append(
+                {"k": k, "panel": t1 - t0, "gemm": t2 - t1, "recv": t3 - t2}
+            )
+
+
+def hplai_rank_program(
+    cfg: BenchmarkConfig,
+    ex: ExecutorBase,
+    rank: int,
+    trace: Optional[List[dict]] = None,
+):
+    """Full benchmark program for one rank: fill, factorize, refine.
+
+    Returns a dict with the executor's result payload plus the wall-clock
+    phase boundaries (virtual seconds).
+    """
+    comm = RankComm(
+        rank,
+        cfg.machine.mpi,
+        bcast_algorithm=cfg.bcast_algorithm,
+        ring_segments=cfg.ring_segments,
+        node_of=cfg.node_grid.node_of_rank,
+    )
+    comm.allreduce_algorithm = cfg.allreduce_algorithm
+    everyone = tuple(range(cfg.num_ranks))
+
+    secs = ex.fill_local()
+    yield Compute("fill", secs)
+    yield Barrier(everyone)
+    t_start = yield Now()
+
+    my_trace = trace if rank == 0 else None
+    yield from factorization_phase(cfg, ex, comm, my_trace)
+
+    secs = ex.transfer_to_host()
+    yield Compute("d2h", secs)
+    yield Barrier(everyone)
+    t_fact = yield Now()
+
+    if cfg.refinement_solver == "gmres":
+        from repro.core.gmres import gmres_refinement_phase
+
+        ir_info = yield from gmres_refinement_phase(cfg, ex, comm)
+    else:
+        ir_info = yield from refinement_phase(cfg, ex, comm)
+    yield Barrier(everyone)
+    t_end = yield Now()
+
+    result = ex.result_payload()
+    result.update(
+        t_start=t_start,
+        t_factorization=t_fact - t_start,
+        t_refinement=t_end - t_fact,
+        t_total=t_end - t_start,
+        ir_converged=ir_info["converged"],
+        ir_iterations=ir_info["iterations"],
+    )
+    return result

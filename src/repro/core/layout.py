@@ -1,0 +1,111 @@
+"""Per-iteration layout bookkeeping shared by the exact and phantom
+executors.
+
+Everything here is pure index arithmetic on the 2D block-cyclic layout —
+no matrix data — so both executors (and the analytic model's tests) make
+identical control-flow decisions about who owns which panel, where the
+trailing submatrix starts in local storage, and which local strips the
+look-ahead pre-updates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import BenchmarkConfig
+
+
+@dataclass(frozen=True)
+class StepPlan:
+    """All layout facts one rank needs for factorization step ``k``.
+
+    Local offsets are in *elements* (not blocks) into the rank's local
+    matrix; the trailing submatrix at step k is the contiguous slice
+    ``local[r1:, c1:]`` thanks to the block-cyclic layout (trailing
+    global blocks map to a contiguous tail of local blocks).
+
+    Attributes
+    ----------
+    k: factorization step (global block index).
+    owner_row, owner_col: grid coordinates of the A(k,k) owner.
+    is_owner / in_pivot_row / in_pivot_col: this rank's roles.
+    diag_r, diag_c: local element offsets of block (k, k) (valid for
+        the roles that touch it).
+    r1, c1: local element offsets where rows/cols with global block
+        >= k+1 start.
+    trail_rows, trail_cols: local element extents of the trailing
+        region (rows/cols with global block >= k+1).
+    owns_next_row / owns_next_col: whether this rank's process row /
+        column owns global block row / column k+1 (look-ahead strips).
+    """
+
+    k: int
+    owner_row: int
+    owner_col: int
+    is_owner: bool
+    in_pivot_row: bool
+    in_pivot_col: bool
+    diag_r: int
+    diag_c: int
+    r1: int
+    c1: int
+    trail_rows: int
+    trail_cols: int
+    owns_next_row: bool
+    owns_next_col: bool
+
+
+def make_step_plan(cfg: BenchmarkConfig, p_ir: int, p_ic: int, k: int) -> StepPlan:
+    """Compute the :class:`StepPlan` for rank (p_ir, p_ic) at step k."""
+    b = cfg.block
+    owner_row, owner_col = cfg.grid.diagonal_owner(k)
+    trail_row_blocks = cfg.row_dim.local_blocks_at_or_after(p_ir, k + 1)
+    trail_col_blocks = cfg.col_dim.local_blocks_at_or_after(p_ic, k + 1)
+    r1 = (cfg.row_dim.blocks_per_proc - trail_row_blocks) * b
+    c1 = (cfg.col_dim.blocks_per_proc - trail_col_blocks) * b
+    nb = cfg.num_blocks
+    return StepPlan(
+        k=k,
+        owner_row=owner_row,
+        owner_col=owner_col,
+        is_owner=(p_ir == owner_row and p_ic == owner_col),
+        in_pivot_row=(p_ir == owner_row),
+        in_pivot_col=(p_ic == owner_col),
+        diag_r=(k // cfg.p_rows) * b,
+        diag_c=(k // cfg.p_cols) * b,
+        r1=r1,
+        c1=c1,
+        trail_rows=trail_row_blocks * b,
+        trail_cols=trail_col_blocks * b,
+        owns_next_row=(k + 1 < nb and p_ir == (k + 1) % cfg.p_rows),
+        owns_next_col=(k + 1 < nb and p_ic == (k + 1) % cfg.p_cols),
+    )
+
+
+def global_row_blocks_of(cfg: BenchmarkConfig, p_ir: int):
+    """Global block-row indices owned by process row ``p_ir``, in local order."""
+    return [
+        cfg.row_dim.global_block(p_ir, l)
+        for l in range(cfg.row_dim.blocks_per_proc)
+    ]
+
+
+def global_col_blocks_of(cfg: BenchmarkConfig, p_ic: int):
+    """Global block-column indices owned by process column ``p_ic``."""
+    return [
+        cfg.col_dim.global_block(p_ic, l)
+        for l in range(cfg.col_dim.blocks_per_proc)
+    ]
+
+
+def diag_columns_of(cfg: BenchmarkConfig, p_ir: int, p_ic: int):
+    """Global block-columns whose *diagonal block* this rank owns.
+
+    These are the block-columns this rank regenerates during the
+    iterative-refinement residual (Algorithm 1 line 36-38).
+    """
+    return [
+        j
+        for j in range(cfg.num_blocks)
+        if j % cfg.p_rows == p_ir and j % cfg.p_cols == p_ic
+    ]

@@ -1,0 +1,70 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError`, so a
+caller can catch a single base class.  Sub-hierarchies mirror the package
+layout: configuration problems, numerical failures, communication-layer
+violations, and simulation-engine faults each get their own branch.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """An invalid parameter combination (grid, block size, machine spec...)."""
+
+
+class DistributionError(ConfigurationError):
+    """A matrix cannot be distributed over the requested process grid."""
+
+
+class NumericsError(ReproError, ArithmeticError):
+    """Base class for numerical failures during factorization/refinement."""
+
+
+class SingularMatrixError(NumericsError):
+    """A (near-)zero pivot was encountered during unpivoted factorization."""
+
+
+class ConvergenceError(NumericsError):
+    """Iterative refinement failed to reach the HPL-AI tolerance."""
+
+
+class CommunicationError(ReproError, RuntimeError):
+    """Base class for virtual-MPI protocol violations."""
+
+
+class RankError(CommunicationError):
+    """A rank index was outside the communicator."""
+
+
+class MessageTypeError(CommunicationError):
+    """A receive buffer did not match the incoming message payload."""
+
+
+class DeadlockError(CommunicationError):
+    """The SPMD scheduler detected that no rank can make progress."""
+
+
+class SimulationError(ReproError, RuntimeError):
+    """Base class for discrete-event simulator faults."""
+
+
+class ResourceError(SimulationError):
+    """A simulated resource (GPU stream, NIC) was misused."""
+
+
+class EarlyTerminationError(SimulationError):
+    """A monitored run was aborted by the progress watchdog.
+
+    Mirrors the paper's best practice of terminating abnormal runs (e.g.
+    fabric hangs) early to save node hours (Section VI-B).
+    """
+
+    def __init__(self, message: str, iteration: int | None = None) -> None:
+        super().__init__(message)
+        #: factorization step at which the run was aborted, if known
+        self.iteration = iteration

@@ -1,0 +1,20 @@
+"""Process grids, block-cyclic data distribution, and node-local mapping.
+
+The global matrix is partitioned into B×B blocks distributed over a
+``P_r × P_c`` process grid with a 2D block-cyclic layout (paper Section
+III-C).  On top of that, the *node-local grid* (Section IV-B) binds the
+``Q = Q_r × Q_c`` GCDs of each node to a contiguous Q_r×Q_c tile of the
+process grid, which controls how much broadcast traffic crosses the
+node's NICs (eq. 4).
+"""
+
+from repro.grid.block_cyclic import BlockCyclicDim
+from repro.grid.process_grid import ProcessGrid
+from repro.grid.node_grid import NodeGrid, node_comm_volume
+
+__all__ = [
+    "BlockCyclicDim",
+    "ProcessGrid",
+    "NodeGrid",
+    "node_comm_volume",
+]

@@ -1,0 +1,138 @@
+"""One-dimensional block-cyclic index arithmetic.
+
+A dimension of ``n`` elements is cut into ``n / b`` blocks of size ``b``
+dealt round-robin to ``p`` processes: global block ``I`` lives on process
+``I mod p`` as that process's local block ``I // p``.  The 2D layout is
+the Cartesian product of two of these.
+
+HPL-AI sizes the problem so that every process holds the same number of
+full blocks (``N`` is *"adjusted to a multiple of P_r, P_c and B"*), so
+this module requires exact divisibility rather than implementing ragged
+edges — matching the paper's "matrix of full blocks without needing
+padding on any node".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.util.validation import check_positive_int
+
+
+@dataclass(frozen=True)
+class BlockCyclicDim:
+    """Block-cyclic distribution of one matrix dimension.
+
+    Parameters
+    ----------
+    n:
+        Global extent (must be a multiple of ``b * p``).
+    b:
+        Block size.
+    p:
+        Number of processes in this dimension.
+    """
+
+    n: int
+    b: int
+    p: int
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.n, "n")
+        check_positive_int(self.b, "b")
+        check_positive_int(self.p, "p")
+        if self.n % (self.b * self.p) != 0:
+            raise ConfigurationError(
+                f"n={self.n} must be a multiple of b*p={self.b * self.p} "
+                f"(b={self.b}, p={self.p}) for a padding-free layout"
+            )
+
+    # -- block-level maps --------------------------------------------------
+
+    @property
+    def num_blocks(self) -> int:
+        """Total number of global blocks in this dimension."""
+        return self.n // self.b
+
+    @property
+    def blocks_per_proc(self) -> int:
+        """Local block count (identical on every process by construction)."""
+        return self.num_blocks // self.p
+
+    @property
+    def local_n(self) -> int:
+        """Local extent ``N_L = n / p`` in elements."""
+        return self.n // self.p
+
+    def owner(self, block: int) -> int:
+        """Process owning global block ``block``."""
+        self._check_block(block)
+        return block % self.p
+
+    def local_block(self, block: int) -> int:
+        """Local block index of global block ``block`` on its owner."""
+        self._check_block(block)
+        return block // self.p
+
+    def global_block(self, proc: int, local_block: int) -> int:
+        """Inverse map: the global block at ``local_block`` on ``proc``."""
+        if not 0 <= proc < self.p:
+            raise ConfigurationError(f"proc {proc} out of range for p={self.p}")
+        if not 0 <= local_block < self.blocks_per_proc:
+            raise ConfigurationError(
+                f"local block {local_block} out of range "
+                f"(blocks_per_proc={self.blocks_per_proc})"
+            )
+        return local_block * self.p + proc
+
+    # -- element-level maps --------------------------------------------------
+
+    def owner_of_index(self, i: int) -> int:
+        """Process owning global element index ``i``."""
+        self._check_index(i)
+        return (i // self.b) % self.p
+
+    def local_index(self, i: int) -> int:
+        """Local element offset of global index ``i`` on its owner."""
+        self._check_index(i)
+        block, offset = divmod(i, self.b)
+        return (block // self.p) * self.b + offset
+
+    def global_index(self, proc: int, local_i: int) -> int:
+        """Inverse of :meth:`local_index`."""
+        if not 0 <= local_i < self.local_n:
+            raise ConfigurationError(
+                f"local index {local_i} out of range (local_n={self.local_n})"
+            )
+        local_block, offset = divmod(local_i, self.b)
+        return self.global_block(proc, local_block) * self.b + offset
+
+    def local_blocks_at_or_after(self, proc: int, first_global_block: int) -> int:
+        """How many of ``proc``'s blocks have global index >= ``first_global_block``.
+
+        This is the local extent (in blocks) of the trailing submatrix at
+        factorization step ``k = first_global_block`` — the quantity that
+        drives per-rank TRSM/GEMM sizes.
+        """
+        if not 0 <= proc < self.p:
+            raise ConfigurationError(f"proc {proc} out of range for p={self.p}")
+        if first_global_block >= self.num_blocks:
+            return 0
+        first = max(first_global_block, 0)
+        # Smallest local block l with l*p + proc >= first:
+        lo = (first - proc + self.p - 1) // self.p
+        lo = max(lo, 0)
+        return max(self.blocks_per_proc - lo, 0)
+
+    # -- internal ------------------------------------------------------------
+
+    def _check_block(self, block: int) -> None:
+        if not 0 <= block < self.num_blocks:
+            raise ConfigurationError(
+                f"block {block} out of range (num_blocks={self.num_blocks})"
+            )
+
+    def _check_index(self, i: int) -> None:
+        if not 0 <= i < self.n:
+            raise ConfigurationError(f"index {i} out of range (n={self.n})")

@@ -1,0 +1,160 @@
+"""Node-local grid: binding the Q GCDs of a node to the process grid.
+
+Paper Section IV-B: with ``Q = Q_r × Q_c`` GCDs per node, binding each
+node to a contiguous ``Q_r × Q_c`` tile of the process grid yields a node
+layout ``K_r × K_c`` with ``K_r = P_r / Q_r`` and ``K_c = P_c / Q_c``.
+The panel broadcasts then move
+
+    Data_Size = 2 N^2 / K_r + 2 N^2 / K_c          (eq. 4, FP16 bytes)
+
+through each node's NICs over the whole factorization, and the
+NIC-sharing-aware communication time is
+
+    T = 2 N^2 Q_r / (P_r * NBN) + 2 N^2 Q_c / (P_c * NBN)   (eq. 5).
+
+A plain column-major rank placement with Q ranks per node is exactly the
+``Q_r = Q, Q_c = 1`` special case, which is why the paper's "column
+major" curves appear as one grid choice among the tunable ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.errors import ConfigurationError
+from repro.grid.process_grid import ProcessGrid
+from repro.util.validation import check_positive_int
+
+
+@dataclass(frozen=True)
+class NodeGrid:
+    """Assignment of process-grid coordinates to physical nodes.
+
+    Parameters
+    ----------
+    grid:
+        The global process grid.
+    q_rows, q_cols:
+        Node-local tile shape; ``q_rows * q_cols`` must equal the GCD
+        count per node and must tile the process grid exactly.
+    """
+
+    grid: ProcessGrid
+    q_rows: int
+    q_cols: int
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.q_rows, "q_rows")
+        check_positive_int(self.q_cols, "q_cols")
+        if self.grid.p_rows % self.q_rows != 0:
+            raise ConfigurationError(
+                f"P_r={self.grid.p_rows} not divisible by Q_r={self.q_rows}"
+            )
+        if self.grid.p_cols % self.q_cols != 0:
+            raise ConfigurationError(
+                f"P_c={self.grid.p_cols} not divisible by Q_c={self.q_cols}"
+            )
+
+    @property
+    def gcds_per_node(self) -> int:
+        """``Q = Q_r * Q_c``."""
+        return self.q_rows * self.q_cols
+
+    @property
+    def k_rows(self) -> int:
+        """Node rows ``K_r = P_r / Q_r``."""
+        return self.grid.p_rows // self.q_rows
+
+    @property
+    def k_cols(self) -> int:
+        """Node columns ``K_c = P_c / Q_c``."""
+        return self.grid.p_cols // self.q_cols
+
+    @property
+    def num_nodes(self) -> int:
+        return self.k_rows * self.k_cols
+
+    def node_of_coords(self, p_ir: int, p_ic: int) -> int:
+        """Node id hosting process-grid coordinate ``(p_ir, p_ic)``.
+
+        Nodes are numbered column-major over the ``K_r × K_c`` node grid.
+        """
+        tile_r = p_ir // self.q_rows
+        tile_c = p_ic // self.q_cols
+        if not (0 <= tile_r < self.k_rows and 0 <= tile_c < self.k_cols):
+            raise ConfigurationError(
+                f"coordinate ({p_ir}, {p_ic}) outside grid {self.grid}"
+            )
+        return tile_c * self.k_rows + tile_r
+
+    def node_of_rank(self, rank: int) -> int:
+        """Node id hosting ``rank``."""
+        return self.node_of_coords(*self.grid.coords_of(rank))
+
+    def gcd_of_rank(self, rank: int) -> int:
+        """Index of the GCD (0..Q-1) within its node that hosts ``rank``."""
+        p_ir, p_ic = self.grid.coords_of(rank)
+        local_r = p_ir % self.q_rows
+        local_c = p_ic % self.q_cols
+        return local_c * self.q_rows + local_r
+
+    def same_node(self, rank_a: int, rank_b: int) -> bool:
+        """Whether two ranks share a node (intra-node link vs NIC)."""
+        return self.node_of_rank(rank_a) == self.node_of_rank(rank_b)
+
+    def nic_sharing(self) -> Tuple[int, int]:
+        """Ranks sharing the node NICs along each broadcast direction.
+
+        A row broadcast leaves the node through its NICs once per process
+        row present on the node, i.e. ``Q_r`` ranks contend; likewise
+        ``Q_c`` for column broadcasts.  These are the ``Q_r``/``Q_c``
+        factors of eq. (5).
+        """
+        return self.q_rows, self.q_cols
+
+    def __str__(self) -> str:
+        return (
+            f"NodeGrid(Q={self.q_rows}x{self.q_cols}, "
+            f"K={self.k_rows}x{self.k_cols}, nodes={self.num_nodes})"
+        )
+
+    def render(self, max_dim: int = 16) -> str:
+        """ASCII picture of the process grid colored by node (Fig 2).
+
+        Each cell is one process-grid coordinate; the letter identifies
+        the hosting node, so the Q_r x Q_c tiles are visible at a
+        glance.  Grids larger than ``max_dim`` are truncated with
+        ellipses.
+        """
+        symbols = "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz"
+        rows = min(self.grid.p_rows, max_dim)
+        cols = min(self.grid.p_cols, max_dim)
+        lines = [str(self)]
+        header = "      " + " ".join(f"c{c:<2d}" for c in range(cols))
+        lines.append(header + (" ..." if cols < self.grid.p_cols else ""))
+        for r in range(rows):
+            cells = []
+            for c in range(cols):
+                node = self.node_of_coords(r, c)
+                cells.append(f" {symbols[node % len(symbols)]} ")
+            suffix = " ..." if cols < self.grid.p_cols else ""
+            lines.append(f"r{r:<4d}" + " ".join(cells) + suffix)
+        if rows < self.grid.p_rows:
+            lines.append("  ...")
+        return "\n".join(lines)
+
+
+def node_comm_volume(n: int, node_grid: NodeGrid, panel_bytes: int = 2) -> Tuple[float, float]:
+    """Per-node broadcast traffic over a full factorization (eq. 4).
+
+    Returns ``(row_bytes, col_bytes)``: the FP16 panel volume a node must
+    move for the row-wise (U) and column-wise (L) broadcasts,
+    ``2 N^2 / K_r`` and ``2 N^2 / K_c`` with the default 2-byte panels.
+    """
+    check_positive_int(n, "n")
+    n2 = float(n) * float(n)
+    return (
+        panel_bytes * n2 / node_grid.k_rows,
+        panel_bytes * n2 / node_grid.k_cols,
+    )

@@ -1,0 +1,10 @@
+"""Input/output: HPL.dat-style configuration files and sweep expansion."""
+
+from repro.io.hpldat import (
+    HplDat,
+    expand_configs,
+    parse_hpldat,
+    render_hpldat,
+)
+
+__all__ = ["HplDat", "expand_configs", "parse_hpldat", "render_hpldat"]

@@ -1,0 +1,229 @@
+"""HPL.dat-style configuration files.
+
+Every HPL-family benchmark is configured by an ``HPL.dat`` file listing
+problem sizes, block sizes and process grids, each line a count followed
+by values.  This module reads and writes the same dialect (with a small
+extension block for the simulator's knobs) and expands a file into the
+cross-product of :class:`~repro.core.config.BenchmarkConfig` runs —
+exactly how a tuning campaign is driven on the real systems.
+
+Example file::
+
+    HPLinpack benchmark input file (repro dialect)
+    device out (ignored line)
+    1            # of problems sizes (N)
+    245760       Ns
+    2            # of NBs
+    768 1024     NBs
+    1            # of process grids (P x Q)
+    4            Ps
+    4            Qs
+    machine      frontier
+    bcast        ring2m
+    lookahead    1
+    q_grid       2 4
+
+Unknown key/value extension lines are rejected loudly rather than
+silently ignored.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Sequence
+
+from repro.core.config import BenchmarkConfig
+from repro.errors import ConfigurationError
+from repro.machine import get_machine
+
+#: extension keys accepted after the classic numeric blocks
+_EXTENSION_KEYS = {
+    "machine", "bcast", "lookahead", "gpu_aware", "port_binding",
+    "q_grid", "seed", "panel_precision", "refinement_solver",
+}
+
+
+@dataclass
+class HplDat:
+    """Parsed contents of an HPL.dat-style file."""
+
+    ns: List[int]
+    nbs: List[int]
+    ps: List[int]
+    qs: List[int]
+    machine: str = "frontier"
+    bcast: Optional[str] = None
+    lookahead: bool = True
+    gpu_aware: bool = True
+    port_binding: bool = True
+    q_grid: Optional[tuple] = None
+    seed: int = 42
+    panel_precision: str = "fp16"
+    refinement_solver: str = "ir"
+    comments: List[str] = field(default_factory=list)
+
+    def num_runs(self) -> int:
+        """Cross-product size before tileability filtering."""
+        return len(self.ns) * len(self.nbs) * len(self.ps)
+
+
+def _read_count_block(lines: List[str], idx: int, what: str):
+    """Read '<count> ...' then '<count> values ...' classic HPL lines."""
+    if idx >= len(lines):
+        raise ConfigurationError(f"unexpected end of file before {what} count")
+    try:
+        count = int(lines[idx].split()[0])
+    except (ValueError, IndexError):
+        raise ConfigurationError(
+            f"expected a {what} count on line {idx + 1}: {lines[idx]!r}"
+        ) from None
+    if idx + 1 >= len(lines):
+        raise ConfigurationError(f"missing {what} values after the count")
+    tokens = lines[idx + 1].split()
+    values = []
+    for tok in tokens:
+        try:
+            values.append(int(tok))
+        except ValueError:
+            break
+    if len(values) < count:
+        raise ConfigurationError(
+            f"{what}: count says {count} but line {idx + 2} has "
+            f"{len(values)} integer value(s)"
+        )
+    return values[:count], idx + 2
+
+
+def parse_hpldat(text_or_path) -> HplDat:
+    """Parse an HPL.dat-style document (string or path)."""
+    path = Path(str(text_or_path))
+    if "\n" not in str(text_or_path) and path.exists():
+        text = path.read_text()
+    else:
+        text = str(text_or_path)
+    raw_lines = [ln.rstrip() for ln in text.splitlines()]
+    lines = [ln for ln in raw_lines if ln.strip()]
+    if len(lines) < 8:
+        raise ConfigurationError(
+            "HPL.dat too short: need the 2 header lines plus the N/NB/PQ "
+            "blocks"
+        )
+    comments = lines[:2]  # classic HPL: two free-form header lines
+    idx = 2
+    ns, idx = _read_count_block(lines, idx, "problem-size (N)")
+    nbs, idx = _read_count_block(lines, idx, "block-size (NB)")
+    # Grid block: '<count> ...' then Ps line then Qs line.
+    if idx >= len(lines):
+        raise ConfigurationError("missing process-grid block")
+    try:
+        gcount = int(lines[idx].split()[0])
+    except (ValueError, IndexError):
+        raise ConfigurationError(
+            f"expected a grid count on line: {lines[idx]!r}"
+        ) from None
+    ps_tokens = lines[idx + 1].split() if idx + 1 < len(lines) else []
+    qs_tokens = lines[idx + 2].split() if idx + 2 < len(lines) else []
+    try:
+        ps = [int(t) for t in ps_tokens[:gcount]]
+        qs = [int(t) for t in qs_tokens[:gcount]]
+    except ValueError:
+        raise ConfigurationError("process grid lines must hold integers") from None
+    if len(ps) < gcount or len(qs) < gcount:
+        raise ConfigurationError(
+            f"grid count says {gcount} but Ps/Qs lines are shorter"
+        )
+    idx += 3
+
+    dat = HplDat(ns=ns, nbs=nbs, ps=ps, qs=qs, comments=comments)
+    # Extension lines: 'key value...'.
+    for ln in lines[idx:]:
+        parts = ln.split()
+        key = parts[0].lower()
+        if key not in _EXTENSION_KEYS:
+            raise ConfigurationError(
+                f"unknown HPL.dat extension key {key!r}; expected one of "
+                f"{sorted(_EXTENSION_KEYS)}"
+            )
+        vals = parts[1:]
+        if not vals:
+            raise ConfigurationError(f"extension key {key!r} has no value")
+        if key == "machine":
+            dat.machine = vals[0].lower()
+        elif key == "bcast":
+            dat.bcast = vals[0].lower()
+        elif key in ("lookahead", "gpu_aware", "port_binding"):
+            setattr(dat, key, vals[0] not in ("0", "false", "no"))
+        elif key == "q_grid":
+            if len(vals) != 2:
+                raise ConfigurationError("q_grid needs two integers")
+            dat.q_grid = (int(vals[0]), int(vals[1]))
+        elif key == "seed":
+            dat.seed = int(vals[0])
+        elif key == "panel_precision":
+            dat.panel_precision = vals[0].lower()
+        elif key == "refinement_solver":
+            dat.refinement_solver = vals[0].lower()
+    return dat
+
+
+def expand_configs(dat: HplDat) -> Iterator[BenchmarkConfig]:
+    """Yield a BenchmarkConfig per (N, NB, grid) combination.
+
+    Combinations whose N does not tile the grid/block are *skipped* (the
+    real HPL errors at runtime; a sweep tool is more useful skipping),
+    unless nothing at all survives — then we raise.
+    """
+    machine = get_machine(dat.machine)
+    default_bcast = "bcast" if machine.name == "summit" else "ring2m"
+    produced = 0
+    for n in dat.ns:
+        for nb in dat.nbs:
+            for p, q in zip(dat.ps, dat.qs):
+                if n % (nb * p) or n % (nb * q):
+                    continue
+                kwargs = dict(
+                    n=n, block=nb, machine=machine, p_rows=p, p_cols=q,
+                    bcast_algorithm=dat.bcast or default_bcast,
+                    lookahead=dat.lookahead,
+                    gpu_aware=dat.gpu_aware,
+                    port_binding=dat.port_binding,
+                    seed=dat.seed,
+                    panel_precision=dat.panel_precision,
+                    refinement_solver=dat.refinement_solver,
+                )
+                if dat.q_grid is not None:
+                    kwargs["q_rows"], kwargs["q_cols"] = dat.q_grid
+                produced += 1
+                yield BenchmarkConfig(**kwargs)
+    if produced == 0:
+        raise ConfigurationError(
+            "no (N, NB, P, Q) combination in the file tiles cleanly"
+        )
+
+
+def render_hpldat(dat: HplDat) -> str:
+    """Serialize back to the file dialect (round-trips with parse)."""
+    lines = list(dat.comments) or [
+        "HPLinpack benchmark input file (repro dialect)",
+        "generated by repro.io.hpldat",
+    ]
+    lines.append(f"{len(dat.ns)}            # of problems sizes (N)")
+    lines.append(" ".join(str(v) for v in dat.ns) + "  Ns")
+    lines.append(f"{len(dat.nbs)}            # of NBs")
+    lines.append(" ".join(str(v) for v in dat.nbs) + "  NBs")
+    lines.append(f"{len(dat.ps)}            # of process grids (P x Q)")
+    lines.append(" ".join(str(v) for v in dat.ps) + "  Ps")
+    lines.append(" ".join(str(v) for v in dat.qs) + "  Qs")
+    lines.append(f"machine      {dat.machine}")
+    if dat.bcast:
+        lines.append(f"bcast        {dat.bcast}")
+    lines.append(f"lookahead    {1 if dat.lookahead else 0}")
+    lines.append(f"gpu_aware    {1 if dat.gpu_aware else 0}")
+    lines.append(f"port_binding {1 if dat.port_binding else 0}")
+    if dat.q_grid:
+        lines.append(f"q_grid       {dat.q_grid[0]} {dat.q_grid[1]}")
+    lines.append(f"seed         {dat.seed}")
+    lines.append(f"panel_precision {dat.panel_precision}")
+    lines.append(f"refinement_solver {dat.refinement_solver}")
+    return "\n".join(lines) + "\n"

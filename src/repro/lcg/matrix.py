@@ -1,0 +1,189 @@
+"""On-the-fly generated HPL-AI input matrices.
+
+HPL-AI allows the input matrix to be chosen with *"an appropriate
+condition number to omit the pivoting step"* (paper, Section II).  We
+follow the common construction: independent uniform entries with a
+dominant diagonal so that unpivoted Gaussian elimination is stable.
+
+Entry definition (pure function of ``(i, j, N, seed)``):
+
+    u(i, j)  = uniform(-0.5, 0.5) drawn from LCG state at step i*N + j + 1
+    A[i, j]  = u(i, j) / (2 N)          for i != j
+    A[i, i]  = 1 + u(i, i)              (in [0.5, 1.5))
+
+The off-diagonal row sum is then strictly below 0.25 while the diagonal
+is at least 0.5, so A is strictly diagonally dominant with margin >= 0.25
+and has an O(1) condition number.  The right-hand side is drawn from the
+LCG positions following the matrix block (steps N*N + i + 1).
+
+Note on FP16 range: with this scaling, off-diagonal entries have
+magnitude ~ 1/(4N).  IEEE half precision loses normal representation
+below ~6.1e-5, so *numerically exact* runs should keep N below about
+4000; :meth:`HplAiMatrix.check_fp16_safe` enforces this.  Simulated
+(phantom) runs carry no data and have no such limit — which mirrors the
+paper, where the extreme-scale runs rely on the same generator but the
+numerics were validated at smaller scale.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.lcg.generator import LCG_A, LCG_C, states_at
+from repro.util.validation import check_positive_int
+
+#: Largest N for which the mean off-diagonal magnitude (0.125/N) stays
+#: within one bit of the IEEE-754 half-precision normal boundary
+#: (~6.1e-5); beyond this, gradual underflow starts eroding panel
+#: precision.  See :mod:`repro.precision.scaling` for the analysis.
+FP16_SAFE_N = 4096
+
+
+def uniform_from_state(states: np.ndarray) -> np.ndarray:
+    """Map raw uint64 LCG states to doubles uniform on ``[-0.5, 0.5)``.
+
+    Uses the top 53 bits so the result is exactly representable and the
+    scalar (:meth:`repro.lcg.Lcg64.uniform`) and bulk paths agree bit for
+    bit.
+    """
+    return (states >> np.uint64(11)).astype(np.float64) * 2.0**-53 - 0.5
+
+
+class HplAiMatrix:
+    """A virtual N×N HPL-AI matrix regenerable from any index range.
+
+    The matrix is never stored: :meth:`block` materializes any rectangular
+    sub-block on demand, which is how both the initial distributed fill
+    and the iterative-refinement residual (which needs FP64 entries) work.
+
+    Parameters
+    ----------
+    n:
+        Global matrix dimension N.
+    seed:
+        LCG seed; two matrices with the same ``(n, seed)`` are identical.
+    a, c:
+        Optional LCG constants (default MMIX).
+    """
+
+    def __init__(
+        self, n: int, seed: int = 42, a: int = LCG_A, c: int = LCG_C
+    ) -> None:
+        check_positive_int(n, "n")
+        self.n = n
+        self.seed = seed
+        self.a = a
+        self.c = c
+        self._offdiag_scale = 1.0 / (2.0 * n)
+
+    # -- scalar access ---------------------------------------------------
+
+    def entry(self, i: int, j: int) -> float:
+        """Return the FP64 value of ``A[i, j]``."""
+        self._check_index(i, "i")
+        self._check_index(j, "j")
+        u = float(
+            uniform_from_state(
+                states_at(self.seed, np.array([i * self.n + j + 1]), self.a, self.c)
+            )[0]
+        )
+        if i == j:
+            return 1.0 + u
+        return u * self._offdiag_scale
+
+    # -- bulk access -----------------------------------------------------
+
+    def block(
+        self,
+        row_start: int,
+        row_stop: int,
+        col_start: int,
+        col_stop: int,
+        dtype: np.dtype = np.float64,
+    ) -> np.ndarray:
+        """Materialize ``A[row_start:row_stop, col_start:col_stop]``.
+
+        Fully vectorized: cost is O(block area), independent of position.
+        """
+        self._check_range(row_start, row_stop, "row")
+        self._check_range(col_start, col_stop, "col")
+        rows = np.arange(row_start, row_stop, dtype=np.uint64)
+        cols = np.arange(col_start, col_stop, dtype=np.uint64)
+        positions = rows[:, None] * np.uint64(self.n) + cols[None, :] + np.uint64(1)
+        u = uniform_from_state(states_at(self.seed, positions, self.a, self.c))
+        out = u * self._offdiag_scale
+        # Overwrite the entries on the global diagonal, if any fall inside.
+        diag_lo = max(row_start, col_start)
+        diag_hi = min(row_stop, col_stop)
+        if diag_lo < diag_hi:
+            d = np.arange(diag_lo, diag_hi)
+            out[d - row_start, d - col_start] = 1.0 + u[d - row_start, d - col_start]
+        return out.astype(dtype, copy=False)
+
+    def rows(self, row_start: int, row_stop: int) -> np.ndarray:
+        """Materialize full rows ``A[row_start:row_stop, :]`` in FP64."""
+        return self.block(row_start, row_stop, 0, self.n)
+
+    def cols(self, col_start: int, col_stop: int) -> np.ndarray:
+        """Materialize full columns ``A[:, col_start:col_stop]`` in FP64."""
+        return self.block(0, self.n, col_start, col_stop)
+
+    def dense(self, dtype: np.dtype = np.float64) -> np.ndarray:
+        """Materialize the whole matrix (small N only; tests and examples)."""
+        return self.block(0, self.n, 0, self.n, dtype=dtype)
+
+    def diagonal(self, start: int = 0, stop: int | None = None) -> np.ndarray:
+        """Return ``diag(A)[start:stop]`` without materializing rows."""
+        if stop is None:
+            stop = self.n
+        self._check_range(start, stop, "diag")
+        idx = np.arange(start, stop, dtype=np.uint64)
+        positions = idx * np.uint64(self.n) + idx + np.uint64(1)
+        u = uniform_from_state(states_at(self.seed, positions, self.a, self.c))
+        return 1.0 + u
+
+    def rhs(self) -> np.ndarray:
+        """The right-hand side vector b, drawn from the LCG tail."""
+        positions = (
+            np.uint64(self.n) * np.uint64(self.n)
+            + np.arange(self.n, dtype=np.uint64)
+            + np.uint64(1)
+        )
+        return uniform_from_state(states_at(self.seed, positions, self.a, self.c))
+
+    # -- diagnostics -----------------------------------------------------
+
+    def dominance_margin(self) -> float:
+        """Guaranteed lower bound on ``|A_ii| - sum_{j!=i} |A_ij|``.
+
+        Strictly positive by construction; used by tests as the invariant
+        that justifies unpivoted LU.
+        """
+        # |A_ii| >= 0.5; off-diagonal row sum < (n-1) * 0.5 / (2n) < 0.25.
+        return 0.5 - (self.n - 1) * 0.5 * self._offdiag_scale
+
+    def check_fp16_safe(self) -> None:
+        """Raise if exact FP16 arithmetic on this matrix would denormalize."""
+        if self.n > FP16_SAFE_N:
+            raise ConfigurationError(
+                f"N={self.n} exceeds the FP16-safe exact-arithmetic limit "
+                f"({FP16_SAFE_N}); use a phantom/simulated run for larger sizes"
+            )
+
+    # -- internal --------------------------------------------------------
+
+    def _check_index(self, idx: int, name: str) -> None:
+        if not 0 <= idx < self.n:
+            raise ConfigurationError(
+                f"{name}={idx} out of range for N={self.n}"
+            )
+
+    def _check_range(self, start: int, stop: int, name: str) -> None:
+        if not (0 <= start <= stop <= self.n):
+            raise ConfigurationError(
+                f"{name} range [{start}, {stop}) invalid for N={self.n}"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"HplAiMatrix(n={self.n}, seed={self.seed})"

@@ -1,0 +1,46 @@
+"""Machine models of the OLCF Summit and Frontier systems.
+
+Everything the performance engines need to know about the hardware lives
+here: the architectural specifications of Table I, calibrated per-GCD
+kernel flop-rate models that reproduce the *shapes* of the paper's
+Figures 3, 5, 6 and 7 (saturating growth with block size B, rocBLAS
+non-uniformity, the LDA pathology, slow GETRF on the critical path),
+network/topology parameters, and the manufacturing-variability and
+warm-up models behind Figure 12 and the slow-node scans.
+"""
+
+from repro.machine.spec import GpuSpec, MachineSpec, NetworkSpec, NodeSpec
+from repro.machine.kernels import CpuKernelModel, GpuKernelModel
+from repro.machine.summit import SUMMIT, summit
+from repro.machine.frontier import FRONTIER, frontier
+from repro.machine.variability import GcdFleet, WarmupModel
+from repro.machine.topology import CommCosts
+
+__all__ = [
+    "GpuSpec",
+    "MachineSpec",
+    "NetworkSpec",
+    "NodeSpec",
+    "CpuKernelModel",
+    "GpuKernelModel",
+    "SUMMIT",
+    "summit",
+    "FRONTIER",
+    "frontier",
+    "GcdFleet",
+    "WarmupModel",
+    "CommCosts",
+]
+
+
+def get_machine(name: str) -> MachineSpec:
+    """Look up a machine preset by name ("summit" or "frontier")."""
+    from repro.errors import ConfigurationError
+
+    presets = {"summit": SUMMIT, "frontier": FRONTIER}
+    try:
+        return presets[name.lower()]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown machine {name!r}; expected one of {sorted(presets)}"
+        ) from None

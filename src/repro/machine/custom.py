@@ -1,0 +1,141 @@
+"""Custom machine builder for what-if projections.
+
+The paper closes by noting its portability work "is expected to be the
+case also for Intel GPUs" and that the techniques generalize to future
+systems.  :func:`build_machine` assembles a complete
+:class:`~repro.machine.spec.MachineSpec` from headline numbers (peak
+rates, memory, NIC bandwidth), deriving sensible kernel-model constants
+from the same ratios the Summit/Frontier calibrations use — so a
+hypothetical machine can be pushed through every study in this package
+(`estimate_run`, the tuner, the campaign tool).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import ConfigurationError
+from repro.machine.kernels import CpuKernelModel, GpuKernelModel
+from repro.machine.spec import (
+    GpuSpec,
+    MachineSpec,
+    MpiModel,
+    NetworkSpec,
+    NodeSpec,
+)
+
+
+def build_machine(
+    name: str,
+    num_nodes: int,
+    gcds_per_node: int,
+    fp16_tflops_per_gcd: float,
+    fp64_tflops_per_gcd: float,
+    gpu_memory_gib: float,
+    nic_bw_gbs_per_node: float,
+    platform: str = "cuda",
+    gemm_efficiency: float = 0.75,
+    gemm_b_half: float = 400.0,
+    mature_mpi: bool = True,
+    hbm_bw_gbs: float = 1500.0,
+    intra_node_bw_gbs: float = 50.0,
+    cpu_memory_gib: float = 512.0,
+    hpl_rmax_pflops: float = 0.0,
+    topology: str = "dragonfly",
+) -> MachineSpec:
+    """Assemble a machine preset from headline hardware numbers.
+
+    Parameters
+    ----------
+    fp16_tflops_per_gcd / fp64_tflops_per_gcd:
+        Per-GCD peaks (the Table-I numbers of the hypothetical system).
+    gemm_efficiency:
+        Fraction of the FP16 peak the mixed GEMM kernel ceiling reaches
+        at ideal sizes (Summit ~0.76, Frontier ~1.19 of the *table*
+        figure because the table understates MI250X — use the ratio for
+        the hardware you are imagining).
+    gemm_b_half:
+        Block-size saturation half-point (how large B must be before the
+        library delivers; ~160 for mature cuBLAS, ~1100 for early
+        rocBLAS).
+    mature_mpi:
+        Mature library (SMP-aware, pipelined broadcast — rings will not
+        help) vs a young stack (rings win).
+    """
+    if num_nodes < 1 or gcds_per_node < 1:
+        raise ConfigurationError("node and GCD counts must be positive")
+    if not 0.1 <= gemm_efficiency <= 1.5:
+        raise ConfigurationError(
+            f"gemm_efficiency {gemm_efficiency} outside the plausible band"
+        )
+    if fp16_tflops_per_gcd <= 0 or fp64_tflops_per_gcd <= 0:
+        raise ConfigurationError("peak rates must be positive")
+
+    gpu = GpuSpec(
+        model=f"{name} GCD",
+        memory_gib=gpu_memory_gib,
+        fp16_tflops=fp16_tflops_per_gcd,
+        fp32_tflops=fp16_tflops_per_gcd / 6.0,
+        fp64_tflops=fp64_tflops_per_gcd,
+        hbm_bw_gbs=hbm_bw_gbs,
+    )
+    nics = max(1, gcds_per_node // 2)
+    network = NetworkSpec(
+        nics_per_node=nics,
+        nic_bw_gbs=nic_bw_gbs_per_node / nics,
+        inter_node_latency_s=2.0e-6,
+        intra_node_bw_gbs=intra_node_bw_gbs,
+        intra_node_latency_s=3.0e-7,
+        nic_attached_to_gpu=True,
+        topology=topology,
+        topology_group_size=128,
+    )
+    node = NodeSpec(
+        cpu_model=f"{name} host CPU",
+        cpu_memory_gib=cpu_memory_gib,
+        cpu_memory_bw_gbs=300.0,
+        gcds_per_node=gcds_per_node,
+        gpu=gpu,
+        network=network,
+        cpu_os_reserved_gib=40.0,
+    )
+    gemm_peak = fp16_tflops_per_gcd * gemm_efficiency
+    gpu_kernels = GpuKernelModel(
+        gemm_peak_tflops=gemm_peak,
+        gemm_b_half=gemm_b_half,
+        gemm_mn_half=800.0,
+        gemm_roughness=0.05 if mature_mpi else 0.18,
+        lda_penalty_stride=0,
+        lda_penalty_factor=1.0,
+        getrf_peak_tflops=max(gemm_peak / 80.0, 0.5),
+        getrf_n_half=1200.0,
+        trsm_peak_tflops=max(gemm_peak / 6.0, 2.0),
+        trsm_b_half=max(gemm_b_half / 2.5, 128.0),
+        trsm_n_half=8192.0,
+        fp64_gemm_peak_tflops=fp64_tflops_per_gcd * 0.75,
+        fp64_gemm_b_half=256.0,
+        cast_bw_gbs=hbm_bw_gbs * 0.8,
+        h2d_bw_gbs=40.0,
+    )
+    cpu_kernels = CpuKernelModel(
+        gemv_gflops=10.0,
+        trsv_gflops=8.0,
+        regen_entries_per_s=2.0e9,
+    )
+    mpi = MpiModel(
+        bcast_bw_boost=1.25 if mature_mpi else 1.0,
+        ibcast_derate=0.8 if mature_mpi else 0.85,
+        bcast_hierarchical=mature_mpi,
+        bcast_segments=64 if mature_mpi else 2,
+    )
+    return MachineSpec(
+        name=name.lower(),
+        platform=platform,
+        num_nodes=num_nodes,
+        node=node,
+        gpu_kernels=gpu_kernels,
+        cpu_kernels=cpu_kernels,
+        mpi=mpi,
+        hpl_rmax_pflops=hpl_rmax_pflops,
+        notes=f"custom what-if machine built by repro.machine.custom ({name})",
+    )

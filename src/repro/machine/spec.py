@@ -1,0 +1,219 @@
+"""Architectural specification dataclasses (paper Table I).
+
+A :class:`MachineSpec` aggregates node counts, the GPU/GCD inventory,
+per-precision peak rates and the network interface description for one
+system.  The Summit and Frontier presets live in
+:mod:`repro.machine.summit` and :mod:`repro.machine.frontier`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.errors import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.machine.kernels import CpuKernelModel, GpuKernelModel
+
+
+@dataclass(frozen=True)
+class GpuSpec:
+    """One GCD (graphics compute die).
+
+    Note the paper's accounting: a Summit V100 counts as one GCD while a
+    Frontier MI250X counts as two, and each MPI rank drives one GCD.
+    """
+
+    model: str
+    memory_gib: float
+    fp16_tflops: float
+    fp32_tflops: float
+    fp64_tflops: float
+    hbm_bw_gbs: float  # high-bandwidth-memory bandwidth, GB/s
+
+    def fp16_flops(self) -> float:
+        """Half-precision peak in FLOP/s."""
+        return self.fp16_tflops * 1e12
+
+    def fp64_flops(self) -> float:
+        """Double-precision peak in FLOP/s."""
+        return self.fp64_tflops * 1e12
+
+
+@dataclass(frozen=True)
+class NetworkSpec:
+    """Node network interface description.
+
+    ``topology`` selects the hop-distance model: Summit's EDR fabric is a
+    three-level **fat-tree** (nodes under the same leaf switch are 2 hops
+    apart, otherwise up to 6); Frontier's Slingshot is a **dragonfly**
+    (2 hops within a group, at most 5 across groups).  Hop distance
+    scales per-message latency — the "communication distance (hops
+    across network)" that node-local-grid tuning balances (Finding 8).
+    """
+
+    nics_per_node: int
+    nic_bw_gbs: float  # per-NIC unidirectional bandwidth, GB/s
+    inter_node_latency_s: float
+    intra_node_bw_gbs: float  # GPU interconnect (NVLINK / Infinity Fabric)
+    intra_node_latency_s: float
+    nic_attached_to_gpu: bool  # Frontier: NIC hangs off the GPU
+    topology: str = "flat"
+    #: nodes per leaf switch (fat-tree) or per dragonfly group
+    topology_group_size: int = 18
+    #: added latency per hop beyond the first
+    per_hop_latency_s: float = 2.0e-7
+
+    @property
+    def node_injection_bw_gbs(self) -> float:
+        """Aggregate unidirectional off-node bandwidth with all NICs used."""
+        return self.nics_per_node * self.nic_bw_gbs
+
+    def hops(self, node_a: int, node_b: int) -> int:
+        """Switch hops between two nodes under the topology model."""
+        if node_a == node_b:
+            return 0
+        same_group = (
+            node_a // self.topology_group_size
+            == node_b // self.topology_group_size
+        )
+        if self.topology == "fat-tree":
+            return 2 if same_group else 6
+        if self.topology == "dragonfly":
+            return 2 if same_group else 5
+        return 2  # flat: every pair one switch away
+
+    def latency_between(self, node_a: int, node_b: int) -> float:
+        """Hop-scaled inter-node latency."""
+        h = self.hops(node_a, node_b)
+        if h == 0:
+            return self.intra_node_latency_s
+        return self.inter_node_latency_s + (h - 2) * self.per_hop_latency_s
+
+
+@dataclass(frozen=True)
+class MpiModel:
+    """Vendor-MPI-library behaviour knobs (Section V-E).
+
+    These capture library properties the hardware numbers cannot: Summit's
+    Spectrum MPI broadcast is heavily optimized for the fat tree (so
+    hand-rolled rings *lose* there, Finding 6) while its nonblocking
+    broadcast is extremely slow ("the asynchronous broadcast having
+    extremely low performance with the current MPI library").
+
+    Attributes
+    ----------
+    bcast_bw_boost:
+        Effective-bandwidth multiplier for the library's blocking
+        broadcast relative to a naive binomial tree.
+    ibcast_derate:
+        Efficiency of the library's nonblocking broadcast (1.0 = as fast
+        as the blocking one).
+    bcast_hierarchical:
+        Whether the library broadcast is SMP-aware (leader tree across
+        nodes + intra-node fan).  Mature libraries (Spectrum MPI on
+        Summit) are; the young Slingshot stack the paper measured on
+        Frontier behaves like a flat rank-order tree, which is why
+        hand-built rings beat it there.
+    bcast_segments:
+        Internal pipelining depth of the library broadcast for large
+        messages.
+    """
+
+    bcast_bw_boost: float = 1.0
+    ibcast_derate: float = 1.0
+    bcast_hierarchical: bool = True
+    bcast_segments: int = 4
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """One compute node."""
+
+    cpu_model: str
+    cpu_memory_gib: float
+    cpu_memory_bw_gbs: float
+    gcds_per_node: int
+    gpu: GpuSpec
+    network: NetworkSpec
+    cpu_os_reserved_gib: float = 0.0
+
+    @property
+    def gpu_memory_gib(self) -> float:
+        """Total GPU memory on the node."""
+        return self.gcds_per_node * self.gpu.memory_gib
+
+    @property
+    def cpu_memory_available_gib(self) -> float:
+        """CPU memory left after OS, page cache and libraries (Finding 1)."""
+        return self.cpu_memory_gib - self.cpu_os_reserved_gib
+
+    @property
+    def fp16_tflops(self) -> float:
+        """Node peak FP16, as listed in Table I."""
+        return self.gcds_per_node * self.gpu.fp16_tflops
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """A whole system: Summit or Frontier."""
+
+    name: str
+    platform: str  # "cuda" or "rocm"
+    num_nodes: int
+    node: NodeSpec
+    gpu_kernels: "GpuKernelModel"
+    cpu_kernels: "CpuKernelModel"
+    mpi: MpiModel = field(default_factory=MpiModel)
+    #: Measured full-system HPL (FP64) performance, for the HPL-AI/HPL
+    #: ratio analysis; Summit's 148.6 PF is the June-2022 TOP500 entry.
+    hpl_rmax_pflops: float = 0.0
+    notes: str = ""
+
+    def __post_init__(self) -> None:
+        if self.platform not in ("cuda", "rocm"):
+            raise ConfigurationError(
+                f"platform must be 'cuda' or 'rocm', got {self.platform!r}"
+            )
+
+    @property
+    def total_gcds(self) -> int:
+        return self.num_nodes * self.node.gcds_per_node
+
+    def max_local_n_fp32(self, reserve_fraction: float = 0.12) -> int:
+        """Largest square FP32 local matrix dimension a GCD can host.
+
+        Reserves ``reserve_fraction`` of GPU memory for the diagonal
+        block, FP16 panels and look-ahead buffers (Section V-A).
+        """
+        usable = self.node.gpu.memory_gib * (1 - reserve_fraction) * 2**30
+        import math
+
+        return int(math.isqrt(int(usable // 4)))
+
+    def describe(self) -> dict:
+        """Table I row for this machine (used by the Table I bench)."""
+        node = self.node
+        return {
+            "Number of Nodes": self.num_nodes,
+            "Processor": node.cpu_model,
+            "CPU memory (Node)": f"{node.cpu_memory_gib:.0f} GB",
+            "GPU / # of GCDs (Node)": f"{node.gpu.model} / {node.gcds_per_node}",
+            "per GCD / per Node GPU memory": (
+                f"{node.gpu.memory_gib:.0f} / {node.gpu_memory_gib:.0f} GB"
+            ),
+            "GPU Interconnect B/W": (
+                f"{node.network.intra_node_bw_gbs:.0f}+"
+                f"{node.network.intra_node_bw_gbs:.0f} GB/s"
+            ),
+            "FP16/FP64 TFLOPS (GCD)": (
+                f"{node.gpu.fp16_tflops:.0f} / {node.gpu.fp64_tflops:.1f}"
+            ),
+            "FP16 TFLOPS (Node)": f"{node.fp16_tflops:.0f}",
+            "# of NICs": node.network.nics_per_node,
+            "NIC B/W (node)": (
+                f"{node.network.node_injection_bw_gbs:.1f}+"
+                f"{node.network.node_injection_bw_gbs:.1f} GB/s"
+            ),
+        }

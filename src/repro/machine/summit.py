@@ -1,0 +1,100 @@
+"""The Summit machine preset (Table I, NVIDIA column).
+
+Summit: 4608 nodes, 2 × POWER9 + 6 × V100 (16 GB), dual-rail EDR
+InfiniBand (2 NICs × 12.5 GB/s each direction), NVLINK intra-node.
+Kernel-model calibration targets:
+
+- cuBLAS mixed GEMM is smooth and already efficient at B = 768-1024
+  (Fig 5; the paper picks B = 768);
+- cuSOLVER GETRF is respectable but still the critical-path constraint;
+- end-to-end: 1.411 EFLOPS on P = 162×162 GCDs with N_L = 61440
+  (≈ 53.8 TF/GCD effective), and HPL-AI ≈ 9.5 × HPL
+  (Summit HPL R_max = 148.6 PF).
+"""
+
+from __future__ import annotations
+
+from repro.machine.kernels import CpuKernelModel, GpuKernelModel
+from repro.machine.spec import GpuSpec, MachineSpec, MpiModel, NetworkSpec, NodeSpec
+
+V100 = GpuSpec(
+    model="NVIDIA V100",
+    memory_gib=16.0,
+    fp16_tflops=125.0,
+    fp32_tflops=15.7,
+    fp64_tflops=7.8,
+    hbm_bw_gbs=900.0,
+)
+
+SUMMIT_NETWORK = NetworkSpec(
+    nics_per_node=2,
+    nic_bw_gbs=12.5,
+    inter_node_latency_s=1.5e-6,
+    intra_node_bw_gbs=50.0,
+    intra_node_latency_s=3.0e-7,
+    nic_attached_to_gpu=False,
+    topology="fat-tree",
+    topology_group_size=18,  # nodes per EDR leaf switch
+)
+
+SUMMIT_NODE = NodeSpec(
+    cpu_model="Power9",
+    cpu_memory_gib=512.0,
+    cpu_memory_bw_gbs=270.0,
+    gcds_per_node=6,
+    gpu=V100,
+    network=SUMMIT_NETWORK,
+    cpu_os_reserved_gib=30.0,
+)
+
+SUMMIT_GPU_KERNELS = GpuKernelModel(
+    gemm_peak_tflops=95.0,
+    gemm_b_half=160.0,
+    gemm_mn_half=400.0,
+    gemm_roughness=0.05,  # cuBLAS: mild non-uniformity
+    lda_penalty_stride=0,  # no observed LDA pathology on V100
+    lda_penalty_factor=1.0,
+    getrf_peak_tflops=1.2,
+    getrf_n_half=1024.0,
+    trsm_peak_tflops=12.0,
+    trsm_b_half=256.0,
+    trsm_n_half=4096.0,
+    fp64_gemm_peak_tflops=6.9,
+    fp64_gemm_b_half=96.0,
+    cast_bw_gbs=820.0,
+    h2d_bw_gbs=45.0,  # NVLINK CPU<->GPU on Summit
+)
+
+SUMMIT_CPU_KERNELS = CpuKernelModel(
+    gemv_gflops=11.0,  # per-rank share of POWER9 stream bandwidth
+    trsv_gflops=6.0,
+    regen_entries_per_s=2.0e9,
+)
+
+SUMMIT = MachineSpec(
+    name="summit",
+    platform="cuda",
+    num_nodes=4608,
+    node=SUMMIT_NODE,
+    gpu_kernels=SUMMIT_GPU_KERNELS,
+    cpu_kernels=SUMMIT_CPU_KERNELS,
+    # Spectrum MPI: Bcast tuned for the fat tree; IBcast pathologically slow.
+    mpi=MpiModel(
+        bcast_bw_boost=1.35,
+        ibcast_derate=0.22,
+        bcast_hierarchical=True,
+        bcast_segments=64,
+    ),
+    hpl_rmax_pflops=148.6,
+    notes=(
+        "OLCF pre-exascale system. MPI broadcast (Spectrum MPI) is highly "
+        "optimized for the fat tree; ring broadcasts do NOT help here "
+        "(Finding 6). Port binding to both EDR rails is essential "
+        "(Finding 5)."
+    ),
+)
+
+
+def summit() -> MachineSpec:
+    """Return the Summit preset (convenience accessor)."""
+    return SUMMIT

@@ -1,0 +1,217 @@
+"""Per-iteration critical-path model of the full benchmark (eqs. 1-3, 5).
+
+``estimate_run`` walks the N/B factorization steps, pricing each phase
+with the same machine kernel models the event engine uses:
+
+    T_iter = T_GETRF + T_DIAG_BCAST + T_TRSM + T_CAST
+             + overlap(T_PANEL_BCAST, T_GEMM)           (look-ahead)
+
+where ``overlap(a, b) = max(a, b)`` replaces ``a + b`` when look-ahead
+hides the panel broadcast under the trailing update (Section IV-B), and
+iterative refinement is priced with the executor formulas.  The whole
+estimate costs O(N/B), making the paper's achievement-run configurations
+(P = 172², N = 20.6M) instantaneous to evaluate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from math import ceil, log2
+from typing import Dict, List, Optional
+
+from repro.core.config import BenchmarkConfig
+from repro.machine.topology import CommCosts
+from repro.model.comm_model import bcast_time, panel_comm_time
+from repro.util import flops as fl
+
+
+#: Fraction of the panel-broadcast time that cannot be hidden under the
+#: trailing GEMM even with look-ahead: progression overheads, receive-side
+#: protocol work, and pipeline fill.  Perfect overlap (0.0) makes every
+#: broadcast strategy look identical once GEMM dominates, which is not
+#: what the paper measured; 0.3 reproduces the observed sensitivity of
+#: total performance to the broadcast choice (Figs 4/8).
+OVERLAP_FLOOR = 0.12
+
+
+@dataclass(frozen=True)
+class IterationCosts:
+    """Phase costs of one factorization step (seconds)."""
+
+    k: int
+    getrf: float
+    diag_bcast: float
+    trsm: float
+    cast: float
+    gemm: float
+    panel_bcast: float
+    exposed_comm: float
+    total: float
+
+
+@dataclass
+class AnalyticResult:
+    """Modelled run outcome; mirrors the fields of RunResult it can."""
+
+    config: BenchmarkConfig
+    elapsed: float
+    elapsed_factorization: float
+    elapsed_refinement: float
+    gflops_per_gcd: float
+    total_flops_per_s: float
+    breakdown: Dict[str, float] = field(default_factory=dict)
+    iterations: List[IterationCosts] = field(default_factory=list)
+
+    def summary(self) -> Dict[str, object]:
+        """Headline metrics merged with the configuration facts."""
+        d = self.config.describe()
+        d.update(
+            elapsed_s=round(self.elapsed, 3),
+            gflops_per_gcd=round(self.gflops_per_gcd, 2),
+            total_flops=self.total_flops_per_s,
+        )
+        return d
+
+
+def estimate_iteration(
+    cfg: BenchmarkConfig, costs: CommCosts, k: int, speed: float = 1.0
+) -> IterationCosts:
+    """Price factorization step ``k`` on the critical path.
+
+    Local trailing extents use the *pivot* row/column's view (the ranks
+    on the critical path): their local panel lengths are the ceiling of
+    the remaining blocks over the grid dimension.  ``speed`` scales the
+    compute kernels only (fleet variability / warm-up).
+    """
+    b = cfg.block
+    nb = cfg.num_blocks
+    remaining = nb - (k + 1)  # trailing blocks beyond the diagonal
+    rows_loc = ceil(remaining / cfg.p_rows) * b
+    cols_loc = ceil(remaining / cfg.p_cols) * b
+    km = cfg.machine.gpu_kernels
+
+    t_getrf = km.getrf_time(b) / speed
+    # Two small B×B FP32 broadcasts along the pivot row and column.
+    diag_bytes = b * b * 4
+    t_diag = bcast_time(
+        cfg.diag_algorithm, diag_bytes, cfg.p_cols, costs, cfg.machine.mpi,
+        sharing=1, nodes_spanned=cfg.node_grid.k_cols,
+    ) + bcast_time(
+        cfg.diag_algorithm, diag_bytes, cfg.p_rows, costs, cfg.machine.mpi,
+        sharing=1, nodes_spanned=cfg.node_grid.k_rows,
+    )
+    # The diagonal owner sits in both pivot panels: its TRSMs serialize.
+    t_trsm = (km.trsm_time(b, cols_loc) + km.trsm_time(b, rows_loc)) / speed
+    t_cast = (km.cast_time(cols_loc * b) + km.cast_time(rows_loc * b)) / speed
+    t_gemm = km.gemm_time(rows_loc, cols_loc, b, lda=cfg.local_rows) / speed
+    t_bcast = panel_comm_time(
+        cfg.bcast_algorithm,
+        u_bytes=cols_loc * b * 2.0,
+        l_bytes=rows_loc * b * 2.0,
+        cfg=cfg,
+        costs=costs,
+    )
+    if cfg.lookahead:
+        # The paper's look-ahead model: the panel chain stays serial on
+        # the pivot ranks, but the panel broadcast rides under the bulk
+        # trailing GEMM — the last two terms of eq. (1) become
+        # max[T(BCAST_PANEL), T(GEMM)].  (The event engine additionally
+        # pipelines the panel chain across rotating pivots, so it runs
+        # somewhat faster than this model at panel-dominated sizes —
+        # consistent with the paper calling its model an upper-bound
+        # guideline.)
+        exposed = max(t_bcast - t_gemm, OVERLAP_FLOOR * t_bcast)
+        total = t_getrf + t_diag + t_trsm + t_cast + t_gemm + exposed
+    else:
+        exposed = t_bcast
+        total = t_getrf + t_diag + t_trsm + t_cast + t_gemm + t_bcast
+    return IterationCosts(
+        k=k,
+        getrf=t_getrf,
+        diag_bcast=t_diag,
+        trsm=t_trsm,
+        cast=t_cast,
+        gemm=t_gemm,
+        panel_bcast=t_bcast,
+        exposed_comm=exposed,
+        total=total,
+    )
+
+
+def _refinement_time(cfg: BenchmarkConfig, costs: CommCosts) -> float:
+    """IR cost from the same formulas the phantom executor charges."""
+    cm = cfg.machine.cpu_kernels
+    n, b, nb = cfg.n, cfg.block, cfg.num_blocks
+    iters = cfg.ir_fixed_iters
+    # Residual: N^2/P regenerated entries + GEMV per rank per iteration,
+    # plus one more residual evaluation for the converged check.
+    cols = cfg.col_dim.blocks_per_proc
+    entries = cols * cfg.local_rows * b
+    t_resid = cm.regen_time(entries) + cm.gemv_time(cfg.local_rows, cols * b)
+    allreduce = 2 * ceil(log2(max(cfg.num_ranks, 2))) * (
+        costs.inter_latency + n * 8 / costs.node_nic_bw
+    )
+    # Sweeps: serial chain of nb small steps plus the per-rank deferred
+    # block GEMVs (half the column's blocks on average).
+    step = (
+        cm.trsv_time(b)
+        + cm.gemv_time(b, b)
+        + 2 * (costs.inter_latency + b * 8 / costs.node_nic_bw)
+        * ceil(log2(max(cfg.p_rows, 2)))
+    )
+    deferred = cm.gemv_time(cfg.local_rows, b) * (nb / cfg.p_cols) / 2.0
+    t_sweep = nb * step + deferred
+    per_iter = t_resid + allreduce + 2 * t_sweep + allreduce
+    return (iters + 1) * (t_resid + allreduce) + iters * (
+        per_iter - t_resid - allreduce
+    )
+
+
+def estimate_run(
+    cfg: BenchmarkConfig,
+    pipeline_multiplier: float = 1.0,
+    global_speed: float = 1.0,
+    keep_iterations: bool = False,
+) -> AnalyticResult:
+    """Model the full benchmark at any scale in O(N/B).
+
+    ``pipeline_multiplier`` models fleet variability: in a bulk-
+    synchronous factorization the slowest GCD gates every iteration
+    (see :meth:`repro.machine.GcdFleet.pipeline_multiplier`).
+    ``global_speed`` models warm-up effects (Fig 12).
+    """
+    costs = CommCosts(
+        cfg.machine, port_binding=cfg.port_binding, gpu_aware=cfg.gpu_aware
+    )
+    speed = pipeline_multiplier * global_speed
+    totals: Dict[str, float] = {
+        "getrf": 0.0, "diag_bcast": 0.0, "trsm": 0.0, "cast": 0.0,
+        "gemm": 0.0, "exposed_comm": 0.0,
+    }
+    iters: List[IterationCosts] = []
+    t_fact = 0.0
+    for k in range(cfg.num_blocks):
+        it = estimate_iteration(cfg, costs, k, speed=speed)
+        t_fact += it.total
+        totals["getrf"] += it.getrf
+        totals["trsm"] += it.trsm
+        totals["cast"] += it.cast
+        totals["gemm"] += it.gemm
+        totals["diag_bcast"] += it.diag_bcast
+        totals["exposed_comm"] += it.exposed_comm
+        if keep_iterations:
+            iters.append(it)
+    t_fact += cfg.machine.gpu_kernels.h2d_time(cfg.local_fp32_bytes)
+    t_ir = _refinement_time(cfg, costs) / speed
+    elapsed = t_fact + t_ir
+    totals["refinement"] = t_ir
+    return AnalyticResult(
+        config=cfg,
+        elapsed=elapsed,
+        elapsed_factorization=t_fact,
+        elapsed_refinement=t_ir,
+        gflops_per_gcd=fl.per_gcd_gflops(cfg.n, cfg.num_ranks, elapsed),
+        total_flops_per_s=fl.hpl_ai_flops(cfg.n) / elapsed,
+        breakdown=totals,
+        iterations=iters,
+    )

@@ -1,0 +1,123 @@
+"""Roofline analysis: why the balance of these machines made HPL-AI fly.
+
+The paper's conclusion credits "an architecturally well balanced system".
+This module quantifies that with two rooflines per machine:
+
+- **memory roofline** — each kernel's arithmetic intensity (flops per
+  HBM byte) against the GCD's compute/bandwidth balance point.  The
+  trailing GEMM at block size B has AI ~ B/3 flops/byte, far above
+  either GPU's balance (~100 flops/byte), which is *why* mixed precision
+  can run near peak; CAST and GEMV sit below it and are bandwidth-bound
+  by construction.
+- **network roofline** — flops computed per byte communicated.  Per
+  iteration a rank computes ``2 N_Lr N_Lc B`` flops and moves
+  ``~2 (N_Lr + N_Lc) B`` panel bytes, giving AI ~ N_L (flops/byte) —
+  the surface-to-volume argument for big local memories (Finding 1:
+  "codes should attempt to run as much as possible on GPUs ... and the
+  larger high bandwidth memory").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.errors import ConfigurationError
+from repro.machine.spec import MachineSpec
+from repro.machine.topology import CommCosts
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """One kernel/phase on a roofline."""
+
+    name: str
+    arithmetic_intensity: float  # flops per byte
+    attainable_tflops: float
+    bound: str  # "compute" or "memory"/"network"
+
+
+def machine_balance(machine: MachineSpec) -> float:
+    """HBM balance point: FP16-peak flops per HBM byte."""
+    return machine.node.gpu.fp16_tflops * 1e12 / (
+        machine.node.gpu.hbm_bw_gbs * 1e9
+    )
+
+
+def network_balance(machine: MachineSpec, port_binding: bool = True) -> float:
+    """Network balance point: per-GCD FP16-peak flops per off-node byte."""
+    costs = CommCosts(machine, port_binding=port_binding)
+    per_gcd_bw = costs.node_nic_bw / machine.node.gcds_per_node
+    return machine.node.gpu.fp16_tflops * 1e12 / per_gcd_bw
+
+
+def memory_roofline(
+    machine: MachineSpec, block: int, n_local: int
+) -> List[RooflinePoint]:
+    """Kernel points on the HBM roofline for one configuration."""
+    if block < 1 or n_local < block:
+        raise ConfigurationError("need n_local >= block >= 1")
+    peak = machine.node.gpu.fp16_tflops * 1e12
+    bw = machine.node.gpu.hbm_bw_gbs * 1e9
+    balance = peak / bw
+
+    points = []
+
+    def add(name: str, flops: float, bytes_moved: float,
+            ceiling: float = peak):
+        ai = flops / bytes_moved
+        attainable = min(ceiling, ai * bw)
+        points.append(RooflinePoint(
+            name=name,
+            arithmetic_intensity=ai,
+            attainable_tflops=attainable / 1e12,
+            bound="compute" if ai >= ceiling / bw else "memory",
+        ))
+
+    m = n_local
+    b = block
+    # GEMM: read fp16 panels + read/write fp32 trailing.
+    add("gemm", 2.0 * m * m * b,
+        2.0 * (m * b * 2) + 2.0 * (m * m * 4))
+    # TRSM: fp32 triangle against m rhs (fp32 peak ceiling ~ peak/6).
+    add("trsm", float(b * b * m), 2.0 * (b * m * 4) + b * b * 4,
+        ceiling=peak / 6.0)
+    # CAST: pure streaming.
+    add("cast", float(m * b), m * b * (4 + 2))
+    # GETRF on the B x B diagonal block (fp32 ceiling).
+    add("getrf", (2.0 / 3.0) * b ** 3, 3.0 * b * b * 4, ceiling=peak / 6.0)
+    return points
+
+
+def network_roofline(
+    machine: MachineSpec, block: int, n_local: int, port_binding: bool = True
+) -> RooflinePoint:
+    """The per-iteration compute/communication balance of one rank."""
+    if block < 1 or n_local < block:
+        raise ConfigurationError("need n_local >= block >= 1")
+    flops = 2.0 * n_local * n_local * block
+    bytes_moved = 2.0 * 2.0 * n_local * block  # both fp16 panels, in+out
+    ai = flops / bytes_moved  # = n_local / 2
+    balance = network_balance(machine, port_binding)
+    costs = CommCosts(machine, port_binding=port_binding)
+    per_gcd_bw = costs.node_nic_bw / machine.node.gcds_per_node
+    attainable = min(
+        machine.node.gpu.fp16_tflops * 1e12, ai * per_gcd_bw
+    )
+    return RooflinePoint(
+        name="iteration (network)",
+        arithmetic_intensity=ai,
+        attainable_tflops=attainable / 1e12,
+        bound="compute" if ai >= balance else "network",
+    )
+
+
+def min_local_size_for_compute_bound(
+    machine: MachineSpec, port_binding: bool = True
+) -> int:
+    """Smallest N_L at which the network stops bounding the iteration.
+
+    From AI = N_L / 2 >= network balance point: the quantitative form of
+    "make the local problem as large as memory allows".
+    """
+    return int(2 * network_balance(machine, port_binding)) + 1

@@ -1,0 +1,133 @@
+"""Parameter sweeps: the tuning studies of Section V as reusable code.
+
+Each sweep evaluates the analytic model over one knob — block size B
+(Fig 4), local problem size N_L (Section V-D), node-local grid
+(Fig 8 / Finding 8) — and returns ordered records the benchmarks print.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, Iterable, List, Optional
+
+from repro.core.config import BenchmarkConfig
+from repro.errors import ConfigurationError
+from repro.machine.spec import MachineSpec
+from repro.model.perf_model import estimate_run
+
+
+def _make_cfg(machine: MachineSpec, n: int, block: int, p: int, **kw) -> BenchmarkConfig:
+    return BenchmarkConfig(
+        n=n, block=block, machine=machine, p_rows=p, p_cols=p, **kw
+    )
+
+
+def sweep_block_sizes(
+    machine: MachineSpec,
+    n_local: int,
+    p: int,
+    blocks: Iterable[int],
+    **kw,
+) -> List[Dict[str, object]]:
+    """Fig 4: per-GCD throughput as a function of B at fixed N_L.
+
+    Block sizes that do not divide ``n_local`` are skipped (the paper
+    only considers padding-free configurations).
+    """
+    out: List[Dict[str, object]] = []
+    for b in blocks:
+        if n_local % b != 0:
+            continue
+        cfg = _make_cfg(machine, n_local * p, b, p, **kw)
+        res = estimate_run(cfg)
+        out.append(
+            {
+                "B": b,
+                "gflops_per_gcd": res.gflops_per_gcd,
+                "elapsed_s": res.elapsed,
+                "exposed_comm_s": res.breakdown["exposed_comm"],
+                "getrf_s": res.breakdown["getrf"],
+            }
+        )
+    if not out:
+        raise ConfigurationError(
+            f"no block size in {list(blocks)} divides n_local={n_local}"
+        )
+    return out
+
+
+def best_block_size(machine, n_local, p, blocks, **kw) -> int:
+    """The B the tuner would pick (highest modelled per-GCD rate)."""
+    rows = sweep_block_sizes(machine, n_local, p, blocks, **kw)
+    return max(rows, key=lambda r: r["gflops_per_gcd"])["B"]
+
+
+def sweep_local_sizes(
+    machine: MachineSpec,
+    block: int,
+    p: int,
+    locals_: Iterable[int],
+    **kw,
+) -> List[Dict[str, object]]:
+    """Section V-D: N_L tuning (the 119808-beats-122880 study)."""
+    out = []
+    for nl in locals_:
+        if nl % block != 0:
+            continue
+        cfg = _make_cfg(machine, nl * p, block, p, **kw)
+        res = estimate_run(cfg)
+        out.append(
+            {
+                "N_L": nl,
+                "N": cfg.n,
+                "gflops_per_gcd": res.gflops_per_gcd,
+                "elapsed_s": res.elapsed,
+            }
+        )
+    if not out:
+        raise ConfigurationError(
+            f"no local size in {list(locals_)} is a multiple of B={block}"
+        )
+    return out
+
+
+def sweep_node_grids(
+    machine: MachineSpec,
+    n_local: int,
+    block: int,
+    p: int,
+    bcast_algorithm: str,
+    grids: Optional[Iterable[tuple]] = None,
+    **kw,
+) -> List[Dict[str, object]]:
+    """Fig 8 / Finding 8: node-local grid (Q_r × Q_c) tuning.
+
+    Defaults to every factorization of the machine's GCDs-per-node that
+    tiles the process grid.
+    """
+    q = machine.node.gcds_per_node
+    if grids is None:
+        grids = [(qr, q // qr) for qr in range(1, q + 1) if q % qr == 0]
+    out = []
+    for qr, qc in grids:
+        if p % qr != 0 or p % qc != 0:
+            continue
+        cfg = _make_cfg(
+            machine, n_local * p, block, p,
+            q_rows=qr, q_cols=qc, bcast_algorithm=bcast_algorithm, **kw
+        )
+        res = estimate_run(cfg)
+        out.append(
+            {
+                "grid": f"{qr}x{qc}",
+                "q_rows": qr,
+                "q_cols": qc,
+                "gflops_per_gcd": res.gflops_per_gcd,
+                "elapsed_s": res.elapsed,
+            }
+        )
+    if not out:
+        raise ConfigurationError(
+            f"no node-local grid of {q} GCDs tiles a {p}x{p} process grid"
+        )
+    return out

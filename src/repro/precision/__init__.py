@@ -1,0 +1,43 @@
+"""Precision descriptors and software emulation of mixed-precision casts.
+
+HPL-AI stores the trailing matrix in FP32, factors panels into FP16, and
+refines in FP64.  This package centralizes the three precisions and the
+cast operations (``CAST`` / ``TRANS_CAST`` in the paper's Algorithm 1) so
+every other module speaks the same vocabulary.
+"""
+
+from repro.precision.types import (
+    FP16,
+    FP32,
+    FP64,
+    Precision,
+    precision_of,
+)
+from repro.precision.rounding import (
+    cast,
+    round_to,
+    trans_cast,
+)
+from repro.precision.analysis import (
+    backward_error_bound,
+    hpl_ai_tolerance,
+    unit_roundoff,
+)
+from repro.precision.bfloat import BF16, cast_panel, round_to_bf16
+
+__all__ = [
+    "FP16",
+    "FP32",
+    "FP64",
+    "Precision",
+    "precision_of",
+    "cast",
+    "round_to",
+    "trans_cast",
+    "backward_error_bound",
+    "hpl_ai_tolerance",
+    "unit_roundoff",
+    "BF16",
+    "cast_panel",
+    "round_to_bf16",
+]

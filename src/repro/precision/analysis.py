@@ -1,0 +1,69 @@
+"""Error-analysis helpers: roundoff bounds and the HPL-AI stopping test.
+
+The convergence criterion on Algorithm 1 line 44 is
+
+    ||r||_inf < 8 * N * eps * (2 * ||diag(A)||_inf * ||x||_inf + ||b||_inf)
+
+with eps the FP64 machine epsilon — i.e. the solution is accepted once
+the residual is at the level of FP64 backward error for the problem.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.precision.types import FP64, precision_of
+
+
+def unit_roundoff(precision) -> float:
+    """Unit roundoff u of a precision (half the machine epsilon)."""
+    return precision_of(precision).unit_roundoff
+
+
+def hpl_ai_tolerance(
+    n: int,
+    diag_norm_inf: float,
+    x_norm_inf: float,
+    b_norm_inf: float,
+    eps: float | None = None,
+) -> float:
+    """Right-hand side of the HPL-AI convergence test (Algorithm 1 l.44)."""
+    if eps is None:
+        eps = FP64.eps
+    return 8.0 * n * eps * (2.0 * diag_norm_inf * x_norm_inf + b_norm_inf)
+
+
+def backward_error_bound(n: int, precision) -> float:
+    """Classical LU backward-error growth bound ``~ n * u`` for a precision.
+
+    For an unpivoted LU of a diagonally dominant matrix the element growth
+    factor is at most 2, so ``||A - LU|| <= c n u ||A||`` with a modest
+    constant; we expose the simple ``n * u`` envelope that tests use to
+    check the computed factors.
+    """
+    return n * unit_roundoff(precision)
+
+
+def residual_norm(a_times_x: np.ndarray, b: np.ndarray) -> float:
+    """Infinity norm of ``b - A x`` given a precomputed ``A x``."""
+    return float(np.max(np.abs(b - a_times_x)))
+
+
+def scaled_residual(
+    r_norm_inf: float,
+    n: int,
+    a_norm_inf: float,
+    x_norm_inf: float,
+    eps: float | None = None,
+) -> float:
+    """The HPL-style scaled residual ``||r|| / (eps * ||A|| * ||x|| * N)``.
+
+    Values of O(1) or below indicate a solution accurate to working
+    (FP64) precision; HPL's acceptance threshold is 16.
+    """
+    if eps is None:
+        eps = FP64.eps
+    denom = eps * a_norm_inf * x_norm_inf * n
+    if denom == 0.0:
+        return float("inf") if r_norm_inf > 0 else 0.0
+    return r_norm_inf / denom

@@ -1,0 +1,103 @@
+"""FP16 dynamic-range analysis for the HPL-AI matrix construction.
+
+Half precision has a narrow window of *normal* numbers
+(~6.1e-5 .. 65504).  The benchmark matrix used here scales off-diagonal
+entries by ``1/(2N)`` to guarantee diagonal dominance, which pushes the
+FP16 panel entries toward the underflow boundary as N grows — the
+reason exact-arithmetic runs are capped (see
+:data:`repro.lcg.matrix.FP16_SAFE_N`) while extreme-scale runs are
+timing-only.  This module quantifies those margins and the equilibration
+that would extend the range, mirroring the scaling analysis HPL-AI
+implementations must do (the Fugaku paper devotes a section to it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import floor, log2
+
+from repro.errors import ConfigurationError
+from repro.precision.types import FP16
+
+
+@dataclass(frozen=True)
+class Fp16SafetyReport:
+    """Dynamic-range margins of the benchmark matrix at size ``n``."""
+
+    n: int
+    #: magnitude scale of off-diagonal entries (~ 1/(4N) on average)
+    offdiag_scale: float
+    #: magnitude of the smallest representable *normal* FP16 value
+    min_normal: float
+    #: off-diagonal scale / min normal: >1 means entries stay normal
+    normal_margin: float
+    #: largest diagonal magnitude (~1.5) / FP16 max: overflow headroom
+    overflow_headroom: float
+    #: entries denormalize (precision loss) at this size
+    safe: bool
+    #: power-of-two factor that would re-center the off-diagonals in the
+    #: middle of FP16's exponent range (exact in binary FP: no rounding)
+    suggested_scale: float
+
+    def describe(self) -> str:
+        """One-line SAFE/UNSAFE summary with the suggested scaling."""
+        status = "SAFE" if self.safe else "UNSAFE (entries denormalize)"
+        return (
+            f"N={self.n}: off-diagonal ~{self.offdiag_scale:.2e}, "
+            f"normal margin {self.normal_margin:.1f}x, "
+            f"overflow headroom {self.overflow_headroom:.1e}x -> {status}; "
+            f"scaling by {self.suggested_scale:g} would re-center the range"
+        )
+
+
+#: smallest acceptable ratio of mean entry magnitude to the FP16 normal
+#: boundary: 0.5 allows entries to dip one bit into gradual underflow,
+#: which iterative refinement absorbs without extra iterations.
+_MARGIN = 0.5
+
+
+def fp16_safety(n: int) -> Fp16SafetyReport:
+    """Analyze FP16 margins for the benchmark matrix of size ``n``."""
+    if n < 1:
+        raise ConfigurationError(f"n must be positive, got {n}")
+    offdiag = 0.125 / n  # E|u| / (2N) with u ~ U(-0.5, 0.5), E|u| = 0.25
+    margin = offdiag / FP16.min_normal
+    headroom = FP16.max / 1.5
+    # Exact power-of-two equilibration: center offdiag near sqrt of the
+    # normal range's geometric middle (~2^-7 for binary16).
+    target = 2.0 ** -7
+    exponent = floor(log2(target / offdiag)) if offdiag > 0 else 0
+    return Fp16SafetyReport(
+        n=n,
+        offdiag_scale=offdiag,
+        min_normal=FP16.min_normal,
+        normal_margin=margin,
+        overflow_headroom=headroom,
+        safe=margin >= _MARGIN,
+        suggested_scale=float(2.0 ** exponent),
+    )
+
+
+def max_exact_n(margin: float = _MARGIN) -> int:
+    """Largest N whose off-diagonal entries keep ``margin``x above the
+    FP16 subnormal boundary under the 1/(2N) construction."""
+    if margin <= 0:
+        raise ConfigurationError(f"margin must be positive, got {margin}")
+    return int(0.125 / (margin * FP16.min_normal))
+
+
+def scaling_headroom(margin: float = _MARGIN) -> float:
+    """Range factor gained by power-of-two equilibration.
+
+    Centering the panel-entry magnitudes at 2^-7 (the middle of FP16's
+    normal exponent range) instead of letting them sit at ``margin``
+    subnormal-boundaries buys this multiplicative factor of extra
+    dynamic range — the knob an implementation can turn before having to
+    change the matrix construction itself.  Note a *global* scale cannot
+    help the L panel (its entries are ratios, invariant under uniform
+    scaling); only two-sided row/column equilibration moves them, which
+    is why the report suggests exact powers of two (no rounding error).
+    """
+    if margin <= 0:
+        raise ConfigurationError(f"margin must be positive, got {margin}")
+    return (2.0 ** -7) / (margin * FP16.min_normal)

@@ -1,0 +1,48 @@
+"""Discrete-event SPMD simulator.
+
+Rank programs are Python generators that yield communication/compute
+:mod:`ops <repro.simulate.events>`; the :class:`~repro.simulate.engine.Engine`
+advances per-rank virtual clocks, matches messages, charges shared NIC
+resources (modelling eq. 5's NIC-sharing effect from first principles),
+and — when payloads are real NumPy arrays — moves the actual data so the
+very same run is numerically exact.  Swapping payloads for
+:class:`~repro.simulate.phantom.PhantomArray` turns the identical rank
+program into a pure timing simulation that scales to thousands of ranks.
+"""
+
+from repro.simulate.phantom import PhantomArray, nbytes_of
+from repro.simulate.events import (
+    Allreduce,
+    Barrier,
+    Compute,
+    Irecv,
+    Isend,
+    Now,
+    Recv,
+    Reduce,
+    RouteSend,
+    RouteSpec,
+    Send,
+    Wait,
+)
+from repro.simulate.engine import Engine, EngineResult, RankStats
+
+__all__ = [
+    "PhantomArray",
+    "nbytes_of",
+    "Allreduce",
+    "Barrier",
+    "Compute",
+    "Irecv",
+    "Isend",
+    "Now",
+    "Recv",
+    "Reduce",
+    "RouteSend",
+    "RouteSpec",
+    "Send",
+    "Wait",
+    "Engine",
+    "EngineResult",
+    "RankStats",
+]

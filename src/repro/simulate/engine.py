@@ -1,0 +1,564 @@
+"""The conservative discrete-event engine driving SPMD rank programs.
+
+Each rank is a generator yielding ops (:mod:`repro.simulate.events`).
+The engine keeps a per-rank virtual clock and always advances the ready
+rank with the *smallest* clock, so shared-resource charging (the
+per-node NIC free times) is causally consistent.  Message arrival times
+are fixed when the send is posted:
+
+    start   = max(sender clock, sender-node NIC free, receiver-node NIC free)
+    xfer    = size / (effective node NIC bandwidth × algorithm speed)
+    arrival = start + latency + xfer + host-staging (if not GPU-aware)
+
+Intra-node messages ride the GPU interconnect without contending for
+NICs.  This is exactly the mechanism behind the paper's eq. (5): ranks
+on one node that broadcast in the same direction serialize on the node's
+NICs, so a ``Q_r × Q_c`` node-local grid trades row-traffic sharing
+against column-traffic sharing.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import defaultdict, deque
+from dataclasses import dataclass, field
+from math import ceil, log2
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import DeadlockError, SimulationError
+from repro.machine.spec import MpiModel
+from repro.machine.topology import CommCosts
+from repro.simulate.events import (
+    Allreduce,
+    Barrier,
+    BlockUntil,
+    Compute,
+    Irecv,
+    Isend,
+    Message,
+    Now,
+    PendingCollective,
+    Recv,
+    Reduce,
+    RouteSend,
+    Send,
+    Wait,
+)
+from repro.simulate.phantom import PhantomArray, nbytes_of
+
+_READY = 0
+_BLOCKED_RECV = 1
+_BLOCKED_WAIT = 2
+_BLOCKED_COLL = 3
+_DONE = 4
+
+#: clock charged for posting a nonblocking operation
+_POST_OVERHEAD_S = 5.0e-7
+
+
+@dataclass
+class RankStats:
+    """Per-rank accounting: seconds per category plus traffic counters."""
+
+    times: Dict[str, float] = field(default_factory=lambda: defaultdict(float))
+    bytes_sent: int = 0
+    messages_sent: int = 0
+
+    def add(self, kind: str, seconds: float) -> None:
+        """Accumulate seconds under a category (no-op for <= 0)."""
+        if seconds > 0:
+            self.times[kind] += seconds
+
+    @property
+    def total_compute(self) -> float:
+        return sum(
+            v for k, v in self.times.items() if not k.startswith("wait_")
+        )
+
+    @property
+    def total_wait(self) -> float:
+        return sum(v for k, v in self.times.items() if k.startswith("wait_"))
+
+
+@dataclass
+class EngineResult:
+    """Outcome of an engine run."""
+
+    #: virtual wall-clock: the time the last rank finished
+    elapsed: float
+    #: per-rank generator return values
+    returns: List[Any]
+    #: per-rank time/traffic accounting
+    stats: List[RankStats]
+    #: total events processed (diagnostic)
+    events: int
+    #: messages posted but never received — a healthy SPMD program
+    #: drains every mailbox; nonzero indicates a protocol bug
+    undelivered: int = 0
+
+
+class _RankState:
+    __slots__ = (
+        "gen", "clock", "status", "value", "block_key", "block_handle",
+        "done_value",
+    )
+
+    def __init__(self, gen) -> None:
+        self.gen = gen
+        self.clock = 0.0
+        self.status = _READY
+        self.value: Any = None  # value to send into the generator next
+        self.block_key: Optional[Tuple[int, int, int]] = None
+        self.block_handle: Optional[int] = None
+        self.done_value: Any = None
+
+
+class Engine:
+    """Runs a set of rank programs to completion over a modelled network.
+
+    Parameters
+    ----------
+    num_ranks:
+        World size.
+    comm_costs:
+        Network/bandwidth/latency model (machine + port binding +
+        GPU-awareness).
+    node_of_rank:
+        Maps a rank to its node id (from :class:`repro.grid.NodeGrid`);
+        ``None`` places every rank on its own node.
+    mpi:
+        Library-behaviour knobs; defaults to the machine's.
+    rate_multipliers:
+        Optional per-rank GCD speed multipliers (from
+        :class:`repro.machine.GcdFleet`); Compute durations divide by
+        these.
+    max_events:
+        Safety valve against runaway programs.
+    record_timeline:
+        When True, every Compute op and blocking wait is appended to
+        :attr:`timeline` as ``(rank, start, end, kind)`` — Gantt-chart
+        raw material (costly at scale; off by default).
+    """
+
+    def __init__(
+        self,
+        num_ranks: int,
+        comm_costs: CommCosts,
+        node_of_rank: Optional[Callable[[int], int]] = None,
+        mpi: Optional[MpiModel] = None,
+        rate_multipliers: Optional[Sequence[float]] = None,
+        max_events: int = 200_000_000,
+        record_timeline: bool = False,
+    ) -> None:
+        if num_ranks <= 0:
+            raise SimulationError(f"num_ranks must be positive, got {num_ranks}")
+        self.num_ranks = num_ranks
+        self.costs = comm_costs
+        self.node_of = node_of_rank or (lambda r: r)
+        self.mpi = mpi if mpi is not None else comm_costs.machine.mpi
+        if rate_multipliers is None:
+            self._mult = np.ones(num_ranks)
+        else:
+            self._mult = np.asarray(rate_multipliers, dtype=float)
+            if self._mult.shape != (num_ranks,):
+                raise SimulationError(
+                    f"rate_multipliers must have shape ({num_ranks},), got "
+                    f"{self._mult.shape}"
+                )
+            if self._mult.min() <= 0:
+                raise SimulationError("rate multipliers must be positive")
+        self.max_events = max_events
+
+        # resources: per-node NIC next-free times (egress / ingress) and
+        # per-rank GPU-interconnect egress (intra-node transfers serialize
+        # on the sender's own fabric link)
+        self._nic_out: Dict[int, float] = defaultdict(float)
+        self._nic_in: Dict[int, float] = defaultdict(float)
+        self._link_out: Dict[int, float] = defaultdict(float)
+
+        # message plumbing
+        self._mailbox: Dict[Tuple[int, int, int], deque] = defaultdict(deque)
+        self._recv_waiters: Dict[Tuple[int, int, int], deque] = defaultdict(deque)
+        self._handles: Dict[int, dict] = {}
+        self._next_handle = 1
+
+        # collectives
+        self._coll_seq: Dict[Tuple[Tuple[int, ...], str], List[int]] = {}
+        self._pending_coll: Dict[Tuple, PendingCollective] = {}
+
+        self.stats = [RankStats() for _ in range(num_ranks)]
+        self._events = 0
+        self.record_timeline = record_timeline
+        #: (rank, start, end, kind) spans when record_timeline is on
+        self.timeline: List[Tuple[int, float, float, str]] = []
+
+    # -- public API -----------------------------------------------------------
+
+    def run(self, program_factory: Callable[[int], Any]) -> EngineResult:
+        """Instantiate one generator per rank and run all to completion."""
+        self._ranks = [_RankState(program_factory(r)) for r in range(self.num_ranks)]
+        self._heap: List[Tuple[float, int]] = [
+            (0.0, r) for r in range(self.num_ranks)
+        ]
+        heapq.heapify(self._heap)
+
+        while self._heap:
+            clock, rank = heapq.heappop(self._heap)
+            st = self._ranks[rank]
+            if st.status != _READY or clock < st.clock:
+                continue  # stale heap entry
+            self._step(rank, st)
+            self._events += 1
+            if self._events > self.max_events:
+                raise SimulationError(
+                    f"exceeded max_events={self.max_events}; suspected "
+                    "runaway rank program"
+                )
+
+        not_done = [r for r, st in enumerate(self._ranks) if st.status != _DONE]
+        if not_done:
+            details = ", ".join(
+                f"rank {r}: {self._describe_block(self._ranks[r])}"
+                for r in not_done[:8]
+            )
+            raise DeadlockError(
+                f"{len(not_done)} rank(s) blocked with no progress possible "
+                f"({details})"
+            )
+        elapsed = max(st.clock for st in self._ranks)
+        return EngineResult(
+            elapsed=elapsed,
+            returns=[st.done_value for st in self._ranks],
+            stats=self.stats,
+            events=self._events,
+            undelivered=sum(len(q) for q in self._mailbox.values()),
+        )
+
+    # -- stepping --------------------------------------------------------------
+
+    def _step(self, rank: int, st: _RankState) -> None:
+        try:
+            op = st.gen.send(st.value)
+        except StopIteration as stop:
+            st.status = _DONE
+            st.done_value = stop.value
+            return
+        st.value = None
+        self._dispatch(rank, st, op)
+
+    def _resume(self, rank: int, value: Any = None) -> None:
+        st = self._ranks[rank]
+        st.status = _READY
+        st.value = value
+        heapq.heappush(self._heap, (st.clock, rank))
+
+    def _dispatch(self, rank: int, st: _RankState, op) -> None:
+        if isinstance(op, Compute):
+            self._op_compute(rank, st, op)
+        elif isinstance(op, Isend):
+            self._op_isend(rank, st, op, blocking=False)
+        elif isinstance(op, Send):
+            self._op_isend(rank, st, op, blocking=True)
+        elif isinstance(op, Recv):
+            self._op_recv(rank, st, op.src, op.tag, handle=None)
+        elif isinstance(op, Irecv):
+            h = self._new_handle({"type": "irecv", "key": (op.src, rank, op.tag)})
+            self._resume(rank, h)
+        elif isinstance(op, Wait):
+            self._op_wait(rank, st, op.handle)
+        elif isinstance(op, RouteSend):
+            self._op_route(rank, st, op)
+        elif isinstance(op, (Barrier, Allreduce, Reduce)):
+            self._op_collective(rank, st, op)
+        elif isinstance(op, Now):
+            self._resume(rank, st.clock)
+        elif isinstance(op, BlockUntil):
+            waited = max(op.time - st.clock, 0.0)
+            self.stats[rank].add(op.kind, waited)
+            st.clock = max(st.clock, op.time)
+            self._resume(rank)
+        else:
+            raise SimulationError(
+                f"rank {rank} yielded unsupported op {type(op).__name__}"
+            )
+
+    # -- op implementations --------------------------------------------------
+
+    def _op_compute(self, rank: int, st: _RankState, op: Compute) -> None:
+        if op.seconds < 0:
+            raise SimulationError(
+                f"negative compute time {op.seconds} from rank {rank}"
+            )
+        scaled = op.seconds / float(self._mult[rank])
+        if self.record_timeline and scaled > 0:
+            self.timeline.append((rank, st.clock, st.clock + scaled, op.kind))
+        st.clock += scaled
+        self.stats[rank].add(op.kind, scaled)
+        self._resume(rank)
+
+    def _transfer(
+        self, src: int, dst: int, size: float, ready: float, speed: float
+    ) -> Tuple[float, float]:
+        """Charge one point-to-point transfer; returns (departure, arrival).
+
+        ``ready`` is when the data is available at ``src``.  Intra-node
+        transfers serialize on the sender's GPU-fabric link; inter-node
+        transfers serialize on both nodes' NICs (the eq.-5 sharing
+        mechanism) and pay host staging when not GPU-aware.
+        """
+        src_node, dst_node = self.node_of(src), self.node_of(dst)
+        if src_node == dst_node:
+            start = max(ready, self._link_out[src])
+            xfer = size / self.costs.intra_bw
+            arrival = start + self.costs.intra_latency + xfer
+            done = start + xfer
+            self._link_out[src] = done
+        else:
+            bw = self.costs.node_nic_bw * speed
+            start = max(ready, self._nic_out[src_node], self._nic_in[dst_node])
+            xfer = size / bw
+            arrival = (
+                start
+                + self.costs.latency_between(src_node, dst_node)
+                + xfer
+                + self.costs.staging_time(size)
+            )
+            done = start + xfer
+            self._nic_out[src_node] = done
+            self._nic_in[dst_node] = done
+        self.stats[src].bytes_sent += int(size)
+        self.stats[src].messages_sent += 1
+        return done, arrival
+
+    def _schedule_transfer(
+        self, rank: int, st: _RankState, dst: int, payload, speed: float
+    ) -> Tuple[float, float]:
+        """Returns (sender_completion, arrival)."""
+        if not 0 <= dst < self.num_ranks:
+            raise SimulationError(f"rank {rank} sent to invalid rank {dst}")
+        return self._transfer(rank, dst, nbytes_of(payload), st.clock, speed)
+
+    def _op_isend(self, rank: int, st: _RankState, op, blocking: bool) -> None:
+        if op.speed <= 0:
+            raise SimulationError(f"send speed must be positive, got {op.speed}")
+        payload = op.payload
+        if isinstance(payload, np.ndarray):
+            payload = payload.copy()  # MPI semantics: buffer reusable after post
+        done, arrival = self._schedule_transfer(rank, st, op.dst, payload, op.speed)
+        key = (rank, op.dst, op.tag)
+        msg = Message(rank, op.dst, op.tag, payload, arrival)
+        self._deliver(key, msg)
+        if blocking:
+            waited = max(done - st.clock, 0.0)
+            self.stats[rank].add("wait_send", waited)
+            st.clock = max(st.clock, done)
+            self._resume(rank)
+        else:
+            st.clock += _POST_OVERHEAD_S
+            self.stats[rank].add("comm_post", _POST_OVERHEAD_S)
+            h = self._new_handle({"type": "isend", "done": done})
+            self._resume(rank, h)
+
+    def _op_route(self, rank: int, st: _RankState, op: RouteSend) -> None:
+        """Schedule every hop of a routed multicast at initiation time."""
+        spec = op.spec
+        if rank != spec.root:
+            raise SimulationError(
+                f"rank {rank} initiated a route rooted at {spec.root}"
+            )
+        if op.speed <= 0:
+            raise SimulationError(f"route speed must be positive, got {op.speed}")
+        payload = op.payload
+        if isinstance(payload, np.ndarray):
+            payload = payload.copy()
+        size = nbytes_of(payload)
+        nseg = spec.segments
+        seg_size = size / nseg if nseg > 1 else float(size)
+        # Per-rank availability time of each segment.
+        seg_at: Dict[int, List[float]] = {spec.root: [st.clock] * nseg}
+        root_done = st.clock
+        for src, dst in spec.edges:
+            if not (0 <= src < self.num_ranks and 0 <= dst < self.num_ranks):
+                raise SimulationError(
+                    f"route edge ({src}, {dst}) outside world of "
+                    f"{self.num_ranks} ranks"
+                )
+            avail = seg_at[src]
+            arrivals: List[float] = []
+            for s in range(nseg):
+                done, arr = self._transfer(src, dst, seg_size, avail[s], op.speed)
+                arrivals.append(arr)
+                if src == spec.root:
+                    root_done = max(root_done, done)
+            seg_at[dst] = arrivals
+            self._deliver(
+                (spec.root, dst, op.tag),
+                Message(spec.root, dst, op.tag, payload, arrivals[-1]),
+            )
+        st.clock += _POST_OVERHEAD_S
+        self.stats[rank].add("comm_post", _POST_OVERHEAD_S)
+        self._resume(rank, root_done)
+
+    def _deliver(self, key, msg: Message) -> None:
+        waiters = self._recv_waiters.get(key)
+        if waiters:
+            waiting_rank, handle = waiters.popleft()
+            self._complete_recv(waiting_rank, msg)
+        else:
+            self._mailbox[key].append(msg)
+
+    def _complete_recv(self, rank: int, msg: Message) -> None:
+        st = self._ranks[rank]
+        waited = max(msg.arrival - st.clock, 0.0)
+        if self.record_timeline and waited > 0:
+            self.timeline.append(
+                (rank, st.clock, st.clock + waited, "wait_recv")
+            )
+        self.stats[rank].add("wait_recv", waited)
+        st.clock = max(st.clock, msg.arrival)
+        self._resume(rank, msg.payload)
+
+    def _op_recv(self, rank: int, st: _RankState, src: int, tag: int, handle) -> None:
+        if not 0 <= src < self.num_ranks:
+            raise SimulationError(f"rank {rank} receives from invalid rank {src}")
+        key = (src, rank, tag)
+        box = self._mailbox.get(key)
+        if box:
+            msg = box.popleft()
+            self._complete_recv(rank, msg)
+        else:
+            st.status = _BLOCKED_RECV
+            st.block_key = key
+            self._recv_waiters[key].append((rank, handle))
+
+    def _op_wait(self, rank: int, st: _RankState, handle: int) -> None:
+        info = self._handles.pop(handle, None)
+        if info is None:
+            raise SimulationError(f"rank {rank} waited on unknown handle {handle}")
+        if info["type"] == "isend":
+            done = info["done"]
+            waited = max(done - st.clock, 0.0)
+            self.stats[rank].add("wait_send", waited)
+            st.clock = max(st.clock, done)
+            self._resume(rank)
+        elif info["type"] == "irecv":
+            src, _me, tag = info["key"]
+            self._op_recv(rank, st, src, tag, handle)
+        else:  # pragma: no cover - defensive
+            raise SimulationError(f"corrupt handle {info}")
+
+    def _new_handle(self, info: dict) -> int:
+        h = self._next_handle
+        self._next_handle += 1
+        self._handles[h] = info
+        return h
+
+    # -- collectives --------------------------------------------------------------
+
+    def _op_collective(self, rank: int, st: _RankState, op) -> None:
+        members = tuple(op.members)
+        if rank not in members:
+            raise SimulationError(
+                f"rank {rank} posted a collective it is not a member of"
+            )
+        seq_key = (members, op.key)
+        seqs = self._coll_seq.setdefault(seq_key, [0] * self.num_ranks)
+        seq = seqs[rank]
+        seqs[rank] += 1
+        pend_key = (members, op.key, seq, type(op).__name__)
+        pend = self._pending_coll.setdefault(pend_key, PendingCollective(members))
+        payload = getattr(op, "payload", None)
+        if isinstance(payload, np.ndarray):
+            payload = payload.copy()
+        pend.arrived[rank] = (st.clock, payload, op)
+        st.status = _BLOCKED_COLL
+        st.block_key = pend_key  # type: ignore[assignment]
+        if pend.complete():
+            self._finish_collective(pend_key, pend)
+
+    def _collective_cost(self, members: Tuple[int, ...], size: int) -> float:
+        p = len(members)
+        if p <= 1:
+            return 0.0
+        nodes = {self.node_of(r) for r in members}
+        rounds = max(1, ceil(log2(p)))
+        if len(nodes) == 1:
+            per_round = self.costs.intra_latency + size / self.costs.intra_bw
+        else:
+            per_round = (
+                self.costs.inter_latency + size / self.costs.node_nic_bw
+            )
+        return rounds * per_round
+
+    def _finish_collective(self, pend_key, pend: PendingCollective) -> None:
+        del self._pending_coll[pend_key]
+        op_name = pend_key[3]
+        start = max(t for t, _p, _o in pend.arrived.values())
+        example_op = next(iter(pend.arrived.values()))[2]
+        if op_name == "Barrier":
+            cost = self._collective_cost(pend.members, 8)
+            results = {r: None for r in pend.members}
+            wait_kind = "wait_barrier"
+        else:
+            payloads = [pend.arrived[r][1] for r in pend.members]
+            size = max(nbytes_of(p) for p in payloads)
+            cost = 2.0 * self._collective_cost(pend.members, size)
+            reduced = self._reduce_payloads(payloads)
+            if op_name == "Allreduce":
+                results = {r: reduced for r in pend.members}
+                wait_kind = "wait_allreduce"
+            else:  # Reduce
+                root = example_op.root
+                if root not in pend.members:
+                    raise SimulationError(
+                        f"reduce root {root} not in members {pend.members}"
+                    )
+                results = {
+                    r: (reduced if r == root else None) for r in pend.members
+                }
+                wait_kind = "wait_reduce"
+        finish = start + cost
+        for r in pend.members:
+            st = self._ranks[r]
+            self.stats[r].add(wait_kind, max(finish - st.clock, 0.0))
+            st.clock = finish
+            self._resume(r, results[r])
+
+    @staticmethod
+    def _reduce_payloads(payloads: List[Any]) -> Any:
+        first = payloads[0]
+        if first is None:
+            return None
+        if isinstance(first, PhantomArray):
+            return first
+        if isinstance(first, np.ndarray):
+            for p in payloads[1:]:
+                if not isinstance(p, np.ndarray) or p.shape != first.shape:
+                    raise SimulationError(
+                        "collective payload mismatch: members contributed "
+                        f"{first.shape} and "
+                        f"{getattr(p, 'shape', type(p).__name__)} — "
+                        "broadcasting would silently corrupt the reduction"
+                    )
+            out = first.astype(first.dtype, copy=True)
+            for p in payloads[1:]:
+                out = out + p
+            return out
+        # scalars
+        total = payloads[0]
+        for p in payloads[1:]:
+            total = total + p
+        return total
+
+    # -- diagnostics ----------------------------------------------------------
+
+    def _describe_block(self, st: _RankState) -> str:
+        names = {
+            _BLOCKED_RECV: f"recv on (src, dst, tag)={st.block_key}",
+            _BLOCKED_WAIT: f"wait on handle {st.block_handle}",
+            _BLOCKED_COLL: f"collective {st.block_key}",
+            _READY: "ready (scheduler bug)",
+        }
+        return names.get(st.status, "unknown")

@@ -1,0 +1,215 @@
+"""Yieldable operations for rank programs.
+
+A rank program is a generator; every ``yield`` hands one of these ops to
+the :class:`~repro.simulate.engine.Engine` and receives the op's result
+back.  Point-to-point messages are matched FIFO by ``(src, dst, tag)``.
+Collectives (:class:`Barrier`, :class:`Allreduce`, :class:`Reduce`) are
+engine built-ins with modelled cost; broadcasts, by contrast, are built
+in :mod:`repro.comm` from point-to-point ops because their algorithm
+choice is one of the paper's tuning dimensions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional, Tuple
+
+
+@dataclass
+class Compute:
+    """Advance this rank's clock by ``seconds`` of local work.
+
+    ``kind`` labels the time for the per-component breakdown (Fig 10):
+    "getrf", "trsm", "gemm", "cast", "regen", "h2d", "gemv", "trsv", ...
+    The engine divides ``seconds`` by the rank's GCD speed multiplier, so
+    callers pass nominal (specification-speed) durations.
+    """
+
+    kind: str
+    seconds: float
+
+
+@dataclass
+class Send:
+    """Blocking send: returns once the message has left this rank's NIC."""
+
+    dst: int
+    payload: Any
+    tag: int
+    speed: float = 1.0  # library-behaviour bandwidth multiplier
+
+
+@dataclass
+class Isend:
+    """Nonblocking send; returns a handle immediately."""
+
+    dst: int
+    payload: Any
+    tag: int
+    speed: float = 1.0
+
+
+@dataclass
+class Recv:
+    """Blocking receive; returns the payload."""
+
+    src: int
+    tag: int
+
+
+@dataclass
+class Irecv:
+    """Nonblocking receive; returns a handle to :class:`Wait` on."""
+
+    src: int
+    tag: int
+
+
+@dataclass
+class Wait:
+    """Wait for an Isend (returns None) or Irecv (returns the payload)."""
+
+    handle: int
+
+
+@dataclass
+class Barrier:
+    """Synchronize a set of ranks (all clocks jump to the max)."""
+
+    members: Tuple[int, ...]
+    key: str = "barrier"
+
+
+@dataclass
+class Allreduce:
+    """Sum-reduce a payload across ``members``; everyone gets the result.
+
+    Modelled as a recursive-doubling exchange; real ndarray payloads are
+    actually summed, phantoms stay phantoms.
+    """
+
+    members: Tuple[int, ...]
+    payload: Any
+    key: str = "allreduce"
+
+
+@dataclass
+class Reduce:
+    """Sum-reduce a payload to ``root``; non-roots receive None."""
+
+    members: Tuple[int, ...]
+    root: int
+    payload: Any
+    key: str = "reduce"
+
+
+@dataclass
+class Now:
+    """Query the rank's current virtual time (no cost)."""
+
+
+@dataclass
+class BlockUntil:
+    """Advance this rank's clock to (at least) an absolute virtual time.
+
+    Used to realize blocking semantics for operations whose completion
+    time was computed elsewhere (e.g. the root of a blocking routed
+    broadcast).  The elapsed wait is attributed to ``kind``.
+    """
+
+    time: float
+    kind: str = "wait_send"
+
+
+@dataclass(frozen=True)
+class RouteSpec:
+    """A source-rooted distribution tree/pipeline for :class:`RouteSend`.
+
+    Attributes
+    ----------
+    root:
+        Originating rank.
+    edges:
+        ``(src, dst)`` pairs in topological (dependency) order: a rank
+        appears as ``src`` only after it appeared as ``dst`` (or is the
+        root); each rank is delivered to exactly once.
+    segments:
+        Pipeline granularity; 1 disables segmentation (library tree).
+    """
+
+    root: int
+    edges: Tuple[Tuple[int, int], ...]
+    segments: int = 1
+
+    def __post_init__(self) -> None:
+        from repro.errors import CommunicationError
+
+        if self.segments < 1:
+            raise CommunicationError(
+                f"segments must be >= 1, got {self.segments}"
+            )
+        have_data = {self.root}
+        dests = set()
+        for src, dst in self.edges:
+            if src not in have_data:
+                raise CommunicationError(
+                    f"route edge ({src}, {dst}) departs a rank with no data "
+                    "(edges must be in dependency order)"
+                )
+            if dst in dests or dst == self.root:
+                raise CommunicationError(f"route delivers twice to rank {dst}")
+            dests.add(dst)
+            have_data.add(dst)
+
+    @property
+    def destinations(self) -> Tuple[int, ...]:
+        return tuple(dst for _src, dst in self.edges)
+
+
+@dataclass
+class RouteSend:
+    """Initiate a routed multicast (hardware-progressed broadcast).
+
+    The engine schedules every hop immediately — charging shared
+    NIC/link resources hop by hop, segment by segment — and deposits the
+    payload into each destination's mailbox as if sent by ``spec.root``
+    with ``tag``; destinations simply :class:`Recv` from the root.  This
+    models an MPI library whose relays progress asynchronously while
+    ranks compute (the behaviour look-ahead relies on); the in-band
+    generators in :mod:`repro.comm.bcast`/:mod:`repro.comm.ring` model
+    the no-progression alternative.
+
+    The op returns the time the root's own outgoing traffic has left its
+    NIC (what a blocking broadcast would block for at the root).
+    """
+
+    spec: RouteSpec
+    payload: Any
+    tag: int
+    speed: float = 1.0
+
+
+# -- internal engine records -------------------------------------------------
+
+
+@dataclass
+class Message:
+    """An in-flight or delivered point-to-point message."""
+
+    src: int
+    dst: int
+    tag: int
+    payload: Any
+    arrival: float
+
+
+@dataclass
+class PendingCollective:
+    """A collective waiting for all members to arrive."""
+
+    members: Tuple[int, ...]
+    arrived: dict = field(default_factory=dict)  # rank -> (post_time, payload)
+
+    def complete(self) -> bool:
+        """Whether every member has posted its part."""
+        return len(self.arrived) == len(self.members)

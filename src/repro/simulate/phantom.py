@@ -1,0 +1,99 @@
+"""Phantom arrays: shape/dtype metadata without storage.
+
+The extreme-scale configurations in the paper (N up to 20.6M over 29584
+GCDs) cannot be materialized; a :class:`PhantomArray` stands in for a
+real buffer so the *same* rank programs run as pure timing simulations.
+Phantoms support the small amount of shape algebra the drivers need
+(slicing block ranges, transposition, dtype casts) and raise loudly if
+code tries to read values from them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class PhantomArray:
+    """Metadata-only stand-in for an ndarray.
+
+    Attributes
+    ----------
+    shape:
+        Logical shape.
+    dtype:
+        NumPy dtype (drives nbytes and cast accounting).
+    """
+
+    shape: Tuple[int, ...]
+    dtype: np.dtype
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "shape", tuple(int(s) for s in self.shape))
+        object.__setattr__(self, "dtype", np.dtype(self.dtype))
+        if any(s < 0 for s in self.shape):
+            raise ConfigurationError(f"negative dimension in shape {self.shape}")
+
+    @property
+    def ndim(self) -> int:
+        return len(self.shape)
+
+    @property
+    def size(self) -> int:
+        n = 1
+        for s in self.shape:
+            n *= s
+        return n
+
+    @property
+    def nbytes(self) -> int:
+        return self.size * self.dtype.itemsize
+
+    @property
+    def T(self) -> "PhantomArray":
+        return PhantomArray(self.shape[::-1], self.dtype)
+
+    def astype(self, dtype) -> "PhantomArray":
+        """Phantom of the same shape with a different dtype."""
+        return PhantomArray(self.shape, np.dtype(dtype))
+
+    def reshape(self, *shape) -> "PhantomArray":
+        """Phantom with a new shape (size must be preserved)."""
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        new = PhantomArray(tuple(shape), self.dtype)
+        if new.size != self.size:
+            raise ConfigurationError(
+                f"cannot reshape phantom of size {self.size} to {shape}"
+            )
+        return new
+
+    def __array__(self, *args, **kwargs):  # pragma: no cover - guard
+        raise ConfigurationError(
+            "PhantomArray has no data; a timing-only code path tried to "
+            "read values (this is a bug in the caller)"
+        )
+
+
+def nbytes_of(payload) -> int:
+    """Message size in bytes of any supported payload type.
+
+    Supports ndarrays, phantoms, None (control messages), and small
+    Python objects (flat 64-byte estimate, like an MPI header).
+    """
+    if payload is None:
+        return 0
+    if isinstance(payload, (np.ndarray, PhantomArray)):
+        return int(payload.nbytes)
+    if isinstance(payload, np.generic):
+        return int(payload.nbytes)
+    if isinstance(payload, (int, float, bool)):
+        return 8
+    if isinstance(payload, (tuple, list)):
+        return 16 + sum(nbytes_of(p) for p in payload)
+    return 64

@@ -1,0 +1,30 @@
+"""Operational tooling for leadership-scale runs (paper Section VI-B).
+
+Three best practices the paper codifies, as runnable workflows:
+
+- **slow-node identification** (:mod:`repro.tools.slownode`) — a
+  mini-benchmark that scans every GCD with a single-GPU LU factorization
+  and an MPI-style aggregation, ranks outliers and recommends an
+  exclusion list;
+- **warm-up** (:mod:`repro.tools.warmup`) — machine-specific warm-up
+  strategies (Finding 10) with a projected run-series (Fig 12);
+- **progress monitoring** (:mod:`repro.tools.monitor`) — per-component
+  progress reports against reference rates, power tracking, and an
+  early-termination watchdog for abnormal runs (e.g. fabric hangs).
+"""
+
+from repro.tools.slownode import MiniBenchmark, ScanReport, scan_fleet
+from repro.tools.warmup import WarmupPlan, plan_warmup, project_run_series
+from repro.tools.monitor import PowerModel, ProgressMonitor, ProgressReport
+
+__all__ = [
+    "MiniBenchmark",
+    "ScanReport",
+    "scan_fleet",
+    "WarmupPlan",
+    "plan_warmup",
+    "project_run_series",
+    "PowerModel",
+    "ProgressMonitor",
+    "ProgressReport",
+]

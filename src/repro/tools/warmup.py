@@ -1,0 +1,128 @@
+"""Warm-up strategies and run-series projection (Finding 10 / Fig 12).
+
+    "the suggested strategy to warm up Summit is with a full run of the
+    mini-benchmark to improve potential file system caching issues for
+    binaries and dynamic libraries.  Conversely, the strategy to warm up
+    Frontier, if one has to, is to embed the small GEMM kernels at the
+    beginning of the run."
+
+:func:`plan_warmup` returns the machine-appropriate plan;
+:func:`project_run_series` reproduces Fig 12's six-consecutive-runs
+experiment by combining the warm-up model with a run estimate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.errors import ConfigurationError
+from repro.machine.spec import MachineSpec
+from repro.machine.variability import WarmupModel
+
+
+@dataclass(frozen=True)
+class WarmupPlan:
+    """A machine-specific warm-up recipe."""
+
+    machine: str
+    strategy: str
+    description: str
+    #: extra wall-clock the warm-up itself costs (seconds)
+    overhead_s: float
+    #: first-run speed multiplier without / with the warm-up
+    cold_multiplier: float
+    warmed_multiplier: float
+
+    @property
+    def worthwhile_above_s(self) -> float:
+        """Run length above which the warm-up pays for itself.
+
+        Solving ``T/cold = T/warm + overhead`` for T.
+        """
+        gain = 1.0 / self.cold_multiplier - 1.0 / self.warmed_multiplier
+        if gain <= 0:
+            return float("inf")
+        return self.overhead_s / gain
+
+
+def warmup_style(machine_name: str) -> str:
+    """Map a machine name to a WarmupModel style ('generic' if unknown)."""
+    return machine_name if machine_name in ("summit", "frontier") else "generic"
+
+
+def plan_warmup(machine: MachineSpec) -> WarmupPlan:
+    """Return the paper's recommended warm-up for a machine."""
+    wm = WarmupModel(machine.name) if machine.name in ("summit", "frontier") else None
+    if machine.name == "summit":
+        return WarmupPlan(
+            machine="summit",
+            strategy="full-mini-benchmark",
+            description=(
+                "Run a full pass of the single-GCD mini-benchmark before "
+                "the timed run so binaries and dynamic libraries are "
+                "resident in the file-system cache; otherwise the entire "
+                "first run is ~20% slower."
+            ),
+            overhead_s=120.0,
+            cold_multiplier=wm.run_multiplier(0, warmed_up=False),
+            warmed_multiplier=wm.run_multiplier(0, warmed_up=True),
+        )
+    if machine.name == "frontier":
+        return WarmupPlan(
+            machine="frontier",
+            strategy="embedded-small-gemms",
+            description=(
+                "Embed small GEMM kernels at the start of the run; full "
+                "warm-up runs are counter-productive here because "
+                "power/frequency/thermal control settles *later* runs "
+                "~0.3% below the early ones."
+            ),
+            overhead_s=5.0,
+            cold_multiplier=1.0,  # Frontier's first runs are not slow
+            warmed_multiplier=1.0,
+        )
+    # Unknown / custom machine: no measured warm-up behaviour, so
+    # recommend the cheap embedded-GEMM warm-up with neutral multipliers.
+    return WarmupPlan(
+        machine=machine.name,
+        strategy="embedded-small-gemms",
+        description=(
+            "No measured warm-up behaviour for this machine; embed small "
+            "GEMM kernels at the start of the run and measure Fig-12 "
+            "style consecutive runs to characterize it."
+        ),
+        overhead_s=5.0,
+        cold_multiplier=1.0,
+        warmed_multiplier=1.0,
+    )
+
+
+def project_run_series(
+    machine: MachineSpec,
+    base_elapsed_s: float,
+    num_runs: int = 6,
+    warmed_up: bool = False,
+) -> List[Dict[str, float]]:
+    """Fig 12: elapsed time & relative speed of consecutive batch runs.
+
+    ``base_elapsed_s`` is the steady-state run time (e.g. from
+    :func:`repro.model.estimate_run`).
+    """
+    if base_elapsed_s <= 0:
+        raise ConfigurationError(
+            f"base_elapsed_s must be positive, got {base_elapsed_s}"
+        )
+    wm = WarmupModel(warmup_style(machine.name))
+    series = []
+    for i in range(num_runs):
+        mult = wm.run_multiplier(i, warmed_up=warmed_up)
+        series.append(
+            {
+                "run": i + 1,
+                "speed_multiplier": mult,
+                "elapsed_s": base_elapsed_s / mult,
+                "relative_perf": mult,
+            }
+        )
+    return series

@@ -1,0 +1,53 @@
+"""Shared utilities: flop accounting, validation, and human formatting."""
+
+from repro.util.flops import (
+    FLOP_GEMM,
+    FLOP_GEMV,
+    FLOP_GETRF,
+    FLOP_TRSM,
+    FLOP_TRSV,
+    gemm_flops,
+    gemv_flops,
+    getrf_flops,
+    hpl_ai_flops,
+    lu_flops,
+    trsm_flops,
+    trsv_flops,
+)
+from repro.util.format import (
+    format_bytes,
+    format_flops,
+    format_seconds,
+    format_si,
+    render_table,
+)
+from repro.util.validation import (
+    check_divisible,
+    check_positive_int,
+    check_power_of_two,
+    require,
+)
+
+__all__ = [
+    "FLOP_GEMM",
+    "FLOP_GEMV",
+    "FLOP_GETRF",
+    "FLOP_TRSM",
+    "FLOP_TRSV",
+    "gemm_flops",
+    "gemv_flops",
+    "getrf_flops",
+    "hpl_ai_flops",
+    "lu_flops",
+    "trsm_flops",
+    "trsv_flops",
+    "format_bytes",
+    "format_flops",
+    "format_seconds",
+    "format_si",
+    "render_table",
+    "check_divisible",
+    "check_positive_int",
+    "check_power_of_two",
+    "require",
+]

@@ -1,0 +1,89 @@
+"""Human-readable formatting helpers for reports, traces and benchmarks."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+_SI_PREFIXES = ["", "K", "M", "G", "T", "P", "E", "Z"]
+
+
+def format_si(value: float, unit: str = "", precision: int = 3) -> str:
+    """Format ``value`` with an SI prefix: ``format_si(2.387e18, 'FLOPS')``.
+
+    >>> format_si(2.387e18, "FLOPS")
+    '2.387 EFLOPS'
+    """
+    if value == 0:
+        return f"0 {unit}".rstrip()
+    magnitude = abs(value)
+    idx = 0
+    while magnitude >= 1000.0 and idx < len(_SI_PREFIXES) - 1:
+        magnitude /= 1000.0
+        value /= 1000.0
+        idx += 1
+    return f"{value:.{precision}f} {_SI_PREFIXES[idx]}{unit}".rstrip()
+
+
+def format_flops(flops_per_second: float, precision: int = 3) -> str:
+    """Format a flop rate, e.g. ``'1.411 EFLOPS'``."""
+    return format_si(flops_per_second, "FLOPS", precision)
+
+
+def format_bytes(num_bytes: float, precision: int = 1) -> str:
+    """Format a byte count with binary prefixes (KiB/MiB/GiB/TiB)."""
+    prefixes = ["B", "KiB", "MiB", "GiB", "TiB", "PiB", "EiB"]
+    value = float(num_bytes)
+    idx = 0
+    while abs(value) >= 1024.0 and idx < len(prefixes) - 1:
+        value /= 1024.0
+        idx += 1
+    return f"{value:.{precision}f} {prefixes[idx]}"
+
+
+def format_seconds(seconds: float) -> str:
+    """Format a duration adaptively: microseconds up to hours."""
+    if seconds < 0:
+        return "-" + format_seconds(-seconds)
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.1f} us"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.2f} ms"
+    if seconds < 120.0:
+        return f"{seconds:.2f} s"
+    if seconds < 7200.0:
+        return f"{seconds / 60.0:.1f} min"
+    return f"{seconds / 3600.0:.2f} h"
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render an ASCII table with aligned columns.
+
+    Used by the benchmark harness to print the paper's tables/series in a
+    form that diffs cleanly in CI logs.
+    """
+    str_rows = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(headers)} columns"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt_line(cells: Sequence[str]) -> str:
+        return " | ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells))
+
+    sep = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(sep))
+    lines.append(fmt_line(list(headers)))
+    lines.append(sep)
+    lines.extend(fmt_line(row) for row in str_rows)
+    return "\n".join(lines)

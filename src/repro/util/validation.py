@@ -1,0 +1,40 @@
+"""Small argument-validation helpers shared across the package."""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+
+
+def require(condition: bool, message: str) -> None:
+    """Raise :class:`ConfigurationError` with ``message`` unless ``condition``."""
+    if not condition:
+        raise ConfigurationError(message)
+
+
+def check_positive_int(value: int, name: str) -> int:
+    """Validate that ``value`` is a positive integer and return it."""
+    if not isinstance(value, (int,)) or isinstance(value, bool):
+        raise ConfigurationError(f"{name} must be an int, got {type(value).__name__}")
+    if value <= 0:
+        raise ConfigurationError(f"{name} must be positive, got {value}")
+    return value
+
+
+def check_divisible(value: int, divisor: int, name: str) -> int:
+    """Validate that ``value`` is a positive multiple of ``divisor``."""
+    check_positive_int(value, name)
+    check_positive_int(divisor, f"divisor of {name}")
+    if value % divisor != 0:
+        raise ConfigurationError(
+            f"{name} must be divisible by {divisor}, got {value} "
+            f"(remainder {value % divisor})"
+        )
+    return value
+
+
+def check_power_of_two(value: int, name: str) -> int:
+    """Validate that ``value`` is a positive power of two."""
+    check_positive_int(value, name)
+    if value & (value - 1) != 0:
+        raise ConfigurationError(f"{name} must be a power of two, got {value}")
+    return value

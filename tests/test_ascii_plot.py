@@ -1,0 +1,90 @@
+"""Tests for the terminal plotting helpers."""
+
+import pytest
+
+from repro.bench.ascii_plot import heat_map, line_plot, records_to_series
+from repro.errors import ConfigurationError
+
+
+class TestLinePlot:
+    def test_basic_plot_contains_marks_and_legend(self):
+        out = line_plot(
+            {"a": [(1, 1.0), (2, 4.0)], "b": [(1, 2.0), (2, 3.0)]},
+            width=20, height=8, title="demo", x_label="x", y_label="y",
+        )
+        assert "demo" in out
+        assert "o=a" in out and "x=b" in out
+        assert "o" in out and "x" in out
+
+    def test_extremes_on_canvas_edges(self):
+        out = line_plot({"s": [(0, 0.0), (10, 100.0)]}, width=10, height=5)
+        lines = [l for l in out.splitlines() if "|" in l]
+        # Max value mark on the top row, min on the bottom row.
+        assert "o" in lines[0]
+        assert "o" in lines[-1]
+
+    def test_log_x(self):
+        out = line_plot(
+            {"s": [(10, 1.0), (100, 2.0), (1000, 3.0)]},
+            width=21, height=5, logx=True, x_label="n",
+        )
+        # Log spacing: the three marks are evenly spaced columns.
+        cols = []
+        for line in out.splitlines():
+            if "|" in line:
+                row = line.split("|", 1)[1]
+                cols.extend(i for i, ch in enumerate(row) if ch == "o")
+        cols.sort()
+        assert len(cols) == 3
+        assert (cols[1] - cols[0]) == (cols[2] - cols[1])
+
+    def test_flat_series_ok(self):
+        out = line_plot({"s": [(0, 5.0), (1, 5.0)]}, width=8, height=4)
+        assert "o" in out
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            line_plot({})
+        with pytest.raises(ConfigurationError):
+            line_plot({"s": []})
+        with pytest.raises(ConfigurationError):
+            line_plot({"s": [(0, 1.0)]}, logx=True)
+
+
+class TestHeatMap:
+    def test_shading_ordered(self):
+        out = heat_map([[0.0, 10.0]], ["r"], ["a", "b"])
+        row = [l for l in out.splitlines() if l.strip().startswith("r")][0]
+        assert "@@@" in row  # max cell uses the densest shade
+
+    def test_labels_present(self):
+        out = heat_map([[1, 2], [3, 4]], [1024, 2048], [256, 512],
+                       title="hm")
+        assert "hm" in out and "1024" in out and "scale:" in out
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            heat_map([], [], [])
+
+
+class TestRecordsToSeries:
+    def test_grouping_and_sorting(self):
+        recs = [
+            {"x": 2, "y": 20.0, "g": "a"},
+            {"x": 1, "y": 10.0, "g": "a"},
+            {"x": 1, "y": 5.0, "g": "b"},
+        ]
+        series = records_to_series(recs, "x", "y", "g")
+        assert series["a"] == [(1, 10.0), (2, 20.0)]
+        assert series["b"] == [(1, 5.0)]
+
+
+class TestCliPlots:
+    @pytest.mark.parametrize("fig", ["fig3", "fig12"])
+    def test_plot_flag(self, fig, capsys):
+        from repro.cli import main
+
+        rc = main(["figure", fig, "--plot"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "scale:" in out or "legend:" in out

@@ -1,0 +1,85 @@
+"""Fast sanity tests for the figure/table data generators.
+
+The heavyweight assertions live in benchmarks/; these tests pin the
+record *shapes* so CLI and examples can rely on them.
+"""
+
+import pytest
+
+from repro.bench import figures as F
+from repro.bench.reporting import render_records, render_series
+
+
+class TestTables:
+    def test_table1_rows(self):
+        rows = F.table1_specs()
+        assert {"spec", "Summit", "Frontier"} <= set(rows[0])
+        assert len(rows) >= 9
+
+    def test_table2_rows(self):
+        rows = F.table2_blas_mapping()
+        assert [r["BLAS"] for r in rows] == ["GEMM", "TRSM", "GETRF", "TRSV"]
+
+
+class TestKernelFigures:
+    def test_fig3_grid_shape(self):
+        rows = F.fig3_gemm_heatmap(mn_values=(1024, 2048), k_values=(256, 512))
+        assert len(rows) == 2
+        assert set(rows[0]) == {"m=n", "k=256", "k=512"}
+
+    def test_fig56_series(self):
+        from repro.machine import SUMMIT
+
+        rows = F.fig56_kernel_curves(SUMMIT, [512, 768], 12288, points=4)
+        assert len(rows) == 8
+        assert all(r["trailing"] >= r["B"] for r in rows)
+
+    def test_fig7_contains_both_ldas(self):
+        rows = F.fig7_lda_effect(ldas=(119808, 122880), points=3)
+        assert {r["LDA"] for r in rows} == {119808, 122880}
+
+
+class TestScaleFigures:
+    def test_fig9_parallel_eff_baseline_is_100(self):
+        rows = F.fig9_weak_scaling()
+        for machine, grid in {(r["machine"], r["grid"]) for r in rows}:
+            series = [r for r in rows
+                      if r["machine"] == machine and r["grid"] == grid]
+            assert series[0]["parallel_eff_pct"] == pytest.approx(100.0)
+
+    def test_strong_scaling_speedup_monotone(self):
+        rows = F.strong_scaling()
+        speedups = [r["speedup"] for r in rows]
+        assert speedups == sorted(speedups)
+        assert rows[0]["speedup"] == pytest.approx(1.0)
+
+    def test_fig12_six_runs_each(self):
+        rows = F.fig12_variability()
+        assert len([r for r in rows if r["machine"] == "summit"]) == 6
+        assert len([r for r in rows if r["machine"] == "frontier"]) == 6
+
+    def test_slownode_scan_record(self):
+        rec = F.slownode_scan(num_gcds=128)[0]
+        assert rec["gcds_scanned"] == 128
+        assert rec["projected_speedup"] >= 1.0
+
+
+class TestRendering:
+    def test_render_records_empty(self):
+        assert "(no rows)" in render_records([], title="empty")
+
+    def test_render_records_column_selection(self):
+        out = render_records(
+            [{"a": 1, "b": 2.5}], columns=["b"], float_fmt="{:.1f}"
+        )
+        assert "2.5" in out and "a" not in out.splitlines()[0]
+
+    def test_render_series(self):
+        out = render_series(
+            "B", [256, 512],
+            {"summit": [1.0, 2.0], "frontier": [3.0, 4.0]},
+            title="demo",
+        )
+        assert "demo" in out
+        assert "frontier" in out
+        assert "4.00" in out

@@ -1,0 +1,268 @@
+"""Tests for the BLAS kernels (gemm/getrf/trsm/trsv/gemv)."""
+
+import numpy as np
+import pytest
+import scipy.linalg as sla
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.blas import (
+    gemm,
+    gemm_mixed,
+    gemm_update,
+    getrf_nopiv,
+    getrf_partial,
+    recursive_getrf_nopiv,
+    trsm,
+    trsm_left_lower,
+    trsm_right_upper,
+    trsv_lower_unit,
+    trsv_upper,
+    gemv,
+    gemv_update,
+)
+from repro.blas.getrf import apply_pivots, unpack_lu
+from repro.blas.trsv import lu_solve_packed
+from repro.errors import ConfigurationError, SingularMatrixError
+from repro.lcg.matrix import HplAiMatrix
+
+
+def _well_conditioned(n, seed=0, dtype=np.float64):
+    rng = np.random.default_rng(seed)
+    a = rng.uniform(-0.5, 0.5, (n, n))
+    a += n * np.eye(n)
+    return a.astype(dtype)
+
+
+class TestGemm:
+    def test_plain_matches_numpy(self):
+        rng = np.random.default_rng(0)
+        a, b = rng.normal(size=(5, 7)), rng.normal(size=(7, 3))
+        np.testing.assert_allclose(gemm(a, b), a @ b)
+
+    def test_mixed_accumulates_in_fp32(self):
+        # A sum long enough that fp16 accumulation would collapse:
+        # 4096 terms of 1.0 => fp16 accum saturates near 2048, fp32 exact.
+        k = 4096
+        a = np.ones((1, k), dtype=np.float16)
+        b = np.ones((k, 1), dtype=np.float16)
+        out = gemm_mixed(a, b)
+        assert out.dtype == np.float32
+        assert out[0, 0] == k
+
+    def test_mixed_rounds_operands_to_fp16(self):
+        # 1 + 2^-12 is not representable in fp16; it must round to 1.
+        a = np.array([[1.0 + 2**-12]], dtype=np.float32)
+        b = np.array([[1.0]], dtype=np.float32)
+        assert gemm_mixed(a, b)[0, 0] == 1.0
+
+    def test_update_in_place(self):
+        c = np.full((2, 2), 10.0, dtype=np.float32)
+        a = np.eye(2, dtype=np.float16)
+        b = np.ones((2, 2), dtype=np.float16)
+        ret = gemm_update(c, a, b)
+        assert ret is c
+        np.testing.assert_array_equal(c, np.full((2, 2), 10.0) - np.ones((2, 2)))
+
+    def test_update_requires_fp32_c(self):
+        with pytest.raises(ConfigurationError):
+            gemm_update(np.zeros((2, 2)), np.eye(2, dtype=np.float16),
+                        np.eye(2, dtype=np.float16))
+
+    def test_shape_validation(self):
+        with pytest.raises(ConfigurationError):
+            gemm(np.zeros((2, 3)), np.zeros((4, 2)))
+        with pytest.raises(ConfigurationError):
+            gemm_update(
+                np.zeros((3, 3), dtype=np.float32),
+                np.zeros((2, 2), dtype=np.float16),
+                np.zeros((2, 2), dtype=np.float16),
+            )
+
+
+class TestGetrf:
+    @pytest.mark.parametrize("n", [1, 2, 5, 16, 33])
+    def test_nopiv_reconstructs(self, n):
+        a = _well_conditioned(n, seed=n)
+        lu = getrf_nopiv(a.copy())
+        lower, upper = unpack_lu(lu)
+        np.testing.assert_allclose(lower @ upper, a, rtol=1e-10, atol=1e-10)
+
+    @pytest.mark.parametrize("n", [1, 7, 32, 64, 100])
+    def test_recursive_matches_iterative(self, n):
+        a = _well_conditioned(n, seed=n + 1)
+        lu_iter = getrf_nopiv(a.copy())
+        lu_rec = recursive_getrf_nopiv(a.copy(), threshold=8)
+        np.testing.assert_allclose(lu_rec, lu_iter, rtol=1e-9, atol=1e-12)
+
+    def test_nopiv_on_hplai_matrix_fp32(self):
+        a = HplAiMatrix(n=96, seed=11).dense(dtype=np.float32)
+        orig = a.copy()
+        lu = getrf_nopiv(a)
+        lower, upper = unpack_lu(lu.astype(np.float64))
+        err = np.max(np.abs(lower @ upper - orig.astype(np.float64)))
+        assert err < 96 * np.finfo(np.float32).eps * 10
+
+    def test_zero_pivot_raises(self):
+        a = np.zeros((3, 3))
+        with pytest.raises(SingularMatrixError):
+            getrf_nopiv(a)
+
+    def test_partial_pivoting_matches_scipy(self):
+        rng = np.random.default_rng(12)
+        a = rng.normal(size=(20, 20))
+        lu, piv = getrf_partial(a.copy())
+        lower, upper = unpack_lu(lu)
+        pa = apply_pivots(a.copy(), piv)
+        np.testing.assert_allclose(lower @ upper, pa, rtol=1e-10, atol=1e-12)
+
+    def test_partial_handles_zero_leading_pivot(self):
+        a = np.array([[0.0, 1.0], [1.0, 0.0]])
+        lu, piv = getrf_partial(a.copy())
+        assert piv[0] == 1  # swapped
+
+    def test_partial_singular_raises(self):
+        with pytest.raises(SingularMatrixError):
+            getrf_partial(np.zeros((2, 2)))
+
+    def test_non_square_rejected(self):
+        with pytest.raises(ConfigurationError):
+            getrf_nopiv(np.zeros((2, 3)))
+
+    @given(
+        hnp.arrays(
+            np.float64,
+            st.integers(1, 12).map(lambda n: (n, n)),
+            elements=st.floats(-0.4, 0.4),
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_property_reconstruction_diag_dominant(self, a):
+        n = a.shape[0]
+        a = a + 2.0 * n * np.eye(n)
+        lu = getrf_nopiv(a.copy())
+        lower, upper = unpack_lu(lu)
+        assert np.max(np.abs(lower @ upper - a)) < 1e-8 * n * n
+
+
+class TestTrsm:
+    def setup_method(self):
+        rng = np.random.default_rng(3)
+        n, m = 8, 12
+        self.lower = np.tril(rng.normal(size=(n, n)), -1) + np.eye(n)
+        self.upper = np.triu(rng.normal(size=(n, n))) + 3 * np.eye(n)
+        self.b_left = rng.normal(size=(n, m))
+        self.b_right = rng.normal(size=(m, n))
+
+    def test_left_lower_unit(self):
+        x = trsm_left_lower(self.lower, self.b_left)
+        np.testing.assert_allclose(self.lower @ x, self.b_left, atol=1e-10)
+
+    def test_right_upper(self):
+        x = trsm_right_upper(self.upper, self.b_right)
+        np.testing.assert_allclose(x @ self.upper, self.b_right, atol=1e-10)
+
+    def test_dispatch_matches_direct(self):
+        x1 = trsm("L", "LOW", self.lower, self.b_left)
+        x2 = trsm_left_lower(self.lower, self.b_left)
+        np.testing.assert_array_equal(x1, x2)
+
+    def test_dispatch_all_variants_roundtrip(self):
+        for side, uplo, t, b in [
+            ("left", "lower", self.lower, self.b_left),
+            ("left", "upper", self.upper, self.b_left),
+            ("right", "upper", self.upper, self.b_right),
+            ("right", "lower", self.lower, self.b_right),
+        ]:
+            x = trsm(side, uplo, t, b)
+            recon = t @ x if side == "left" else x @ t
+            np.testing.assert_allclose(recon, b, atol=1e-9)
+
+    def test_unknown_variant(self):
+        with pytest.raises(ConfigurationError):
+            trsm("middle", "low", self.lower, self.b_left)
+
+    def test_preserves_dtype_fp32(self):
+        x = trsm_left_lower(
+            self.lower.astype(np.float32), self.b_left.astype(np.float32)
+        )
+        assert x.dtype == np.float32
+
+    def test_shape_validation(self):
+        with pytest.raises(ConfigurationError):
+            trsm_left_lower(self.lower, self.b_right)
+
+
+class TestTrsvGemv:
+    def test_trsv_roundtrip(self):
+        rng = np.random.default_rng(4)
+        n = 10
+        lower = np.tril(rng.normal(size=(n, n)), -1) + np.eye(n)
+        upper = np.triu(rng.normal(size=(n, n))) + 2 * np.eye(n)
+        x = rng.normal(size=n)
+        np.testing.assert_allclose(lower @ trsv_lower_unit(lower, x), x, atol=1e-10)
+        np.testing.assert_allclose(upper @ trsv_upper(upper, x), x, atol=1e-10)
+
+    def test_lu_solve_packed(self):
+        a = _well_conditioned(12, seed=5)
+        b = np.arange(12, dtype=np.float64)
+        lu = getrf_nopiv(a.copy())
+        y = lu_solve_packed(lu, b)
+        np.testing.assert_allclose(a @ y, b, atol=1e-8)
+
+    def test_lu_solve_packed_fp32_solve_dtype(self):
+        a = _well_conditioned(12, seed=6)
+        b = np.ones(12)
+        lu = getrf_nopiv(a.copy())
+        y = lu_solve_packed(lu, b, solve_dtype=np.float32)
+        assert y.dtype == np.float64
+        # fp32 solve: residual at fp32 level, not fp64.
+        assert np.max(np.abs(a @ y - b)) < 1e-4
+        assert np.max(np.abs(a @ y - b)) > 1e-12
+
+    def test_gemv_and_update(self):
+        rng = np.random.default_rng(7)
+        a = rng.normal(size=(6, 4))
+        x = rng.normal(size=4)
+        y = rng.normal(size=6)
+        np.testing.assert_allclose(gemv(a, x), a @ x)
+        y2 = y.copy()
+        gemv_update(y2, a, x)
+        np.testing.assert_allclose(y2, y - a @ x)
+
+    def test_gemv_shape_validation(self):
+        with pytest.raises(ConfigurationError):
+            gemv(np.zeros((3, 3)), np.zeros(4))
+        with pytest.raises(ConfigurationError):
+            gemv_update(np.zeros(4), np.zeros((3, 3)), np.zeros(3))
+
+
+class TestMixedPrecisionErrorBounds:
+    @given(st.integers(2, 24), st.integers(2, 24), st.integers(2, 48))
+    @settings(max_examples=30, deadline=None)
+    def test_gemm_mixed_error_within_fp16_envelope(self, m, n, k):
+        # Each operand element carries one fp16 rounding (u = 2^-11);
+        # products/sums are fp32.  The classical forward bound gives
+        # |mixed - exact| <= ~(2u + k*eps32) * k * max|a||b|.
+        rng = np.random.default_rng(m * 1000 + n * 10 + k)
+        a = rng.uniform(-1, 1, (m, k))
+        b = rng.uniform(-1, 1, (k, n))
+        exact = a @ b
+        mixed = gemm_mixed(a.astype(np.float32), b.astype(np.float32))
+        u16 = 2.0 ** -11
+        bound = (2 * u16 + 1e-6 * k) * k * 1.0 * 1.0 * 1.05 + 1e-7
+        assert np.max(np.abs(mixed - exact)) <= bound
+
+    def test_mixed_worse_than_fp32_but_structured(self):
+        rng = np.random.default_rng(0)
+        a = rng.uniform(-1, 1, (64, 64))
+        b = rng.uniform(-1, 1, (64, 64))
+        exact = a @ b
+        err_mixed = np.max(np.abs(
+            gemm_mixed(a.astype(np.float32), b.astype(np.float32)) - exact
+        ))
+        err_fp32 = np.max(np.abs(
+            (a.astype(np.float32) @ b.astype(np.float32)) - exact
+        ))
+        assert err_mixed > err_fp32  # fp16 inputs genuinely cost accuracy

@@ -1,0 +1,110 @@
+"""Calibration guards: the paper's headline numbers must stay in band.
+
+These tests exist so that any future change to the kernel/network
+constants that silently breaks the reproduction (e.g. making rings lose
+on Frontier, or pushing the achievement runs out of the paper's zone)
+fails loudly.  Tolerances are intentionally wide — we reproduce shapes
+and ratios, not wall-clock — but one-sided findings must keep their
+sign.
+"""
+
+import pytest
+
+from repro.bench.figures import (
+    FRONTIER_ACHIEVEMENT,
+    SUMMIT_ACHIEVEMENT,
+    fig8_comm_strategies,
+)
+from repro.core.config import BenchmarkConfig
+from repro.core.hpl import hpl_gflops_per_gcd
+from repro.machine import FRONTIER, SUMMIT
+from repro.model.perf_model import estimate_run
+from repro.model.tuner import best_block_size
+
+
+@pytest.fixture(scope="module")
+def fig8():
+    return fig8_comm_strategies()
+
+
+class TestHeadlines:
+    def test_summit_achievement_within_10pct(self):
+        res = estimate_run(BenchmarkConfig(**SUMMIT_ACHIEVEMENT))
+        assert res.total_flops_per_s == pytest.approx(1.411e18, rel=0.10)
+
+    def test_frontier_achievement_within_10pct(self):
+        res = estimate_run(BenchmarkConfig(**FRONTIER_ACHIEVEMENT))
+        assert res.total_flops_per_s == pytest.approx(2.387e18, rel=0.10)
+
+    def test_full_frontier_projection_clears_5ef(self):
+        cfg = BenchmarkConfig(
+            machine=FRONTIER, n=119808 * 272, block=3072,
+            p_rows=272, p_cols=272, q_rows=4, q_cols=2,
+            bcast_algorithm="ring2m",
+        )
+        res = estimate_run(cfg)
+        assert 5.0e18 < res.total_flops_per_s < 8.0e18
+
+    def test_summit_mixed_precision_speedup(self):
+        res = estimate_run(BenchmarkConfig(**SUMMIT_ACHIEVEMENT))
+        ratio = res.gflops_per_gcd / hpl_gflops_per_gcd(SUMMIT)
+        assert ratio == pytest.approx(9.5, rel=0.2)
+
+    def test_frontier_vs_summit_scaling_expectation(self):
+        # Paper: ~3x HPL-AI improvement at full scale; our achievement
+        # pair gives the per-GCD and machine-size ingredients.
+        s = estimate_run(BenchmarkConfig(**SUMMIT_ACHIEVEMENT))
+        f = estimate_run(BenchmarkConfig(**FRONTIER_ACHIEVEMENT))
+        per_gcd_ratio = f.gflops_per_gcd / s.gflops_per_gcd
+        # Per-node: 8 GCDs/node at that rate vs 6 -> paper's 1.58x zone.
+        per_node_ratio = per_gcd_ratio * 8 / 6
+        assert 1.2 < per_node_ratio < 2.6
+
+
+class TestOneSidedFindings:
+    def test_optimal_blocks(self):
+        assert best_block_size(
+            SUMMIT, 61440, 54, [256, 512, 768, 1024, 2048],
+            q_rows=3, q_cols=2, bcast_algorithm="bcast",
+        ) in (768, 1024)
+        assert best_block_size(
+            FRONTIER, 119808, 32, [768, 1536, 2304, 3072],
+            q_rows=2, q_cols=4, bcast_algorithm="ring2m",
+        ) == 3072
+
+    def test_rings_win_frontier_lose_summit(self, fig8):
+        def val(machine, algo, grid):
+            return next(
+                r["gflops_per_gcd"] for r in fig8
+                if r["machine"] == machine and r["algorithm"] == algo
+                and r["grid"] == grid
+            )
+
+        assert val("frontier", "ring2m", "2x4") > val("frontier", "bcast", "2x4")
+        assert val("summit", "bcast", "3x2") >= val("summit", "ring1", "3x2")
+
+    def test_ibcast_pathological_on_summit_only(self, fig8):
+        def val(machine, algo, grid):
+            return next(
+                r["gflops_per_gcd"] for r in fig8
+                if r["machine"] == machine and r["algorithm"] == algo
+                and r["grid"] == grid
+            )
+
+        # Summit IBcast collapses (Spectrum MPI); Frontier's does not.
+        assert val("summit", "ibcast", "3x2") < 0.5 * val("summit", "bcast", "3x2")
+        assert val("frontier", "ibcast", "2x4") > 0.5 * val("frontier", "bcast", "2x4")
+
+    def test_findings_5_and_7_signs(self):
+        from repro.bench.figures import (
+            fig8_finding5_port_binding,
+            fig8_finding7_gpu_aware,
+        )
+
+        assert all(r["improvement_pct"] > 0 for r in fig8_finding5_port_binding())
+        assert all(r["improvement_pct"] > 0 for r in fig8_finding7_gpu_aware())
+
+    def test_lda_pathology_sign(self):
+        km = FRONTIER.gpu_kernels
+        assert km.gemm_rate(80000, 80000, 3072, lda=122880) < \
+            0.7 * km.gemm_rate(80000, 80000, 3072, lda=119808)

@@ -1,0 +1,84 @@
+"""Tests for the achievement-run campaign workflow."""
+
+import pytest
+
+from repro.core.config import BenchmarkConfig
+from repro.errors import ConfigurationError
+from repro.machine import FRONTIER, SUMMIT, GcdFleet
+from repro.tools.campaign import run_campaign
+
+
+def _cfg(machine=FRONTIER, p=8):
+    block = 3072 if machine is FRONTIER else 768
+    nl = block * 8
+    qr, qc = (2, 4) if machine is FRONTIER else (3, 2)
+    return BenchmarkConfig(
+        n=nl * p, block=block, machine=machine, p_rows=p, p_cols=p,
+        q_rows=qr, q_cols=qc,
+        bcast_algorithm="ring2m" if machine is FRONTIER else "bcast",
+    )
+
+
+class TestCampaign:
+    def test_basic_campaign(self):
+        res = run_campaign(_cfg(), num_runs=3)
+        assert len(res.runs) == 3
+        assert res.best.total_flops_per_s >= max(
+            r.total_flops_per_s for r in res.runs
+        ) - 1e-9
+        assert "campaign" in res.render()
+
+    def test_exclusion_improves_throughput(self):
+        cfg = _cfg()
+        fleet = GcdFleet(cfg.num_ranks + 64, seed=13)
+        with_excl = run_campaign(cfg, fleet=fleet, num_runs=1,
+                                 exclude_slow_nodes=True)
+        without = run_campaign(cfg, fleet=fleet, num_runs=1,
+                               exclude_slow_nodes=False)
+        assert with_excl.best.total_flops_per_s >= \
+            without.best.total_flops_per_s
+
+    def test_summit_warmup_matters_on_first_run(self):
+        cfg = _cfg(machine=SUMMIT, p=6)
+        fleet = GcdFleet(cfg.num_ranks + 24, seed=3)
+        warmed = run_campaign(cfg, fleet=fleet, num_runs=2, do_warmup=True)
+        cold = run_campaign(cfg, fleet=fleet, num_runs=2, do_warmup=False)
+        # Cold first run ~20% slower; later runs match.
+        assert cold.runs[0].elapsed_s > 1.15 * warmed.runs[0].elapsed_s
+        assert cold.runs[1].elapsed_s == pytest.approx(
+            warmed.runs[1].elapsed_s, rel=0.01
+        )
+
+    def test_post_first_variability_small(self):
+        res = run_campaign(_cfg(), num_runs=5)
+        # Paper: 0.12% (Summit) / 0.34% (Frontier) caps; allow some slack.
+        assert res.variability < 0.02
+
+    def test_fleet_too_small_rejected(self):
+        cfg = _cfg()
+        with pytest.raises(ConfigurationError):
+            run_campaign(cfg, fleet=GcdFleet(4), num_runs=1)
+        with pytest.raises(ConfigurationError):
+            run_campaign(cfg, num_runs=0)
+
+
+class TestCustomMachineCampaign:
+    def test_campaign_on_custom_machine(self):
+        from repro.machine.custom import build_machine
+
+        m = build_machine(
+            name="customx", num_nodes=64, gcds_per_node=8,
+            fp16_tflops_per_gcd=200.0, fp64_tflops_per_gcd=40.0,
+            gpu_memory_gib=64.0, nic_bw_gbs_per_node=40.0,
+        )
+        cfg = BenchmarkConfig(
+            n=3072 * 16, block=3072, machine=m, p_rows=4, p_cols=4,
+            q_rows=2, q_cols=4, bcast_algorithm="bcast",
+        )
+        res = run_campaign(cfg, num_runs=2)
+        assert len(res.runs) == 2
+        assert res.warmup.machine == "customx"
+        # Generic warm-up: no cold first run.
+        assert res.runs[0].elapsed_s == pytest.approx(
+            res.runs[1].elapsed_s, rel=0.01
+        )

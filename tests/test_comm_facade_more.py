@@ -1,0 +1,104 @@
+"""Cross-mode communication contracts: in-band vs routed delivery."""
+
+import numpy as np
+import pytest
+
+from repro.comm import BCAST_ALGORITHMS, RankComm
+from repro.errors import CommunicationError
+from repro.machine import FRONTIER, SUMMIT, CommCosts
+from repro.simulate import Engine, Now
+
+
+@pytest.mark.parametrize("algo", sorted(BCAST_ALGORITHMS))
+def test_inband_and_routed_deliver_identical_payloads(algo):
+    """The two progression modes are timing models, not data models:
+    every member must receive byte-identical payloads from both."""
+    world, root = 7, 2
+    payload = np.arange(48, dtype=np.float64).reshape(12, 4)
+
+    def inband(rank):
+        comm = RankComm(rank, FRONTIER.mpi, bcast_algorithm=algo)
+        data = yield from comm.bcast(
+            payload.copy() if rank == root else None, root,
+            list(range(world)), tag=1,
+        )
+        return np.asarray(data)
+
+    def routed(rank):
+        comm = RankComm(rank, FRONTIER.mpi, bcast_algorithm=algo,
+                        node_of=lambda r: r // 4)
+        if rank == root:
+            yield from comm.bcast_start(payload.copy(), root,
+                                        list(range(world)), tag=1)
+            return payload.copy()
+        return np.asarray((yield from comm.bcast_finish(root, tag=1)))
+
+    res_a = Engine(world, CommCosts(FRONTIER)).run(inband)
+    res_b = Engine(world, CommCosts(FRONTIER),
+                   node_of_rank=lambda r: r // 4).run(routed)
+    for rank in range(world):
+        np.testing.assert_array_equal(res_a.returns[rank], payload)
+        np.testing.assert_array_equal(res_b.returns[rank], payload)
+
+
+def test_bcast_algorithm_override_per_call():
+    """A RankComm configured for rings can still issue a tree bcast."""
+    def prog(rank):
+        comm = RankComm(rank, SUMMIT.mpi, bcast_algorithm="ring2m")
+        v = yield from comm.bcast(
+            np.float64(7.0) if rank == 0 else None, 0, [0, 1, 2],
+            tag=1, algorithm="bcast",
+        )
+        return float(v)
+
+    res = Engine(3, CommCosts(SUMMIT)).run(prog)
+    assert res.returns == [7.0, 7.0, 7.0]
+
+
+def test_tag_namespaces_do_not_cross():
+    """Two concurrent broadcasts with different tags between overlapping
+    members must not steal each other's messages."""
+    def prog(rank):
+        comm = RankComm(rank, SUMMIT.mpi, bcast_algorithm="ring1")
+        members = [0, 1, 2, 3]
+        a = yield from comm.bcast(
+            np.full(8, 1.0) if rank == 0 else None, 0, members, tag=5
+        )
+        b = yield from comm.bcast(
+            np.full(8, 2.0) if rank == 0 else None, 0, members, tag=6
+        )
+        return (float(np.asarray(a)[0]), float(np.asarray(b)[0]))
+
+    res = Engine(4, CommCosts(SUMMIT)).run(prog)
+    assert all(r == (1.0, 2.0) for r in res.returns)
+
+
+def test_routed_bcast_rejects_unknown_algorithm():
+    def prog(rank):
+        comm = RankComm(rank, SUMMIT.mpi)
+        yield from comm.bcast_start(1.0, 0, [0, 1], tag=0,
+                                    algorithm="gossip")
+
+    with pytest.raises(CommunicationError):
+        Engine(2, CommCosts(SUMMIT)).run(prog)
+
+
+def test_allreduce_algorithm_unknown_rejected():
+    def prog(rank):
+        comm = RankComm(rank, SUMMIT.mpi)
+        yield from comm.allreduce(np.ones(4), [0, 1], algorithm="butterfly")
+
+    with pytest.raises(CommunicationError):
+        Engine(2, CommCosts(SUMMIT)).run(prog)
+
+
+def test_facade_now_matches_engine_clock():
+    def prog(rank):
+        comm = RankComm(rank, SUMMIT.mpi)
+        from repro.simulate import Compute
+
+        yield Compute("w", 0.25)
+        return (yield from comm.now())
+
+    res = Engine(1, CommCosts(SUMMIT)).run(prog)
+    assert res.returns[0] == pytest.approx(0.25)

@@ -1,0 +1,166 @@
+"""Tests for route-based (hardware-progressed) broadcasts."""
+
+import numpy as np
+import pytest
+
+from repro.comm import ROUTE_BUILDERS, RankComm
+from repro.comm.route import route_ring1, route_ring1m, route_ring2m, route_tree
+from repro.errors import CommunicationError
+from repro.machine import FRONTIER, SUMMIT, CommCosts
+from repro.simulate import Compute, Engine, Now, PhantomArray, RouteSpec
+
+
+class TestRouteSpecs:
+    def test_tree_covers_all_members(self):
+        for n in (1, 2, 5, 8, 13):
+            spec = route_tree(0, list(range(n)))
+            assert set(spec.destinations) == set(range(1, n))
+
+    def test_tree_depth_logarithmic(self):
+        spec = route_tree(0, list(range(16)))
+        # Depth of member 15 (relative) must be <= log2(16).
+        depth = {0: 0}
+        for src, dst in spec.edges:
+            depth[dst] = depth[src] + 1
+        assert max(depth.values()) <= 4
+
+    @pytest.mark.parametrize("builder", [route_ring1, route_ring1m, route_ring2m])
+    def test_rings_cover_all_members(self, builder):
+        for n in (2, 3, 4, 9):
+            spec = builder(1, list(range(n)))
+            assert set(spec.destinations) == set(range(n)) - {1}
+
+    def test_ring2m_halves_depth(self):
+        n = 18
+        d1 = {0: 0}
+        for src, dst in route_ring1(0, list(range(n))).edges:
+            d1[dst] = d1[src] + 1
+        d2 = {0: 0}
+        for src, dst in route_ring2m(0, list(range(n))).edges:
+            d2[dst] = d2[src] + 1
+        assert max(d2.values()) <= max(d1.values()) // 2 + 1
+
+    def test_ring1m_direct_edge_first(self):
+        spec = route_ring1m(3, [3, 4, 5, 6, 7])
+        assert spec.edges[0] == (3, 4)
+
+    def test_spec_validation(self):
+        with pytest.raises(CommunicationError):
+            RouteSpec(root=0, edges=((1, 2),))  # src has no data
+        with pytest.raises(CommunicationError):
+            RouteSpec(root=0, edges=((0, 1), (0, 1)))  # duplicate delivery
+        with pytest.raises(CommunicationError):
+            RouteSpec(root=0, edges=((0, 1),), segments=0)
+
+    def test_nonmember_root_rejected(self):
+        with pytest.raises(CommunicationError):
+            route_tree(9, [0, 1, 2])
+
+
+def run_routed(algo, world, root, payload_factory, machine=SUMMIT,
+               node_of=None, compute_between=0.0):
+    def prog(rank):
+        comm = RankComm(rank, machine.mpi, bcast_algorithm=algo,
+                        node_of=node_of)
+        if rank == root:
+            yield from comm.bcast_start(payload_factory(), root,
+                                        list(range(world)), tag=1)
+            data = payload_factory()
+        else:
+            if compute_between:
+                yield Compute("gemm", compute_between)
+            data = yield from comm.bcast_finish(root, tag=1)
+        t = yield Now()
+        return (data, t)
+
+    return Engine(world, CommCosts(machine), node_of_rank=node_of).run(prog)
+
+
+class TestRoutedDelivery:
+    @pytest.mark.parametrize("algo", sorted(ROUTE_BUILDERS))
+    @pytest.mark.parametrize("world,root", [(1, 0), (2, 1), (7, 3), (12, 0)])
+    def test_payload_reaches_everyone(self, algo, world, root):
+        res = run_routed(algo, world, root, lambda: np.arange(24.0))
+        for rank in range(world):
+            np.testing.assert_array_equal(res.returns[rank][0], np.arange(24.0))
+
+    @pytest.mark.parametrize("algo", sorted(ROUTE_BUILDERS))
+    def test_phantom_delivery(self, algo):
+        res = run_routed(algo, 9, 0, lambda: PhantomArray((64, 64), np.float16))
+        for rank in range(1, 9):
+            assert res.returns[rank][0].shape == (64, 64)
+
+    def test_overlap_with_compute(self):
+        # A routed ring broadcast in flight during compute must cost the
+        # receivers (almost) nothing beyond the compute itself: the hops
+        # progress in the background while ranks are busy.
+        payload = PhantomArray((64 * 2**20,), np.uint8)
+        # Unoverlapped delivery time for reference:
+        idle = run_routed("ring1m", 16, 0, lambda: payload,
+                          machine=FRONTIER, node_of=lambda r: r // 8)
+        t_bcast = max(t for _d, t in idle.returns)
+
+        compute = 2.0 * t_bcast
+        res = run_routed(
+            "ring1m", 16, 0, lambda: payload, machine=FRONTIER,
+            node_of=lambda r: r // 8, compute_between=compute,
+        )
+        finish = max(t for _d, t in res.returns)
+        # All transfer time hidden behind compute (plus small epsilon).
+        assert finish < compute * 1.1
+
+    def test_blocking_bcast_root_waits(self):
+        payload = PhantomArray((64 * 2**20,), np.uint8)
+
+        def timing(algo):
+            def prog(rank):
+                comm = RankComm(rank, FRONTIER.mpi, bcast_algorithm=algo)
+                if rank == 0:
+                    yield from comm.bcast_start(payload, 0, list(range(4)), tag=1)
+                    return (yield Now())
+                yield from comm.bcast_finish(0, tag=1)
+                return (yield Now())
+
+            return Engine(
+                4, CommCosts(FRONTIER), node_of_rank=lambda r: r
+            ).run(prog).returns[0]
+
+        assert timing("bcast") > 10 * timing("ring1")  # ring root returns fast
+
+    def test_pipelined_ring_beats_tree_at_scale_frontier(self):
+        payload = PhantomArray((32 * 2**20,), np.uint8)
+
+        def finish(algo):
+            res = run_routed(algo, 32, 0, lambda: payload,
+                             machine=FRONTIER, node_of=lambda r: r // 8)
+            return max(t for _d, t in res.returns)
+
+        assert finish("ring2m") < finish("bcast")
+        assert finish("ring1m") < finish("bcast")
+
+    def test_summit_library_bcast_competitive(self):
+        # Paper-shaped configuration: a Summit process row of 54 ranks
+        # under a 3x2 node grid moving a ~94 MB panel chunk.
+        payload = PhantomArray((94 * 2**20,), np.uint8)
+
+        def finish(algo):
+            res = run_routed(algo, 54, 0, lambda: payload,
+                             machine=SUMMIT, node_of=lambda r: r // 3)
+            return max(t for _d, t in res.returns)
+
+        # Finding 6: rings do NOT beat the tuned vendor broadcast on
+        # Summit (they measured 2.3-11.5% slower overall with rings).
+        assert finish("bcast") <= finish("ring1")
+        assert finish("bcast") <= finish("ring2m")
+
+    def test_route_from_wrong_rank_rejected(self):
+        from repro.simulate import RouteSend
+        from repro.comm.route import route_tree as rt
+
+        def prog(rank):
+            spec = rt(0, [0, 1])
+            yield RouteSend(spec, 1.0, 0)
+
+        from repro.errors import SimulationError
+        with pytest.raises(SimulationError):
+            Engine(2, CommCosts(SUMMIT)).run(prog)

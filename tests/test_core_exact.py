@@ -1,0 +1,152 @@
+"""End-to-end correctness of the distributed HPL-AI solve (exact mode)."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import BenchmarkConfig
+from repro.core.driver import run_benchmark, solve_hplai
+from repro.errors import ConfigurationError
+from repro.lcg.matrix import HplAiMatrix
+from repro.machine import FRONTIER, SUMMIT
+from repro.precision import FP64
+
+
+def _reference(n, seed=42):
+    m = HplAiMatrix(n, seed)
+    return np.linalg.solve(m.dense(), m.rhs())
+
+
+class TestSolveCorrectness:
+    @pytest.mark.parametrize(
+        "n,block,pr,pc",
+        [
+            (64, 16, 1, 1),
+            (64, 16, 2, 2),
+            (96, 16, 2, 3),
+            (128, 16, 4, 2),
+            (120, 8, 3, 5),
+            (128, 32, 2, 2),
+        ],
+    )
+    def test_solution_matches_dense_solve(self, n, block, pr, pc):
+        res = solve_hplai(n=n, block=block, p_rows=pr, p_cols=pc)
+        assert res.ir_converged
+        x_ref = _reference(n)
+        assert np.max(np.abs(res.x - x_ref)) < 1e-10
+
+    def test_residual_reaches_fp64_level(self):
+        res = solve_hplai(n=128, block=16, p_rows=2, p_cols=2)
+        # Residual below the HPL-AI tolerance ~ 8 N eps * O(1).
+        assert res.residual_norm < 8 * 128 * FP64.eps * 10
+
+    def test_grid_shape_does_not_change_answer(self):
+        rs = [
+            solve_hplai(n=96, block=8, p_rows=pr, p_cols=pc)
+            for pr, pc in [(1, 1), (2, 2), (3, 4), (4, 3), (6, 2)]
+        ]
+        for r in rs[1:]:
+            np.testing.assert_allclose(r.x, rs[0].x, atol=1e-13)
+
+    def test_lookahead_matches_synchronous(self):
+        a = solve_hplai(n=96, block=16, p_rows=2, p_cols=2, lookahead=True)
+        b = solve_hplai(n=96, block=16, p_rows=2, p_cols=2, lookahead=False)
+        # Same arithmetic, same rounding order within each kernel:
+        # solutions agree to FP64 noise.
+        np.testing.assert_allclose(a.x, b.x, atol=1e-12)
+        assert a.ir_iterations == b.ir_iterations
+
+    @pytest.mark.parametrize("algo", ["bcast", "ibcast", "ring1", "ring1m", "ring2m"])
+    def test_all_broadcast_algorithms_correct(self, algo):
+        res = solve_hplai(
+            n=96, block=16, p_rows=3, p_cols=2, bcast_algorithm=algo
+        )
+        assert res.ir_converged
+        assert np.max(np.abs(res.x - _reference(96))) < 1e-10
+
+    def test_machine_choice_does_not_change_numerics(self):
+        a = solve_hplai(n=64, block=16, p_rows=2, p_cols=2, machine=SUMMIT)
+        b = solve_hplai(n=64, block=16, p_rows=2, p_cols=2, machine=FRONTIER)
+        np.testing.assert_array_equal(a.x, b.x)
+
+    def test_mixed_precision_actually_used(self):
+        # A pure-FP64 factorization would converge with 0 refinement
+        # iterations; FP16 panels force at least one correction.
+        res = solve_hplai(n=256, block=32, p_rows=2, p_cols=2)
+        assert res.ir_iterations >= 1
+        assert res.ir_converged
+
+    def test_seed_changes_problem(self):
+        a = solve_hplai(n=64, block=16, seed=1)
+        b = solve_hplai(n=64, block=16, seed=2)
+        assert np.max(np.abs(a.x - b.x)) > 1e-6
+
+
+class TestRunMetadata:
+    def test_timing_fields_positive_and_consistent(self):
+        res = solve_hplai(n=96, block=16, p_rows=2, p_cols=2)
+        assert res.elapsed > 0
+        assert res.elapsed_factorization > 0
+        assert res.elapsed_refinement > 0
+        assert res.elapsed == pytest.approx(
+            res.elapsed_factorization + res.elapsed_refinement, rel=1e-6
+        )
+        assert res.gflops_per_gcd > 0
+
+    def test_trace_collected_per_iteration(self):
+        res = solve_hplai(n=128, block=16, p_rows=2, p_cols=2)
+        assert len(res.trace) == 128 // 16
+        for entry in res.trace:
+            assert entry["panel"] >= 0
+            assert entry["gemm"] >= 0
+
+    def test_summary_keys(self):
+        res = solve_hplai(n=64, block=16)
+        s = res.summary()
+        assert s["N"] == 64 and s["B"] == 16
+        assert "gflops_per_gcd" in s and "residual_norm" in s
+
+    def test_stats_have_gemm_time(self):
+        res = solve_hplai(n=128, block=16, p_rows=2, p_cols=2)
+        assert all(st.times.get("gemm", 0) > 0 for st in res.stats)
+
+    def test_fp16_unsafe_n_rejected_in_exact_mode(self):
+        cfg = BenchmarkConfig(
+            n=8192, block=1024, machine=SUMMIT, p_rows=1, p_cols=1
+        )
+        with pytest.raises(ConfigurationError):
+            run_benchmark(cfg, exact=True)
+
+
+class TestConfigValidation:
+    def test_indivisible_n_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BenchmarkConfig(n=100, block=16, machine=SUMMIT, p_rows=2, p_cols=2)
+
+    def test_bad_algorithm_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BenchmarkConfig(
+                n=64, block=16, machine=SUMMIT, p_rows=1, p_cols=1,
+                bcast_algorithm="gossip",
+            )
+
+    def test_bad_node_grid_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BenchmarkConfig(
+                n=768 * 12, block=768, machine=SUMMIT, p_rows=12, p_cols=12,
+                q_rows=4, q_cols=4,  # 16 != 6 GCDs/node
+            )
+
+    def test_gpu_memory_check(self):
+        cfg = BenchmarkConfig(
+            n=120 * 4096, block=4096, machine=SUMMIT, p_rows=2, p_cols=2
+        )
+        with pytest.raises(ConfigurationError):
+            cfg.check_gpu_memory()  # ~230k local > 16 GB V100
+
+    def test_describe(self):
+        cfg = BenchmarkConfig(
+            n=61440 * 2, block=768, machine=SUMMIT, p_rows=2, p_cols=2
+        )
+        d = cfg.describe()
+        assert d["N_L"] == "61440x61440"
+        assert d["GCDs"] == 4

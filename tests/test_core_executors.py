@@ -1,0 +1,193 @@
+"""Unit tests for the exact and phantom executors."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import BenchmarkConfig
+from repro.core.executors import ExactExecutor, PhantomExecutor
+from repro.lcg.matrix import HplAiMatrix
+from repro.machine import FRONTIER, SUMMIT
+from repro.simulate.phantom import PhantomArray
+
+
+def _cfg(n=64, block=8, pr=2, pc=2, machine=SUMMIT, **kw):
+    return BenchmarkConfig(
+        n=n, block=block, machine=machine, p_rows=pr, p_cols=pc, **kw
+    )
+
+
+def _exact(cfg, pir=0, pic=0):
+    rank = cfg.grid.rank_of(pir, pic)
+    ex = ExactExecutor(cfg, pir, pic, rank)
+    ex.fill_local()
+    return ex
+
+
+class TestFill:
+    def test_local_matrix_matches_block_cyclic_layout(self):
+        cfg = _cfg()
+        matrix = HplAiMatrix(cfg.n, cfg.seed)
+        dense = matrix.dense(dtype=np.float32)
+        b = cfg.block
+        for _r, pir, pic in cfg.grid.iter_ranks():
+            ex = _exact(cfg, pir, pic)
+            for lr in range(cfg.row_dim.blocks_per_proc):
+                gr = cfg.row_dim.global_block(pir, lr)
+                for lc in range(cfg.col_dim.blocks_per_proc):
+                    gc = cfg.col_dim.global_block(pic, lc)
+                    np.testing.assert_array_equal(
+                        ex.local[lr * b:(lr + 1) * b, lc * b:(lc + 1) * b],
+                        dense[gr * b:(gr + 1) * b, gc * b:(gc + 1) * b],
+                    )
+
+    def test_fill_time_positive_and_matches_phantom(self):
+        cfg = _cfg()
+        ex = ExactExecutor(cfg, 0, 0, 0)
+        ph = PhantomExecutor(cfg, 0, 0, 0)
+        assert ex.fill_local() == pytest.approx(ph.fill_local())
+        assert ph.fill_local() > 0
+
+
+class TestTimingParity:
+    """Exact and phantom executors must charge identical times."""
+
+    def test_factorization_ops(self):
+        cfg = _cfg(n=96, block=16, pr=2, pc=3)
+        pir, pic = 0, 0
+        rank = cfg.grid.rank_of(pir, pic)
+        ex = ExactExecutor(cfg, pir, pic, rank)
+        ex.fill_local()
+        ph = PhantomExecutor(cfg, pir, pic, rank)
+        k = 0  # rank (0,0) owns the step-0 diagonal
+        diag, t_exact = ex.getrf_diag(k)
+        _pd, t_ph = ph.getrf_diag(k)
+        assert t_exact == pytest.approx(t_ph)
+        assert ex.trsm_row_panel(k, diag) == pytest.approx(
+            ph.trsm_row_panel(k, None)
+        )
+        u_ex, tc_ex = ex.trans_cast_u(k)
+        u_ph, tc_ph = ph.trans_cast_u(k)
+        assert tc_ex == pytest.approx(tc_ph)
+        assert u_ex.shape == u_ph.shape
+        assert u_ex.dtype == np.float16 and u_ph.dtype == np.float16
+        assert ex.trsm_col_panel(k, diag) == pytest.approx(
+            ph.trsm_col_panel(k, None)
+        )
+        l_ex, _ = ex.cast_l(k)
+        l_ph, _ = ph.cast_l(k)
+        assert l_ex.shape == l_ph.shape
+        assert ex.gemm_trailing(k, l_ex, u_ex, False, False) == pytest.approx(
+            ph.gemm_trailing(k, l_ph, u_ph, False, False)
+        )
+
+    def test_phantom_payload_shapes(self):
+        cfg = _cfg(n=96, block=16, pr=2, pc=3)
+        ph = PhantomExecutor(cfg, 0, 0, 0)
+        diag, _ = ph.getrf_diag(0)
+        assert isinstance(diag, PhantomArray)
+        assert diag.shape == (16, 16) and diag.dtype == np.float32
+        u, _ = ph.trans_cast_u(0)
+        plan = ph.plan(0)
+        assert u.shape == (plan.trail_cols, 16)
+        l16, _ = ph.cast_l(0)
+        assert l16.shape == (plan.trail_rows, 16)
+
+
+class TestExactKernels:
+    def test_getrf_produces_packed_lu(self):
+        cfg = _cfg(n=32, block=8, pr=1, pc=1)
+        ex = _exact(cfg)
+        before = ex.local[:8, :8].astype(np.float64).copy()
+        diag, _ = ex.getrf_diag(0)
+        lower = np.tril(diag.astype(np.float64), -1) + np.eye(8)
+        upper = np.triu(diag.astype(np.float64))
+        np.testing.assert_allclose(lower @ upper, before, rtol=1e-5, atol=1e-6)
+
+    def test_full_local_factorization_single_rank(self):
+        # On a 1x1 grid the executor steps reproduce an unpivoted LU of
+        # the whole matrix.
+        cfg = _cfg(n=32, block=8, pr=1, pc=1)
+        ex = _exact(cfg)
+        for k in range(cfg.num_blocks):
+            diag, _ = ex.getrf_diag(k)
+            ex.trsm_row_panel(k, diag)
+            u16, _ = ex.trans_cast_u(k)
+            ex.trsm_col_panel(k, diag)
+            l16, _ = ex.cast_l(k)
+            ex.gemm_trailing(k, l16, u16, False, False)
+        lu = ex.local.astype(np.float64)
+        lower = np.tril(lu, -1) + np.eye(32)
+        upper = np.triu(lu)
+        a = HplAiMatrix(32, cfg.seed).dense()
+        # FP16 panels limit reconstruction accuracy to ~2^-11 levels.
+        err = np.max(np.abs(lower @ upper - a))
+        assert err < 1e-2
+        assert err > 0  # mixed precision is genuinely lossy pre-IR
+
+    def test_strip_plus_remainder_equals_full_update(self):
+        # Look-ahead path: strip updates + skipped trailing update must
+        # equal the plain full trailing update.
+        cfg = _cfg(n=64, block=8, pr=2, pc=2)
+
+        def run(lookahead_split):
+            pir = pic = 1  # owns row/col block 1 (= k+1 for k=0)
+            ex = _exact(cfg, pir, pic)
+            k = 0
+            rows = [cfg.row_dim.global_block(pir, i) for i in
+                    range(cfg.row_dim.blocks_per_proc)]
+            cols = [cfg.col_dim.global_block(pic, i) for i in
+                    range(cfg.col_dim.blocks_per_proc)]
+            b = cfg.block
+            l_rows = [g for g in rows if g > k]
+            u_cols = [g for g in cols if g > k]
+            # Build rank (1,1)'s step-0 panel chunks from the dense
+            # factors (it shares no local rows/cols with the owner).
+            a = HplAiMatrix(cfg.n, cfg.seed).dense(dtype=np.float32)
+            from repro.blas.getrf import getrf_nopiv, unpack_lu
+
+            lu = getrf_nopiv(a[:b, :b].astype(np.float32).copy())
+            lmat, umat = unpack_lu(lu)
+            import scipy.linalg as sla
+
+            lpanel = sla.solve_triangular(
+                umat.astype(np.float64).T,
+                a[b:, :b].astype(np.float64).T, lower=True,
+            ).T
+            upanel = sla.solve_triangular(
+                lmat.astype(np.float64), a[:b, b:].astype(np.float64),
+                lower=True, unit_diagonal=True,
+            )
+            my_l = np.vstack([
+                lpanel[g * b - b:(g + 1) * b - b] for g in l_rows
+            ]).astype(np.float16)
+            my_ut = np.vstack([
+                upanel[:, g * b - b:(g + 1) * b - b].T for g in u_cols
+            ]).astype(np.float16)
+            if lookahead_split:
+                ex.strip_col_update(k, my_l, my_ut)
+                ex.strip_row_update(k, my_l, my_ut, owns_col=True)
+                ex.gemm_trailing(k, my_l, my_ut, skip_row=True, skip_col=True)
+            else:
+                ex.gemm_trailing(k, my_l, my_ut, False, False)
+            return ex.local.copy()
+
+        split = run(True)
+        full = run(False)
+        np.testing.assert_allclose(split, full, rtol=1e-5, atol=1e-5)
+
+
+class TestIrConvergedBehaviour:
+    def test_phantom_fixed_iterations(self):
+        cfg = _cfg(ir_fixed_iters=3)
+        ph = PhantomExecutor(cfg, 0, 0, 0)
+        decisions = [ph.ir_converged(None) for _ in range(5)]
+        assert decisions == [False, False, False, True, True]
+
+    def test_exact_convergence_is_tolerance_based(self):
+        cfg = _cfg(n=32, block=8, pr=1, pc=1)
+        ex = _exact(cfg)
+        ex.ir_setup()
+        # A tiny residual converges immediately; a large one does not.
+        assert ex.ir_converged(np.zeros(cfg.n))
+        assert not ex.ir_converged(np.ones(cfg.n))
+        assert ex.last_residual_norm == 1.0

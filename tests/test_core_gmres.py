@@ -1,0 +1,84 @@
+"""Tests for the GMRES refinement variant (the HPL-AI reference solver)."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import BenchmarkConfig
+from repro.core.driver import run_benchmark, solve_hplai
+from repro.errors import ConfigurationError
+from repro.lcg.matrix import HplAiMatrix
+from repro.machine import FRONTIER, SUMMIT
+
+
+def _reference(n, seed=42):
+    m = HplAiMatrix(n, seed)
+    return np.linalg.solve(m.dense(), m.rhs())
+
+
+class TestGmresExact:
+    @pytest.mark.parametrize(
+        "n,block,pr,pc",
+        [(64, 16, 1, 1), (96, 16, 2, 3), (128, 16, 2, 2), (128, 32, 4, 2)],
+    )
+    def test_converges_to_fp64(self, n, block, pr, pc):
+        res = solve_hplai(
+            n=n, block=block, p_rows=pr, p_cols=pc,
+            refinement_solver="gmres",
+        )
+        assert res.ir_converged
+        assert np.max(np.abs(res.x - _reference(n))) < 1e-10
+
+    def test_matches_classical_ir_solution(self):
+        gm = solve_hplai(n=96, block=16, p_rows=2, p_cols=2,
+                         refinement_solver="gmres")
+        ir = solve_hplai(n=96, block=16, p_rows=2, p_cols=2,
+                         refinement_solver="ir")
+        # Both converge to the FP64 solution (paths differ, target same).
+        np.testing.assert_allclose(gm.x, ir.x, atol=1e-11)
+
+    def test_gmres_iterations_bounded(self):
+        # The benchmark matrix is well conditioned; preconditioned GMRES
+        # needs only a few applications.
+        res = solve_hplai(n=256, block=32, p_rows=2, p_cols=2,
+                          refinement_solver="gmres")
+        assert res.ir_iterations <= 10
+
+    def test_all_bcast_algorithms(self):
+        for algo in ("bcast", "ring2m"):
+            res = solve_hplai(n=96, block=16, p_rows=3, p_cols=2,
+                              refinement_solver="gmres",
+                              bcast_algorithm=algo)
+            assert res.ir_converged
+
+
+class TestGmresPhantom:
+    def test_phantom_run_completes(self):
+        cfg = BenchmarkConfig(
+            n=3072 * 8, block=3072, machine=FRONTIER, p_rows=2, p_cols=2,
+            refinement_solver="gmres", ir_fixed_iters=2,
+        )
+        res = run_benchmark(cfg, exact=False)
+        assert res.elapsed > 0
+        assert res.elapsed_refinement > 0
+
+    def test_gmres_costs_more_comm_than_ir(self):
+        # Each GMRES application includes a matvec AND a preconditioner
+        # solve, so its refinement phase is at least as expensive.
+        common = dict(n=3072 * 8, block=3072, machine=FRONTIER,
+                      p_rows=2, p_cols=2, ir_fixed_iters=2)
+        ir = run_benchmark(
+            BenchmarkConfig(**common, refinement_solver="ir"), exact=False
+        )
+        gm = run_benchmark(
+            BenchmarkConfig(**common, refinement_solver="gmres"), exact=False
+        )
+        assert gm.elapsed_refinement >= ir.elapsed_refinement * 0.9
+
+
+class TestConfig:
+    def test_solver_validation(self):
+        with pytest.raises(ConfigurationError):
+            BenchmarkConfig(
+                n=64, block=16, machine=SUMMIT, p_rows=1, p_cols=1,
+                refinement_solver="bicgstab",
+            )

@@ -1,0 +1,129 @@
+"""Unit tests for the per-iteration layout bookkeeping."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import BenchmarkConfig
+from repro.core.layout import (
+    diag_columns_of,
+    global_col_blocks_of,
+    global_row_blocks_of,
+    make_step_plan,
+)
+from repro.machine import SUMMIT
+
+
+def _cfg(n=96, block=8, pr=3, pc=4):
+    return BenchmarkConfig(
+        n=n, block=block, machine=SUMMIT, p_rows=pr, p_cols=pc
+    )
+
+
+class TestStepPlan:
+    def test_owner_identification(self):
+        cfg = _cfg()
+        for k in range(cfg.num_blocks):
+            owners = [
+                (pir, pic)
+                for _r, pir, pic in cfg.grid.iter_ranks()
+                if make_step_plan(cfg, pir, pic, k).is_owner
+            ]
+            assert owners == [(k % 3, k % 4)]
+
+    def test_pivot_membership_counts(self):
+        cfg = _cfg()
+        for k in range(cfg.num_blocks):
+            in_row = sum(
+                make_step_plan(cfg, pir, pic, k).in_pivot_row
+                for _r, pir, pic in cfg.grid.iter_ranks()
+            )
+            in_col = sum(
+                make_step_plan(cfg, pir, pic, k).in_pivot_col
+                for _r, pir, pic in cfg.grid.iter_ranks()
+            )
+            assert in_row == cfg.p_cols
+            assert in_col == cfg.p_rows
+
+    def test_trailing_shrinks_monotonically(self):
+        cfg = _cfg()
+        for _r, pir, pic in cfg.grid.iter_ranks():
+            prev_rows = prev_cols = None
+            for k in range(cfg.num_blocks):
+                p = make_step_plan(cfg, pir, pic, k)
+                if prev_rows is not None:
+                    assert p.trail_rows <= prev_rows
+                    assert p.trail_cols <= prev_cols
+                prev_rows, prev_cols = p.trail_rows, p.trail_cols
+            # After the final step, nothing trails.
+            last = make_step_plan(cfg, pir, pic, cfg.num_blocks - 1)
+            assert last.trail_rows == 0 or last.r1 + last.trail_rows == cfg.local_rows
+
+    def test_trailing_region_is_local_tail(self):
+        cfg = _cfg()
+        for _r, pir, pic in cfg.grid.iter_ranks():
+            for k in range(cfg.num_blocks):
+                p = make_step_plan(cfg, pir, pic, k)
+                assert p.r1 + p.trail_rows == cfg.local_rows
+                assert p.c1 + p.trail_cols == cfg.local_cols
+
+    @given(st.integers(0, 11))
+    @settings(max_examples=12, deadline=None)
+    def test_global_trailing_sums(self, k):
+        cfg = _cfg()
+        total_rows = sum(
+            make_step_plan(cfg, pir, 0, k).trail_rows
+            for pir in range(cfg.p_rows)
+        )
+        assert total_rows == cfg.n - min((k + 1) * cfg.block, cfg.n)
+
+    def test_owns_next_flags(self):
+        cfg = _cfg()
+        for k in range(cfg.num_blocks - 1):
+            owners_next_row = {
+                pir
+                for _r, pir, pic in cfg.grid.iter_ranks()
+                if make_step_plan(cfg, pir, pic, k).owns_next_row
+            }
+            assert owners_next_row == {(k + 1) % cfg.p_rows}
+        # Last step: no next panels.
+        last = make_step_plan(cfg, 0, 0, cfg.num_blocks - 1)
+        assert not last.owns_next_row and not last.owns_next_col
+
+    def test_diag_local_offsets(self):
+        cfg = _cfg()
+        for k in range(cfg.num_blocks):
+            pir, pic = cfg.grid.diagonal_owner(k)
+            p = make_step_plan(cfg, pir, pic, k)
+            # The diag block's local offset corresponds to global block k.
+            assert cfg.row_dim.global_block(pir, p.diag_r // cfg.block) == k
+            assert cfg.col_dim.global_block(pic, p.diag_c // cfg.block) == k
+
+
+class TestOwnershipHelpers:
+    def test_row_blocks_partition(self):
+        cfg = _cfg()
+        seen = []
+        for pir in range(cfg.p_rows):
+            seen.extend(global_row_blocks_of(cfg, pir))
+        assert sorted(seen) == list(range(cfg.num_blocks))
+
+    def test_col_blocks_partition(self):
+        cfg = _cfg()
+        seen = []
+        for pic in range(cfg.p_cols):
+            seen.extend(global_col_blocks_of(cfg, pic))
+        assert sorted(seen) == list(range(cfg.num_blocks))
+
+    def test_diag_columns_partition(self):
+        cfg = _cfg()
+        seen = []
+        for _r, pir, pic in cfg.grid.iter_ranks():
+            seen.extend(diag_columns_of(cfg, pir, pic))
+        assert sorted(seen) == list(range(cfg.num_blocks))
+
+    def test_diag_columns_match_owner(self):
+        cfg = _cfg()
+        for _r, pir, pic in cfg.grid.iter_ranks():
+            for j in diag_columns_of(cfg, pir, pic):
+                assert cfg.grid.diagonal_owner(j) == (pir, pic)

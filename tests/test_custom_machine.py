@@ -1,0 +1,85 @@
+"""Tests for the custom machine builder."""
+
+import pytest
+
+from repro.core.config import BenchmarkConfig
+from repro.core.driver import run_benchmark
+from repro.errors import ConfigurationError
+from repro.machine import FRONTIER
+from repro.machine.custom import build_machine
+from repro.model.perf_model import estimate_run
+
+
+def _nextgen(**overrides):
+    kw = dict(
+        name="testgen",
+        num_nodes=1024,
+        gcds_per_node=8,
+        fp16_tflops_per_gcd=300.0,
+        fp64_tflops_per_gcd=55.0,
+        gpu_memory_gib=96.0,
+        nic_bw_gbs_per_node=50.0,
+    )
+    kw.update(overrides)
+    return build_machine(**kw)
+
+
+class TestBuilder:
+    def test_consistency(self):
+        m = _nextgen()
+        assert m.total_gcds == 8192
+        assert m.node.fp16_tflops == pytest.approx(2400.0)
+        assert m.node.network.node_injection_bw_gbs == pytest.approx(50.0)
+        assert m.gpu_kernels.gemm_peak_tflops == pytest.approx(225.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            _nextgen(num_nodes=0)
+        with pytest.raises(ConfigurationError):
+            _nextgen(gemm_efficiency=2.0)
+        with pytest.raises(ConfigurationError):
+            _nextgen(fp16_tflops_per_gcd=-1.0)
+
+    def test_runs_through_the_model(self):
+        m = _nextgen()
+        cfg = BenchmarkConfig(
+            n=3072 * 32, block=3072, machine=m, p_rows=8, p_cols=8,
+            q_rows=2, q_cols=4, bcast_algorithm="bcast",
+        )
+        res = estimate_run(cfg)
+        assert res.gflops_per_gcd > 0
+        # Twice Frontier's compute should comfortably beat Frontier's
+        # per-GCD rate at the same configuration shape.
+        f_cfg = BenchmarkConfig(
+            n=3072 * 32, block=3072, machine=FRONTIER, p_rows=8, p_cols=8,
+            q_rows=2, q_cols=4, bcast_algorithm="ring2m",
+        )
+        assert res.gflops_per_gcd > estimate_run(f_cfg).gflops_per_gcd
+
+    def test_runs_through_the_engine_exactly(self):
+        m = _nextgen()
+        cfg = BenchmarkConfig(
+            n=96, block=16, machine=m, p_rows=2, p_cols=2
+        )
+        res = run_benchmark(cfg, exact=True)
+        assert res.ir_converged
+
+    def test_mature_vs_young_mpi(self):
+        mature = _nextgen(mature_mpi=True)
+        young = _nextgen(name="younggen", mature_mpi=False)
+        assert mature.mpi.bcast_hierarchical
+        assert not young.mpi.bcast_hierarchical
+
+        def ring_gap(machine):
+            scores = {}
+            for algo in ("bcast", "ring2m"):
+                cfg = BenchmarkConfig(
+                    n=3072 * 32, block=3072, machine=machine,
+                    p_rows=8, p_cols=8, q_rows=2, q_cols=4,
+                    bcast_algorithm=algo,
+                )
+                scores[algo] = estimate_run(cfg).gflops_per_gcd
+            return scores["ring2m"] / scores["bcast"]
+
+        # Rings help the young stack more than the mature one.
+        assert ring_gap(young) > ring_gap(mature)

@@ -1,0 +1,58 @@
+"""Meta-test: every public item in the library carries a docstring.
+
+Documentation is a deliverable; this test keeps it from rotting.
+Private names (leading underscore), dataclass-generated members and
+re-exports are exempt.
+"""
+
+import importlib
+import inspect
+import pkgutil
+
+import repro
+
+
+def _walk_modules():
+    yield repro
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        if info.name.endswith("__main__"):
+            continue  # importing it runs the CLI
+        yield importlib.import_module(info.name)
+
+
+def _public_members(module):
+    for name, obj in vars(module).items():
+        if name.startswith("_"):
+            continue
+        if not (inspect.isfunction(obj) or inspect.isclass(obj)):
+            continue
+        if getattr(obj, "__module__", None) != module.__name__:
+            continue  # re-export; documented at its home
+        yield name, obj
+
+
+def test_every_module_has_a_docstring():
+    missing = [m.__name__ for m in _walk_modules() if not m.__doc__]
+    assert not missing, f"modules without docstrings: {missing}"
+
+
+def test_every_public_function_and_class_documented():
+    missing = []
+    for module in _walk_modules():
+        for name, obj in _public_members(module):
+            if not inspect.getdoc(obj):
+                missing.append(f"{module.__name__}.{name}")
+            if inspect.isclass(obj):
+                for meth_name, meth in vars(obj).items():
+                    if meth_name.startswith("_"):
+                        continue
+                    if not inspect.isfunction(meth):
+                        continue
+                    if not inspect.getdoc(meth):
+                        missing.append(
+                            f"{module.__name__}.{name}.{meth_name}"
+                        )
+    assert not missing, (
+        f"{len(missing)} public items lack docstrings:\n"
+        + "\n".join(sorted(missing)[:40])
+    )

@@ -1,0 +1,64 @@
+"""Configuration-space fuzzing: any valid combination must solve exactly.
+
+One hypothesis-driven test sweeps the cross product of grid shapes,
+broadcast algorithms, look-ahead, refinement solver, panel precision,
+progression mode and all-reduce algorithm, and requires FP64-accurate
+convergence against a dense reference solve every time.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import BenchmarkConfig
+from repro.core.driver import run_benchmark
+from repro.lcg.matrix import HplAiMatrix
+from repro.machine import FRONTIER, SUMMIT
+
+configs = st.fixed_dictionaries(
+    {
+        "grid": st.sampled_from([(1, 1), (1, 2), (2, 1), (2, 2), (2, 3), (3, 2)]),
+        "blocks_per_dim": st.sampled_from([2, 3, 4]),
+        "block": st.sampled_from([8, 16]),
+        "bcast": st.sampled_from(["bcast", "ibcast", "ring1", "ring1m", "ring2m"]),
+        "lookahead": st.booleans(),
+        "solver": st.sampled_from(["ir", "gmres"]),
+        "precision": st.sampled_from(["fp16", "bf16"]),
+        "allreduce": st.sampled_from([None, "ring", "doubling"]),
+        "machine": st.sampled_from(["summit", "frontier"]),
+        "seed": st.integers(1, 10_000),
+    }
+)
+
+
+@given(configs)
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_any_valid_configuration_solves(params):
+    pr, pc = params["grid"]
+    b = params["block"]
+    n = b * params["blocks_per_dim"] * pr * pc  # tiles both dimensions
+    machine = SUMMIT if params["machine"] == "summit" else FRONTIER
+    cfg = BenchmarkConfig(
+        n=n,
+        block=b,
+        machine=machine,
+        p_rows=pr,
+        p_cols=pc,
+        bcast_algorithm=params["bcast"],
+        lookahead=params["lookahead"],
+        refinement_solver=params["solver"],
+        panel_precision=params["precision"],
+        allreduce_algorithm=params["allreduce"],
+        seed=params["seed"],
+    )
+    res = run_benchmark(cfg, exact=True)
+    assert res.ir_converged, f"failed to converge: {params}"
+    m = HplAiMatrix(n, params["seed"])
+    x_ref = np.linalg.solve(m.dense(), m.rhs())
+    err = np.max(np.abs(res.x - x_ref))
+    assert err < 1e-9, f"wrong answer ({err:.2e}): {params}"

@@ -1,0 +1,99 @@
+"""Tests for the FP64 HPL baseline."""
+
+import numpy as np
+import pytest
+
+from repro.core.hpl import (
+    HplResult,
+    hpl_gflops_per_gcd,
+    hpl_solve_fp64,
+    hpl_time_model,
+)
+from repro.errors import ConfigurationError
+from repro.lcg.matrix import HplAiMatrix
+from repro.machine import FRONTIER, SUMMIT
+from repro.machine.spec import MachineSpec
+
+
+class TestExactSolve:
+    def test_solves_hplai_matrix(self):
+        m = HplAiMatrix(128, seed=9)
+        a, b = m.dense(), m.rhs()
+        res = hpl_solve_fp64(a, b)
+        np.testing.assert_allclose(a @ res.x, b, atol=1e-12)
+        assert res.scaled_residual < 16.0  # HPL acceptance threshold
+
+    def test_handles_matrices_that_need_pivoting(self):
+        # Unpivoted LU would die on this; partial pivoting must not.
+        a = np.array([[0.0, 2.0, 1.0],
+                      [1.0, 0.0, 3.0],
+                      [2.0, 1.0, 0.0]])
+        b = np.array([1.0, 2.0, 3.0])
+        res = hpl_solve_fp64(a, b)
+        np.testing.assert_allclose(a @ res.x, b, atol=1e-12)
+
+    def test_input_not_mutated(self):
+        m = HplAiMatrix(32, seed=1)
+        a, b = m.dense(), m.rhs()
+        a0, b0 = a.copy(), b.copy()
+        hpl_solve_fp64(a, b)
+        np.testing.assert_array_equal(a, a0)
+        np.testing.assert_array_equal(b, b0)
+
+    def test_flops_reported(self):
+        m = HplAiMatrix(48, seed=2)
+        res = hpl_solve_fp64(m.dense(), m.rhs())
+        assert isinstance(res, HplResult)
+        assert res.flops > (2 * 48**3) // 3
+
+    def test_shape_validation(self):
+        with pytest.raises(ConfigurationError):
+            hpl_solve_fp64(np.zeros((2, 3)), np.zeros(2))
+        with pytest.raises(ConfigurationError):
+            hpl_solve_fp64(np.eye(3), np.zeros(4))
+
+
+class TestTimeModel:
+    def test_anchored_to_published_rmax(self):
+        # Time for the full-system HPL problem should imply ~R_max.
+        n = 10_000_000
+        t = hpl_time_model(SUMMIT, n, SUMMIT.total_gcds)
+        implied = (2 / 3) * n**3 / t
+        assert implied == pytest.approx(148.6e15, rel=0.01)
+
+    def test_explicit_efficiency(self):
+        t_low = hpl_time_model(SUMMIT, 10**6, 100, efficiency=0.5)
+        t_high = hpl_time_model(SUMMIT, 10**6, 100, efficiency=0.8)
+        assert t_low > t_high
+
+    def test_per_gcd_throughput(self):
+        assert hpl_gflops_per_gcd(SUMMIT) == pytest.approx(
+            148.6e15 / 27648 / 1e9
+        )
+        assert hpl_gflops_per_gcd(FRONTIER) == pytest.approx(
+            1102e15 / 75264 / 1e9
+        )
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            hpl_time_model(SUMMIT, 0, 10)
+        no_rmax = MachineSpec(
+            name="custom", platform="cuda", num_nodes=1,
+            node=SUMMIT.node, gpu_kernels=SUMMIT.gpu_kernels,
+            cpu_kernels=SUMMIT.cpu_kernels,
+        )
+        with pytest.raises(ConfigurationError):
+            hpl_time_model(no_rmax, 1000, 4)
+        with pytest.raises(ConfigurationError):
+            hpl_gflops_per_gcd(no_rmax)
+
+    def test_mixed_precision_speedup_zone(self):
+        # The anchor behind the 9.5x headline: HPL-AI per-GCD rates from
+        # the model must exceed HPL's published per-GCD rate severalfold.
+        from repro.bench.figures import SUMMIT_ACHIEVEMENT
+        from repro.core.config import BenchmarkConfig
+        from repro.model.perf_model import estimate_run
+
+        res = estimate_run(BenchmarkConfig(**SUMMIT_ACHIEVEMENT))
+        ratio = res.gflops_per_gcd / hpl_gflops_per_gcd(SUMMIT)
+        assert 8.0 < ratio < 12.0

@@ -1,0 +1,113 @@
+"""Tests for the distributed FP64 HPL baseline (partial pivoting)."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import BenchmarkConfig
+from repro.core.driver import run_benchmark
+from repro.core.hpl_dist import solve_hpl_distributed
+from repro.lcg.matrix import HplAiMatrix
+from repro.machine import SUMMIT
+
+
+class DenseMatrix:
+    """Adapter exposing an arbitrary dense matrix through the generator
+    interface (block + rhs), for pivot-requiring test systems."""
+
+    def __init__(self, a: np.ndarray, b: np.ndarray):
+        self._a = a
+        self._b = b
+        self.n = a.shape[0]
+
+    def block(self, r0, r1, c0, c1):
+        return self._a[r0:r1, c0:c1].copy()
+
+    def rhs(self):
+        return self._b.copy()
+
+
+def _cfg(n=64, block=8, pr=2, pc=2, **kw):
+    return BenchmarkConfig(
+        n=n, block=block, machine=SUMMIT, p_rows=pr, p_cols=pc, **kw
+    )
+
+
+def _random_general(n, seed):
+    """Well-conditioned (cond <= ~10) but with no diagonal dominance:
+    partial pivoting genuinely reorders rows."""
+    rng = np.random.default_rng(seed)
+    q, _ = np.linalg.qr(rng.normal(size=(n, n)))
+    scales = rng.uniform(1.0, 3.0, size=n) * rng.choice([-1.0, 1.0], size=n)
+    a = scales[:, None] * q
+    b = rng.normal(size=n)
+    return a, b
+
+
+class TestDistributedHpl:
+    @pytest.mark.parametrize(
+        "n,block,pr,pc",
+        [(32, 8, 1, 1), (64, 8, 2, 2), (96, 8, 3, 2), (64, 16, 2, 2),
+         (96, 8, 2, 3)],
+    )
+    def test_solves_general_system(self, n, block, pr, pc):
+        a, b = _random_general(n, seed=n + pr)
+        res = solve_hpl_distributed(
+            _cfg(n=n, block=block, pr=pr, pc=pc), matrix=DenseMatrix(a, b)
+        )
+        x_ref = np.linalg.solve(a, b)
+        assert np.max(np.abs(res["x"] - x_ref)) < 1e-9
+        assert res["residual_norm"] < 1e-10
+
+    def test_pivoting_actually_happens(self):
+        a, b = _random_general(64, seed=3)
+        res = solve_hpl_distributed(_cfg(), matrix=DenseMatrix(a, b))
+        swaps = sum(1 for g, p in enumerate(res["ipiv"]) if p != g)
+        assert swaps > 10  # a general matrix reorders plenty of rows
+
+    def test_matches_serial_pivoted_lu(self):
+        import scipy.linalg as sla
+
+        a, b = _random_general(48, seed=7)
+        res = solve_hpl_distributed(
+            _cfg(n=48, block=8, pr=2, pc=2), matrix=DenseMatrix(a, b)
+        )
+        lu, piv = sla.lu_factor(a)
+        x_ref = sla.lu_solve((lu, piv), b)
+        np.testing.assert_allclose(res["x"], x_ref, atol=1e-9)
+
+    def test_default_matrix_barely_pivots(self):
+        # The HPL-AI matrix is diagonally dominant: pivots stay put.
+        res = solve_hpl_distributed(_cfg(n=64, block=8, pr=2, pc=2))
+        swaps = sum(1 for g, p in enumerate(res["ipiv"]) if p != g)
+        assert swaps == 0
+        m = HplAiMatrix(64, 42)
+        x_ref = np.linalg.solve(m.dense(), m.rhs())
+        assert np.max(np.abs(res["x"] - x_ref)) < 1e-10
+
+    def test_grid_shape_invariance(self):
+        a, b = _random_general(64, seed=11)
+        xs = []
+        for pr, pc in [(1, 1), (2, 2), (4, 2)]:
+            res = solve_hpl_distributed(
+                _cfg(n=64, block=8, pr=pr, pc=pc), matrix=DenseMatrix(a, b)
+            )
+            xs.append(res["x"])
+        for x in xs[1:]:
+            np.testing.assert_allclose(x, xs[0], atol=1e-10)
+
+
+class TestMixedPrecisionSpeedupInEngine:
+    def test_hplai_faster_than_hpl_at_same_problem(self):
+        # The headline claim, measured end-to-end inside the event
+        # engine rather than via published anchors: the same N on the
+        # same machine model, FP64 HPL vs mixed-precision HPL-AI.
+        cfg = _cfg(n=512, block=64, pr=2, pc=2)
+        hpl = solve_hpl_distributed(cfg)
+        hplai = run_benchmark(cfg, exact=True)
+        assert hplai.ir_converged
+        speedup = hpl["t_total"] / hplai.elapsed
+        # Small N underutilizes the model GPUs for both, but mixed
+        # precision must already win clearly.
+        assert speedup > 2.0
+        # Both produce the same solution to FP64 accuracy.
+        np.testing.assert_allclose(hpl["x"], hplai.x, atol=1e-9)

@@ -1,0 +1,115 @@
+"""Tests for the HPL.dat-style configuration parser."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.io.hpldat import HplDat, expand_configs, parse_hpldat, render_hpldat
+
+SAMPLE = """\
+HPLinpack benchmark input file (repro dialect)
+device out (ignored line)
+1            # of problems sizes (N)
+245760       Ns
+2            # of NBs
+768 1024     NBs
+1            # of process grids (P x Q)
+4            Ps
+4            Qs
+machine      frontier
+bcast        ring2m
+lookahead    1
+q_grid       2 4
+"""
+
+
+class TestParse:
+    def test_sample(self):
+        dat = parse_hpldat(SAMPLE)
+        assert dat.ns == [245760]
+        assert dat.nbs == [768, 1024]
+        assert dat.ps == [4] and dat.qs == [4]
+        assert dat.machine == "frontier"
+        assert dat.bcast == "ring2m"
+        assert dat.q_grid == (2, 4)
+        assert dat.num_runs() == 2
+
+    def test_from_file(self, tmp_path):
+        p = tmp_path / "HPL.dat"
+        p.write_text(SAMPLE)
+        dat = parse_hpldat(p)
+        assert dat.ns == [245760]
+
+    def test_classic_blocks_only(self):
+        text = (
+            "header\nheader2\n"
+            "2  sizes\n1024 2048  Ns\n"
+            "1  nbs\n128  NBs\n"
+            "2  grids\n2 4  Ps\n2 2  Qs\n"
+        )
+        dat = parse_hpldat(text)
+        assert dat.ns == [1024, 2048]
+        assert list(zip(dat.ps, dat.qs)) == [(2, 2), (4, 2)]
+
+    def test_count_mismatch_rejected(self):
+        bad = "h\nh\n3 sizes\n1024 2048 Ns\n1 nbs\n128\n1 g\n2\n2\n"
+        with pytest.raises(ConfigurationError):
+            parse_hpldat(bad)
+
+    def test_unknown_extension_rejected(self):
+        bad = SAMPLE + "frobnicate on\n"
+        with pytest.raises(ConfigurationError):
+            parse_hpldat(bad)
+
+    def test_too_short_rejected(self):
+        with pytest.raises(ConfigurationError):
+            parse_hpldat("just\nthree\nlines")
+
+    def test_boolean_extensions(self):
+        dat = parse_hpldat(SAMPLE + "gpu_aware 0\nport_binding false\n")
+        assert dat.gpu_aware is False
+        assert dat.port_binding is False
+
+
+class TestExpand:
+    def test_expands_cross_product(self):
+        dat = parse_hpldat(SAMPLE)
+        cfgs = list(expand_configs(dat))
+        assert len(cfgs) == 2  # both NBs tile 245760 on a 4x4 grid
+        assert {c.block for c in cfgs} == {768, 1024}
+        for c in cfgs:
+            assert c.machine.name == "frontier"
+            assert c.bcast_algorithm == "ring2m"
+            assert (c.q_rows, c.q_cols) == (2, 4)
+
+    def test_untileable_combinations_skipped(self):
+        dat = HplDat(ns=[1000, 1024], nbs=[128], ps=[2], qs=[2],
+                     machine="summit")
+        cfgs = list(expand_configs(dat))
+        assert len(cfgs) == 1
+        assert cfgs[0].n == 1024
+
+    def test_nothing_tiles_raises(self):
+        dat = HplDat(ns=[1000], nbs=[128], ps=[3], qs=[3], machine="summit")
+        with pytest.raises(ConfigurationError):
+            list(expand_configs(dat))
+
+    def test_runs_end_to_end(self):
+        dat = HplDat(ns=[128], nbs=[16], ps=[2], qs=[2], machine="summit")
+        from repro.core.driver import run_benchmark
+
+        cfg = next(expand_configs(dat))
+        res = run_benchmark(cfg, exact=True)
+        assert res.ir_converged
+
+
+class TestRoundTrip:
+    def test_render_parse_roundtrip(self):
+        dat = parse_hpldat(SAMPLE)
+        again = parse_hpldat(render_hpldat(dat))
+        assert again.ns == dat.ns
+        assert again.nbs == dat.nbs
+        assert again.ps == dat.ps and again.qs == dat.qs
+        assert again.machine == dat.machine
+        assert again.bcast == dat.bcast
+        assert again.q_grid == dat.q_grid
+        assert again.lookahead == dat.lookahead

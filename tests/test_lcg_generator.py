@@ -1,0 +1,120 @@
+"""Tests for the 64-bit LCG and its jump-ahead (repro.lcg.generator)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.lcg.generator import (
+    LCG_A,
+    LCG_C,
+    Lcg64,
+    affine_compose,
+    affine_power,
+    states_at,
+)
+
+MASK = (1 << 64) - 1
+
+
+class TestAffineMaps:
+    def test_identity_power(self):
+        assert affine_power(LCG_A, LCG_C, 0) == (1, 0)
+
+    def test_power_one(self):
+        assert affine_power(LCG_A, LCG_C, 1) == (LCG_A, LCG_C)
+
+    def test_compose_is_application_order(self):
+        # (f o g)(x) = f(g(x))
+        f, g, x = (3, 5), (7, 11), 13
+        a, c = affine_compose(f, g)
+        assert (a * x + c) & MASK == (3 * ((7 * x + 11) & MASK) + 5) & MASK
+
+    @given(st.integers(0, 10_000), st.integers(0, 10_000))
+    @settings(max_examples=50, deadline=None)
+    def test_power_additivity(self, m, n):
+        # f^(m+n) == f^m o f^n — the algebraic heart of jump-ahead.
+        fm = affine_power(LCG_A, LCG_C, m)
+        fn = affine_power(LCG_A, LCG_C, n)
+        fmn = affine_power(LCG_A, LCG_C, m + n)
+        assert affine_compose(fm, fn) == fmn
+
+    def test_negative_power_rejected(self):
+        with pytest.raises(ConfigurationError):
+            affine_power(LCG_A, LCG_C, -1)
+
+
+class TestLcg64:
+    def test_step_matches_recurrence(self):
+        gen = Lcg64(seed=12345)
+        s1 = gen.next_uint64()
+        assert s1 == (LCG_A * 12345 + LCG_C) & MASK
+
+    def test_advance_equals_n_steps(self):
+        a = Lcg64(seed=99)
+        b = Lcg64(seed=99)
+        for _ in range(137):
+            a.next_uint64()
+        b.advance(137)
+        assert a.state == b.state
+        assert a.position == b.position == 137
+
+    def test_jumped_leaves_original_untouched(self):
+        gen = Lcg64(seed=7)
+        ahead = gen.jumped(1000)
+        assert gen.position == 0
+        assert ahead.position == 1000
+        gen.advance(1000)
+        assert gen.state == ahead.state
+
+    def test_huge_jump_is_fast_and_consistent(self):
+        # O(log n): a jump of 2^62 must complete instantly and agree with
+        # composing two half jumps.
+        gen = Lcg64(seed=1)
+        half = 1 << 61
+        once = Lcg64(seed=1)
+        once.advance(2 * half)
+        gen.advance(half)
+        gen.advance(half)
+        assert gen.state == once.state
+
+    def test_uniform_range(self):
+        gen = Lcg64(seed=3)
+        vals = [gen.uniform() for _ in range(1000)]
+        assert all(-0.5 <= v < 0.5 for v in vals)
+        # Mean of uniform(-0.5, 0.5) should be near zero.
+        assert abs(float(np.mean(vals))) < 0.05
+
+
+class TestStatesAt:
+    def test_matches_scalar_generator(self):
+        gen = Lcg64(seed=4242)
+        expected = [gen.next_uint64() for _ in range(20)]
+        bulk = states_at(4242, np.arange(1, 21))
+        assert bulk.dtype == np.uint64
+        assert [int(x) for x in bulk] == expected
+
+    def test_position_zero_returns_seed(self):
+        assert int(states_at(123, np.array([0]))[0]) == 123
+
+    def test_shape_preserved(self):
+        out = states_at(5, np.arange(12).reshape(3, 4))
+        assert out.shape == (3, 4)
+
+    def test_rejects_negative_positions(self):
+        with pytest.raises(ConfigurationError):
+            states_at(5, np.array([-1]))
+
+    @given(st.integers(0, 2**63), st.integers(0, 2**64 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_agrees_with_affine_power(self, pos, seed):
+        a, c = affine_power(LCG_A, LCG_C, pos)
+        expected = (a * seed + c) & MASK
+        got = int(states_at(seed, np.array([pos], dtype=np.uint64))[0])
+        assert got == expected
+
+    def test_custom_constants(self):
+        # A trivial LCG: x -> x + 1.
+        out = states_at(0, np.arange(5), a=1, c=1)
+        assert [int(x) for x in out] == [0, 1, 2, 3, 4]

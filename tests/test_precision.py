@@ -1,0 +1,95 @@
+"""Tests for precision descriptors, casts, and error analysis."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.precision import (
+    FP16,
+    FP32,
+    FP64,
+    cast,
+    hpl_ai_tolerance,
+    precision_of,
+    round_to,
+    trans_cast,
+    unit_roundoff,
+)
+from repro.precision.analysis import scaled_residual
+from repro.precision.rounding import cast_bytes_moved
+
+
+class TestPrecisionTypes:
+    def test_bytes(self):
+        assert (FP16.bytes, FP32.bytes, FP64.bytes) == (2, 4, 8)
+
+    def test_eps_ordering(self):
+        assert FP16.eps > FP32.eps > FP64.eps
+
+    def test_eps_values(self):
+        assert FP16.eps == pytest.approx(2**-10)
+        assert FP32.eps == pytest.approx(2**-23)
+        assert FP64.eps == pytest.approx(2**-52)
+
+    def test_lookup_by_name_dtype_array(self):
+        assert precision_of("FP16") is FP16
+        assert precision_of(np.float32) is FP32
+        assert precision_of(np.zeros(2, dtype=np.float64)) is FP64
+        assert precision_of(FP16) is FP16
+
+    def test_lookup_rejects_unknown(self):
+        with pytest.raises(ConfigurationError):
+            precision_of("fp8")
+        with pytest.raises(ConfigurationError):
+            precision_of(np.int32)
+
+    def test_unit_roundoff(self):
+        assert unit_roundoff(FP16) == FP16.eps / 2
+
+
+class TestCasts:
+    def test_cast_dtype_and_contiguity(self):
+        a = np.random.default_rng(0).normal(size=(8, 8)).astype(np.float32)
+        out = cast(a, FP16)
+        assert out.dtype == np.float16
+        assert out.flags.c_contiguous
+
+    def test_trans_cast_transposes(self):
+        a = np.arange(12, dtype=np.float32).reshape(3, 4)
+        out = trans_cast(a, FP16)
+        assert out.shape == (4, 3)
+        np.testing.assert_array_equal(out.astype(np.float32), a.T)
+        assert out.flags.c_contiguous
+
+    def test_round_to_keeps_container_dtype(self):
+        a = np.array([1.0 + 2**-20], dtype=np.float64)
+        r = round_to(a, FP16)
+        assert r.dtype == np.float64
+        assert r[0] == 1.0  # 2^-20 is below fp16 resolution at 1.0
+
+    def test_round_to_error_bounded_by_unit_roundoff(self):
+        rng = np.random.default_rng(1)
+        a = rng.uniform(0.5, 2.0, size=1000)
+        r = round_to(a, FP16)
+        rel = np.abs(r - a) / np.abs(a)
+        assert rel.max() <= FP16.unit_roundoff * 1.0000001
+
+    def test_cast_bytes_moved(self):
+        assert cast_bytes_moved((10, 20), FP32, FP16) == 200 * 6
+
+
+class TestTolerance:
+    def test_hpl_ai_tolerance_formula(self):
+        tol = hpl_ai_tolerance(100, 2.0, 3.0, 4.0, eps=1e-16)
+        assert tol == pytest.approx(8 * 100 * 1e-16 * (2 * 2.0 * 3.0 + 4.0))
+
+    def test_defaults_to_fp64_eps(self):
+        assert hpl_ai_tolerance(10, 1, 1, 1) == pytest.approx(
+            8 * 10 * FP64.eps * 3
+        )
+
+    def test_scaled_residual(self):
+        assert scaled_residual(0.0, 10, 1.0, 1.0) == 0.0
+        assert scaled_residual(1e-12, 10, 0.0, 0.0) == float("inf")
+        val = scaled_residual(10 * FP64.eps, 10, 1.0, 1.0)
+        assert val == pytest.approx(1.0)

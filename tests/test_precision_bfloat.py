@@ -1,0 +1,118 @@
+"""Tests for emulated bfloat16 and the bf16 panel-precision option."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.driver import solve_hplai
+from repro.errors import ConfigurationError
+from repro.lcg.matrix import HplAiMatrix
+from repro.precision.bfloat import BF16, cast_panel, round_to_bf16
+
+
+class TestRounding:
+    def test_representable_values_fixed_point(self):
+        # bf16-representable values (low 16 bits zero) pass through.
+        vals = np.array([1.0, -2.5, 0.0, 0.15625, float(2.0**68)],
+                        dtype=np.float32)
+        np.testing.assert_array_equal(round_to_bf16(vals), vals)
+
+    def test_rounding_error_bounded(self):
+        rng = np.random.default_rng(0)
+        x = rng.uniform(0.5, 2.0, size=5000).astype(np.float32)
+        r = round_to_bf16(x)
+        rel = np.abs(r.astype(np.float64) - x.astype(np.float64)) / x
+        assert rel.max() <= BF16.unit_roundoff * 1.0001
+
+    def test_coarser_than_fp16_near_one(self):
+        # 1 + 2^-10 is representable in fp16 but not bf16.
+        x = np.array([1.0 + 2.0**-10], dtype=np.float32)
+        assert float(x.astype(np.float16)[0]) != 1.0
+        assert float(round_to_bf16(x)[0]) == 1.0
+
+    def test_wide_exponent_range_no_underflow(self):
+        # Values far below fp16's min normal survive bf16 rounding.
+        tiny = np.array([1e-20, -3e-30], dtype=np.float32)
+        r = round_to_bf16(tiny)
+        assert np.all(r != 0.0)
+        assert np.all(np.abs(r - tiny) / np.abs(tiny) < 2.0**-7)
+
+    def test_round_to_nearest_even(self):
+        # Exactly halfway mantissas round to even (RNE).
+        base = np.float32(1.0)
+        half_ulp = np.float32(2.0**-8)  # half of bf16's ulp at 1.0
+        x = np.array([base + half_ulp], dtype=np.float32)
+        r = float(round_to_bf16(x)[0])
+        assert r == 1.0  # ties-to-even: 1.0 has even mantissa
+
+    def test_nan_inf_preserved(self):
+        x = np.array([np.nan, np.inf, -np.inf], dtype=np.float32)
+        r = round_to_bf16(x)
+        assert np.isnan(r[0]) and np.isinf(r[1]) and np.isinf(r[2])
+
+    @given(st.floats(allow_nan=False, allow_infinity=False, width=32))
+    @settings(max_examples=100, deadline=None)
+    def test_idempotent(self, v):
+        x = np.array([v], dtype=np.float32)
+        once = round_to_bf16(x)
+        twice = round_to_bf16(once)
+        np.testing.assert_array_equal(once, twice)
+
+    def test_cast_panel_dispatch(self):
+        x = np.ones((3, 3), dtype=np.float32)
+        assert cast_panel(x, "fp16").dtype == np.float16
+        assert cast_panel(x, "bf16").dtype == np.float32
+        with pytest.raises(ConfigurationError):
+            cast_panel(x, "fp8")
+
+
+class TestBf16Solve:
+    def test_converges_to_fp64(self):
+        res = solve_hplai(n=128, block=16, p_rows=2, p_cols=2,
+                          panel_precision="bf16")
+        assert res.ir_converged
+        m = HplAiMatrix(128, 42)
+        x_ref = np.linalg.solve(m.dense(), m.rhs())
+        assert np.max(np.abs(res.x - x_ref)) < 1e-10
+
+    def test_bf16_needs_at_least_as_many_iterations(self):
+        # Fewer mantissa bits -> rougher factors -> >= refinement work.
+        fp16 = solve_hplai(n=256, block=32, p_rows=2, p_cols=2,
+                           panel_precision="fp16")
+        bf16 = solve_hplai(n=256, block=32, p_rows=2, p_cols=2,
+                           panel_precision="bf16")
+        assert bf16.ir_iterations >= fp16.ir_iterations
+        assert bf16.ir_converged and fp16.ir_converged
+
+    def test_bf16_escapes_the_fp16_n_cap(self):
+        # N beyond FP16_SAFE_N is rejected for fp16 panels but fine for
+        # bf16 (wide exponent range).  Keep it small-ish for runtime.
+        from repro.core.config import BenchmarkConfig
+        from repro.core.driver import run_benchmark
+        from repro.machine import SUMMIT
+
+        n = 4608  # > FP16_SAFE_N = 4096
+        cfg16 = BenchmarkConfig(n=n, block=512, machine=SUMMIT,
+                                p_rows=3, p_cols=3)
+        with pytest.raises(ConfigurationError):
+            run_benchmark(cfg16, exact=True)
+        cfgbf = BenchmarkConfig(n=n, block=512, machine=SUMMIT,
+                                p_rows=3, p_cols=3,
+                                panel_precision="bf16")
+        res = run_benchmark(cfgbf, exact=True)
+        assert res.ir_converged
+
+    def test_gmres_with_bf16(self):
+        res = solve_hplai(n=96, block=16, p_rows=2, p_cols=2,
+                          panel_precision="bf16",
+                          refinement_solver="gmres")
+        assert res.ir_converged
+
+    def test_config_validation(self):
+        from repro.core.config import BenchmarkConfig
+        from repro.machine import SUMMIT
+
+        with pytest.raises(ConfigurationError):
+            BenchmarkConfig(n=64, block=16, machine=SUMMIT, p_rows=1,
+                            p_cols=1, panel_precision="fp8")

@@ -1,0 +1,72 @@
+"""Tests for the FP16 dynamic-range analysis."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.lcg.matrix import FP16_SAFE_N, HplAiMatrix
+from repro.precision import FP16
+from repro.precision.scaling import fp16_safety, max_exact_n, scaling_headroom
+
+
+class TestSafetyReport:
+    def test_small_n_safe(self):
+        rep = fp16_safety(512)
+        assert rep.safe
+        assert rep.normal_margin >= 4
+
+    def test_large_n_unsafe(self):
+        rep = fp16_safety(1_000_000)
+        assert not rep.safe
+        assert rep.normal_margin < 1
+
+    def test_consistent_with_matrix_guard(self):
+        # The library's FP16_SAFE_N must sit inside the analyzed safe zone.
+        assert fp16_safety(FP16_SAFE_N).safe
+        assert max_exact_n() >= FP16_SAFE_N
+
+    def test_offdiag_scale_matches_reality(self):
+        n = 256
+        m = HplAiMatrix(n, seed=3)
+        dense = m.dense()
+        off = np.abs(dense - np.diag(np.diag(dense)))
+        mean_off = off.sum() / (n * n - n)
+        rep = fp16_safety(n)
+        assert mean_off == pytest.approx(rep.offdiag_scale, rel=0.1)
+
+    def test_suggested_scale_is_power_of_two(self):
+        rep = fp16_safety(2048)
+        mantissa, _ = np.frexp(rep.suggested_scale)
+        assert mantissa == 0.5  # exact power of two
+
+    def test_describe(self):
+        assert "SAFE" in fp16_safety(100).describe()
+        assert "UNSAFE" in fp16_safety(10**7).describe()
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            fp16_safety(0)
+        with pytest.raises(ConfigurationError):
+            max_exact_n(0)
+        with pytest.raises(ConfigurationError):
+            scaling_headroom(-1)
+
+
+class TestRangeArithmetic:
+    def test_max_exact_n_formula(self):
+        assert max_exact_n(0.5) == int(0.125 / (0.5 * FP16.min_normal))
+        assert max_exact_n() == 4096  # exactly the library's FP16_SAFE_N
+
+    def test_headroom_substantial(self):
+        # Equilibration buys orders of magnitude of range.
+        assert scaling_headroom() > 10.0
+
+    def test_denormalization_actually_happens(self):
+        # Empirical confirmation of the analysis: beyond the safe N, the
+        # FP16 cast of off-diagonals loses relative accuracy.
+        n_bad = 16 * max_exact_n()
+        # Avoid exact powers of two (representable even subnormally).
+        values = np.array([0.123 / n_bad], dtype=np.float64)
+        as_fp16 = values.astype(np.float16).astype(np.float64)
+        rel_err = abs(as_fp16[0] - values[0]) / values[0]
+        assert rel_err > FP16.eps  # worse than normal-range rounding

@@ -1,0 +1,58 @@
+"""Routed (hardware-progressed) vs in-band broadcast progression."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import BenchmarkConfig
+from repro.core.driver import simulate_run, solve_hplai
+from repro.errors import ConfigurationError
+from repro.lcg.matrix import HplAiMatrix
+from repro.machine import FRONTIER, SUMMIT
+
+
+class TestInbandCorrectness:
+    @pytest.mark.parametrize("algo", ["bcast", "ring1", "ring1m", "ring2m"])
+    def test_exact_solve_inband(self, algo):
+        res = solve_hplai(
+            n=96, block=16, p_rows=3, p_cols=2,
+            bcast_algorithm=algo, lookahead=False, progression="inband",
+        )
+        assert res.ir_converged
+        m = HplAiMatrix(96, 42)
+        x_ref = np.linalg.solve(m.dense(), m.rhs())
+        assert np.max(np.abs(res.x - x_ref)) < 1e-10
+
+    def test_inband_and_routed_same_numerics(self):
+        kw = dict(n=96, block=16, p_rows=2, p_cols=2, lookahead=False)
+        inband = solve_hplai(**kw, progression="inband")
+        routed = solve_hplai(**kw, progression="routed")
+        np.testing.assert_array_equal(inband.x, routed.x)
+
+
+class TestProgressionAblation:
+    def test_inband_requires_no_lookahead(self):
+        with pytest.raises(ConfigurationError):
+            BenchmarkConfig(
+                n=64, block=16, machine=SUMMIT, p_rows=1, p_cols=1,
+                progression="inband", lookahead=True,
+            )
+        with pytest.raises(ConfigurationError):
+            BenchmarkConfig(
+                n=64, block=16, machine=SUMMIT, p_rows=1, p_cols=1,
+                progression="sideband",
+            )
+
+    def test_async_progression_pays_off(self):
+        # The ablation: routed look-ahead < routed synchronous <= inband
+        # synchronous (in-band relays serialize through rank programs).
+        common = dict(
+            n=3072 * 16, block=3072, machine=FRONTIER, p_rows=4, p_cols=4,
+            bcast_algorithm="ring2m",
+        )
+        routed_la = simulate_run(BenchmarkConfig(**common, lookahead=True))
+        routed_sync = simulate_run(BenchmarkConfig(**common, lookahead=False))
+        inband_sync = simulate_run(
+            BenchmarkConfig(**common, lookahead=False, progression="inband")
+        )
+        assert routed_la.elapsed < routed_sync.elapsed
+        assert routed_sync.elapsed <= inband_sync.elapsed * 1.05

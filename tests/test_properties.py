@@ -1,0 +1,142 @@
+"""Cross-cutting property-based tests (hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.comm.ring import _join, _split
+from repro.comm.route import (
+    route_ring1,
+    route_ring1m,
+    route_ring2m,
+    route_tree,
+)
+from repro.machine import FRONTIER, SUMMIT, CommCosts
+from repro.model.comm_model import bcast_time
+from repro.simulate.phantom import PhantomArray
+
+members_lists = st.lists(
+    st.integers(0, 500), min_size=1, max_size=24, unique=True
+)
+
+
+class TestRingSegmentation:
+    @given(
+        st.integers(1, 40),  # rows
+        st.integers(1, 5),   # cols
+        st.integers(1, 12),  # segments
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_split_join_roundtrip_ndarray(self, rows, cols, nseg):
+        rng = np.random.default_rng(rows * 100 + cols)
+        payload = rng.normal(size=(rows, cols))
+        segs = _split(payload, nseg)
+        back = _join(segs)
+        np.testing.assert_array_equal(back, payload)
+
+    @given(st.integers(1, 40), st.integers(1, 12))
+    @settings(max_examples=40, deadline=None)
+    def test_split_join_roundtrip_phantom(self, rows, nseg):
+        payload = PhantomArray((rows, 7), np.float16)
+        back = _join(_split(payload, nseg))
+        assert back.shape == payload.shape
+        assert back.dtype == payload.dtype
+
+    @given(st.integers(2, 40), st.integers(2, 12))
+    @settings(max_examples=40, deadline=None)
+    def test_split_preserves_total_bytes(self, rows, nseg):
+        payload = PhantomArray((rows, 3), np.float32)
+        segs = _split(payload, nseg)
+        assert sum(s.nbytes for s in segs) == payload.nbytes
+
+
+class TestRouteBuilders:
+    @given(members_lists)
+    @settings(max_examples=60, deadline=None)
+    def test_every_builder_covers_all_members(self, members):
+        root = members[0]
+        for builder in (
+            lambda r, m: route_tree(r, m),
+            lambda r, m: route_ring1(r, m),
+            lambda r, m: route_ring1m(r, m),
+            lambda r, m: route_ring2m(r, m),
+        ):
+            spec = builder(root, members)
+            assert set(spec.destinations) == set(members) - {root}
+
+    @given(members_lists, st.integers(0, 23))
+    @settings(max_examples=40, deadline=None)
+    def test_any_member_can_be_root(self, members, idx):
+        root = members[idx % len(members)]
+        spec = route_tree(root, members)
+        assert spec.root == root
+        assert root not in spec.destinations
+
+    @given(members_lists)
+    @settings(max_examples=40, deadline=None)
+    def test_hierarchical_tree_with_arbitrary_node_map(self, members):
+        spec = route_tree(members[0], members, node_of=lambda r: r // 4)
+        assert set(spec.destinations) == set(members) - {members[0]}
+
+
+class TestBcastTimeProperties:
+    @given(
+        st.sampled_from(["bcast", "ibcast", "ring1", "ring1m", "ring2m"]),
+        st.integers(2, 300),
+        st.floats(1e3, 1e9),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_nonnegative_and_monotone_in_size(self, algo, members, nbytes):
+        costs = CommCosts(FRONTIER)
+        t1 = bcast_time(algo, nbytes, members, costs, FRONTIER.mpi)
+        t2 = bcast_time(algo, nbytes * 2, members, costs, FRONTIER.mpi)
+        assert t1 >= 0
+        assert t2 >= t1
+
+    @given(st.sampled_from(["ring1", "ring2m"]), st.integers(2, 200))
+    @settings(max_examples=40, deadline=None)
+    def test_more_sharing_never_faster(self, algo, members):
+        costs = CommCosts(SUMMIT)
+        t1 = bcast_time(algo, 1e7, members, costs, SUMMIT.mpi, sharing=1)
+        t4 = bcast_time(algo, 1e7, members, costs, SUMMIT.mpi, sharing=4)
+        assert t4 >= t1
+
+
+class TestEngineDeterminism:
+    @given(st.integers(2, 6), st.integers(1, 20))
+    @settings(max_examples=15, deadline=None)
+    def test_identical_runs_identical_clocks(self, world, steps):
+        from repro.simulate import Compute, Engine, Recv, Send
+
+        def make_prog():
+            def prog(rank):
+                for i in range(steps):
+                    yield Compute("w", 0.001 * ((rank + i) % 3 + 1))
+                    if rank == 0:
+                        for dst in range(1, world):
+                            yield Send(dst, i, tag=i)
+                    else:
+                        _ = yield Recv(0, tag=i)
+                return None
+            return prog
+
+        a = Engine(world, CommCosts(SUMMIT)).run(make_prog())
+        b = Engine(world, CommCosts(SUMMIT)).run(make_prog())
+        assert a.elapsed == b.elapsed
+        assert a.events == b.events
+
+    @given(st.integers(16, 512).map(lambda n: n * 2))
+    @settings(max_examples=10, deadline=None)
+    def test_exact_solve_deterministic(self, n):
+        from repro.core.driver import solve_hplai
+
+        block = 16 if n % 16 == 0 else 8
+        if n % (block * 2) != 0:
+            n = (n // (block * 2)) * block * 2
+            if n < block * 2:
+                n = block * 2
+        a = solve_hplai(n=n, block=block, p_rows=2, p_cols=1)
+        b = solve_hplai(n=n, block=block, p_rows=2, p_cols=1)
+        np.testing.assert_array_equal(a.x, b.x)
+        assert a.elapsed == b.elapsed

@@ -1,0 +1,73 @@
+"""Tests for the roofline analysis."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.machine import FRONTIER, SUMMIT
+from repro.model.roofline import (
+    machine_balance,
+    memory_roofline,
+    min_local_size_for_compute_bound,
+    network_balance,
+    network_roofline,
+)
+
+
+class TestMemoryRoofline:
+    def test_gemm_compute_bound_at_paper_blocks(self):
+        for machine, b, nl in ((SUMMIT, 768, 61440), (FRONTIER, 3072, 119808)):
+            points = {p.name: p for p in memory_roofline(machine, b, nl)}
+            assert points["gemm"].bound == "compute"
+            # GEMM AI ~ B/4 for m >> B.
+            assert points["gemm"].arithmetic_intensity == pytest.approx(
+                b / 4, rel=0.05
+            )
+            assert points["cast"].bound == "memory"
+
+    def test_small_blocks_push_gemm_toward_memory_bound(self):
+        big = {p.name: p for p in memory_roofline(FRONTIER, 3072, 119808)}
+        small = {p.name: p for p in memory_roofline(FRONTIER, 128, 119808)}
+        assert small["gemm"].arithmetic_intensity < \
+            big["gemm"].arithmetic_intensity
+        # At B = 128, AI ~ 32 flops/byte < Frontier's ~93 balance: the
+        # quantitative floor under "B must be large enough".
+        assert small["gemm"].bound == "memory"
+
+    def test_balance_points(self):
+        assert machine_balance(SUMMIT) == pytest.approx(125e12 / 900e9)
+        assert machine_balance(FRONTIER) == pytest.approx(149e12 / 1600e9)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            memory_roofline(SUMMIT, 0, 100)
+        with pytest.raises(ConfigurationError):
+            network_roofline(SUMMIT, 1024, 512)
+
+
+class TestNetworkRoofline:
+    def test_paper_local_sizes_sit_above_the_knee(self):
+        # The headline insight: both papers' N_L choices are just above
+        # the smallest N_L at which the iteration stops being
+        # network-bound — the surface-to-volume sweet spot.
+        assert min_local_size_for_compute_bound(SUMMIT) <= 61440
+        assert min_local_size_for_compute_bound(FRONTIER) <= 119808
+        # ...and not by much (within ~2x): memory capacity, not slack,
+        # set the ceiling.
+        assert min_local_size_for_compute_bound(SUMMIT) > 61440 / 2
+        assert min_local_size_for_compute_bound(FRONTIER) > 119808 / 2
+
+    def test_iteration_compute_bound_at_paper_config(self):
+        for machine, b, nl in ((SUMMIT, 768, 61440), (FRONTIER, 3072, 119808)):
+            p = network_roofline(machine, b, nl)
+            assert p.bound == "compute"
+            assert p.arithmetic_intensity == pytest.approx(nl / 2)
+
+    def test_small_local_problem_network_bound(self):
+        p = network_roofline(FRONTIER, 3072, 12288)
+        assert p.bound == "network"
+        assert p.attainable_tflops < FRONTIER.node.gpu.fp16_tflops
+
+    def test_port_binding_moves_the_knee(self):
+        bound = min_local_size_for_compute_bound(SUMMIT, port_binding=True)
+        unbound = min_local_size_for_compute_bound(SUMMIT, port_binding=False)
+        assert unbound > bound  # worse network -> larger N_L needed

@@ -1,0 +1,405 @@
+"""Tests for the discrete-event SPMD engine."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DeadlockError, SimulationError
+from repro.machine import FRONTIER, SUMMIT, CommCosts
+from repro.simulate import (
+    Allreduce,
+    Barrier,
+    Compute,
+    Engine,
+    Irecv,
+    Isend,
+    Now,
+    PhantomArray,
+    Recv,
+    Reduce,
+    Send,
+    Wait,
+    nbytes_of,
+)
+
+
+def _engine(n, machine=SUMMIT, node_of=None, **kw):
+    return Engine(n, CommCosts(machine), node_of_rank=node_of, **kw)
+
+
+class TestPhantom:
+    def test_nbytes(self):
+        p = PhantomArray((100, 50), np.float16)
+        assert p.nbytes == 100 * 50 * 2
+        assert p.T.shape == (50, 100)
+        assert p.astype(np.float32).nbytes == 2 * p.nbytes
+
+    def test_reshape(self):
+        p = PhantomArray((6, 4), np.float32)
+        assert p.reshape(24).shape == (24,)
+        with pytest.raises(Exception):
+            p.reshape(5, 5)
+
+    def test_no_data_access(self):
+        with pytest.raises(Exception):
+            np.asarray(PhantomArray((2,), np.float64))
+
+    def test_nbytes_of_payloads(self):
+        assert nbytes_of(None) == 0
+        assert nbytes_of(np.zeros(10, dtype=np.float64)) == 80
+        assert nbytes_of(PhantomArray((10,), np.float16)) == 20
+        assert nbytes_of(3.14) == 8
+        assert nbytes_of((1, np.zeros(4))) > 32
+
+
+class TestBasicOps:
+    def test_compute_advances_clock(self):
+        def prog(rank):
+            yield Compute("gemm", 2.0)
+            yield Compute("trsm", 1.0)
+            return "done"
+
+        res = _engine(1).run(prog)
+        assert res.elapsed == pytest.approx(3.0)
+        assert res.returns == ["done"]
+        assert res.stats[0].times["gemm"] == pytest.approx(2.0)
+
+    def test_send_recv_moves_real_data(self):
+        def prog(rank):
+            if rank == 0:
+                data = np.arange(5, dtype=np.float64)
+                yield Send(1, data, tag=7)
+                return None
+            got = yield Recv(0, tag=7)
+            return got
+
+        res = _engine(2).run(prog)
+        np.testing.assert_array_equal(res.returns[1], np.arange(5.0))
+
+    def test_send_copies_buffer(self):
+        # Mutating after a nonblocking send must not affect the receiver.
+        def prog(rank):
+            if rank == 0:
+                data = np.ones(4)
+                h = yield Isend(1, data, tag=1)
+                data[:] = -1
+                yield Wait(h)
+                return None
+            return (yield Recv(0, tag=1))
+
+        res = _engine(2).run(prog)
+        np.testing.assert_array_equal(res.returns[1], np.ones(4))
+
+    def test_message_order_fifo(self):
+        def prog(rank):
+            if rank == 0:
+                for i in range(5):
+                    yield Send(1, i, tag=3)
+                return None
+            got = []
+            for _ in range(5):
+                got.append((yield Recv(0, tag=3)))
+            return got
+
+        assert _engine(2).run(prog).returns[1] == [0, 1, 2, 3, 4]
+
+    def test_recv_waits_for_arrival(self):
+        # 100 MB across nodes at 25 GB/s (summit, bound) ~ 4 ms.
+        payload = PhantomArray((100 * 2**20,), np.uint8)
+
+        def prog(rank):
+            if rank == 0:
+                yield Send(1, payload, tag=0)
+                return None
+            yield Recv(0, tag=0)
+            return (yield Now())
+
+        res = _engine(2, node_of=lambda r: r).run(prog)
+        expected = payload.nbytes / CommCosts(SUMMIT).node_nic_bw
+        assert res.returns[1] == pytest.approx(expected, rel=0.05)
+        assert res.stats[1].times["wait_recv"] > 0
+
+    def test_intra_node_faster_than_inter(self):
+        payload = PhantomArray((2**24,), np.uint8)
+
+        def prog(rank):
+            if rank == 0:
+                yield Send(1, payload, tag=0)
+                return None
+            yield Recv(0, tag=0)
+            return (yield Now())
+
+        t_intra = _engine(2, node_of=lambda r: 0).run(prog).returns[1]
+        t_inter = _engine(2, node_of=lambda r: r).run(prog).returns[1]
+        assert t_intra < t_inter
+
+    def test_irecv_wait(self):
+        def prog(rank):
+            if rank == 0:
+                yield Compute("x", 1.0)
+                yield Send(1, 42, tag=9)
+                return None
+            h = yield Irecv(0, tag=9)
+            yield Compute("y", 0.1)
+            return (yield Wait(h))
+
+        assert _engine(2).run(prog).returns[1] == 42
+
+    def test_now(self):
+        def prog(rank):
+            t0 = yield Now()
+            yield Compute("k", 1.5)
+            t1 = yield Now()
+            return t1 - t0
+
+        assert _engine(1).run(prog).returns[0] == pytest.approx(1.5)
+
+
+class TestContention:
+    def test_nic_sharing_serializes(self):
+        # Two ranks on node 0 each send 50 MB to distinct ranks on node 1:
+        # the shared egress NIC must roughly double the finish time
+        # relative to a single send (eq. 5's mechanism).
+        payload = PhantomArray((50 * 2**20,), np.uint8)
+
+        def node_of(r):
+            return 0 if r < 2 else 1
+
+        def prog_two(rank):
+            if rank < 2:
+                yield Send(rank + 2, payload, tag=0)
+                return None
+            yield Recv(rank - 2, tag=0)
+            return (yield Now())
+
+        res = Engine(4, CommCosts(SUMMIT), node_of_rank=node_of).run(prog_two)
+        t_two = max(res.returns[2], res.returns[3])
+
+        def prog_one(rank):
+            if rank == 0:
+                yield Send(2, payload, tag=0)
+            elif rank == 2:
+                yield Recv(0, tag=0)
+                return (yield Now())
+            return None
+
+        res1 = Engine(4, CommCosts(SUMMIT), node_of_rank=node_of).run(prog_one)
+        t_one = res1.returns[2]
+        assert t_two > 1.8 * t_one
+
+    def test_isend_overlaps_compute(self):
+        # Nonblocking send lets compute proceed while the wire is busy.
+        payload = PhantomArray((100 * 2**20,), np.uint8)
+        xfer = payload.nbytes / CommCosts(SUMMIT).node_nic_bw
+
+        def prog(rank):
+            if rank == 0:
+                h = yield Isend(1, payload, tag=0)
+                yield Compute("gemm", xfer)  # overlaps the transfer
+                yield Wait(h)
+                return (yield Now())
+            yield Recv(0, tag=0)
+            return None
+
+        res = _engine(2, node_of=lambda r: r).run(prog)
+        # Total ~ xfer (overlapped), not 2*xfer (serialized).
+        assert res.returns[0] < 1.5 * xfer
+
+    def test_speed_factor_scales_transfer(self):
+        payload = PhantomArray((2**26,), np.uint8)
+
+        def make(speed):
+            def prog(rank):
+                if rank == 0:
+                    yield Send(1, payload, tag=0, speed=speed)
+                    return None
+                yield Recv(0, tag=0)
+                return (yield Now())
+            return prog
+
+        slow = _engine(2, node_of=lambda r: r).run(make(0.5)).returns[1]
+        fast = _engine(2, node_of=lambda r: r).run(make(2.0)).returns[1]
+        assert slow > 3.0 * fast
+
+
+class TestCollectives:
+    def test_barrier_aligns_clocks(self):
+        def prog(rank):
+            yield Compute("w", float(rank))
+            yield Barrier((0, 1, 2))
+            return (yield Now())
+
+        res = _engine(3).run(prog)
+        assert res.returns[0] == res.returns[1] == res.returns[2]
+        assert res.returns[0] >= 2.0
+
+    def test_allreduce_sums_arrays(self):
+        def prog(rank):
+            vec = np.full(4, float(rank + 1))
+            return (yield Allreduce((0, 1, 2), vec))
+
+        res = _engine(3).run(prog)
+        for r in range(3):
+            np.testing.assert_array_equal(res.returns[r], np.full(4, 6.0))
+
+    def test_allreduce_phantom_stays_phantom(self):
+        def prog(rank):
+            return (yield Allreduce((0, 1), PhantomArray((8,), np.float64)))
+
+        res = _engine(2).run(prog)
+        assert isinstance(res.returns[0], PhantomArray)
+
+    def test_reduce_to_root(self):
+        def prog(rank):
+            return (yield Reduce((0, 1, 2, 3), 2, float(rank)))
+
+        res = _engine(4).run(prog)
+        assert res.returns[2] == pytest.approx(6.0)
+        assert res.returns[0] is None
+
+    def test_successive_collectives_dont_mix(self):
+        def prog(rank):
+            a = yield Allreduce((0, 1), 1.0)
+            b = yield Allreduce((0, 1), 10.0)
+            return (a, b)
+
+        res = _engine(2).run(prog)
+        assert res.returns[0] == (2.0, 20.0)
+
+
+class TestFaults:
+    def test_deadlock_detected(self):
+        def prog(rank):
+            yield Recv(1 - rank, tag=0)  # both wait, nobody sends
+
+        with pytest.raises(DeadlockError):
+            _engine(2).run(prog)
+
+    def test_invalid_destination(self):
+        def prog(rank):
+            yield Send(5, 1, tag=0)
+
+        with pytest.raises(SimulationError):
+            _engine(2).run(prog)
+
+    def test_negative_compute_rejected(self):
+        def prog(rank):
+            yield Compute("x", -1.0)
+
+        with pytest.raises(SimulationError):
+            _engine(1).run(prog)
+
+    def test_unknown_op_rejected(self):
+        def prog(rank):
+            yield "not an op"
+
+        with pytest.raises(SimulationError):
+            _engine(1).run(prog)
+
+    def test_max_events_guard(self):
+        def prog(rank):
+            while True:
+                yield Compute("spin", 0.001)
+
+        with pytest.raises(SimulationError):
+            _engine(1, max_events=100).run(prog)
+
+    def test_bad_rate_multipliers(self):
+        with pytest.raises(SimulationError):
+            Engine(2, CommCosts(SUMMIT), rate_multipliers=[1.0])
+        with pytest.raises(SimulationError):
+            Engine(2, CommCosts(SUMMIT), rate_multipliers=[1.0, 0.0])
+
+
+class TestVariability:
+    def test_slow_gcd_takes_longer(self):
+        def prog(rank):
+            yield Compute("gemm", 1.0)
+            return (yield Now())
+
+        res = Engine(
+            2, CommCosts(FRONTIER), rate_multipliers=[1.0, 0.5]
+        ).run(prog)
+        assert res.returns[0] == pytest.approx(1.0)
+        assert res.returns[1] == pytest.approx(2.0)
+
+    def test_stats_totals(self):
+        def prog(rank):
+            if rank == 0:
+                yield Compute("gemm", 1.0)
+                yield Send(1, np.zeros(1000), tag=0)
+                return None
+            yield Recv(0, tag=0)
+            return None
+
+        res = _engine(2).run(prog)
+        assert res.stats[0].bytes_sent == 8000
+        assert res.stats[0].messages_sent == 1
+        assert res.stats[0].total_compute >= 1.0
+        assert res.stats[1].total_wait > 0
+
+
+class TestMailboxHygiene:
+    def test_clean_program_drains_mailboxes(self):
+        def prog(rank):
+            if rank == 0:
+                yield Send(1, 1.0, tag=0)
+                return None
+            return (yield Recv(0, tag=0))
+
+        res = _engine(2).run(prog)
+        assert res.undelivered == 0
+
+    def test_leaked_message_reported(self):
+        def prog(rank):
+            if rank == 0:
+                yield Send(1, 1.0, tag=0)
+                yield Send(1, 2.0, tag=0)  # never received
+            else:
+                yield Recv(0, tag=0)
+            return None
+
+        res = _engine(2).run(prog)
+        assert res.undelivered == 1
+
+    def test_full_benchmark_drains_mailboxes(self):
+        from repro.core.config import BenchmarkConfig
+        from repro.core.driver import run_benchmark
+        from repro.machine import FRONTIER as _F
+
+        cfg = BenchmarkConfig(n=3072 * 4, block=3072, machine=_F,
+                              p_rows=2, p_cols=2)
+        res = run_benchmark(cfg, exact=False)
+        # The engine's undelivered count is surfaced via engine_events
+        # bookkeeping; re-run at engine level for the assertion.
+        from repro.core.executors import PhantomExecutor
+        from repro.core.hplai import hplai_rank_program
+        from repro.machine.topology import CommCosts as _CC
+
+        eng = Engine(4, _CC(_F), node_of_rank=cfg.node_grid.node_of_rank,
+                     mpi=_F.mpi)
+
+        def factory(rank):
+            pir, pic = cfg.grid.coords_of(rank)
+            return hplai_rank_program(
+                cfg, PhantomExecutor(cfg, pir, pic, rank), rank, None
+            )
+
+        out = eng.run(factory)
+        assert out.undelivered == 0
+
+
+class TestCollectiveValidation:
+    def test_shape_mismatch_rejected(self):
+        def prog(rank):
+            vec = np.ones(4 if rank == 0 else 5)
+            return (yield Allreduce((0, 1), vec))
+
+        with pytest.raises(SimulationError):
+            _engine(2).run(prog)
+
+    def test_matching_shapes_fine(self):
+        def prog(rank):
+            return (yield Allreduce((0, 1), np.ones(4)))
+
+        res = _engine(2).run(prog)
+        np.testing.assert_array_equal(res.returns[0], 2 * np.ones(4))

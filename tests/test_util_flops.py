@@ -1,0 +1,56 @@
+"""Tests for flop accounting (repro.util.flops)."""
+
+import pytest
+
+from repro.util import flops as fl
+
+
+class TestKernelCounts:
+    def test_gemm(self):
+        assert fl.gemm_flops(2, 3, 4) == 48
+
+    def test_gemm_square(self):
+        n = 100
+        assert fl.gemm_flops(n, n, n) == 2 * n**3
+
+    def test_getrf_small_exact(self):
+        # n=1: no work. n=2: 1 div + 1 mul + 1 sub = 3 flops.
+        assert fl.getrf_flops(1) == 0
+        assert fl.getrf_flops(2) == 3
+
+    def test_getrf_leading_order(self):
+        n = 1000
+        exact = fl.getrf_flops(n)
+        assert abs(exact - (2 / 3) * n**3) / exact < 0.01
+
+    def test_trsm(self):
+        assert fl.trsm_flops(4, 10) == 160
+
+    def test_trsv_matches_single_rhs_trsm(self):
+        assert fl.trsv_flops(64) == fl.trsm_flops(64, 1)
+
+    def test_gemv(self):
+        assert fl.gemv_flops(10, 20) == 400
+
+
+class TestBenchmarkCounts:
+    def test_hpl_ai_flops_formula(self):
+        n = 300
+        assert fl.hpl_ai_flops(n) == (2 * n**3) // 3 + (3 * n**2) // 2
+
+    def test_hpl_ai_exceeds_lu(self):
+        assert fl.hpl_ai_flops(1000) > fl.lu_flops(1000)
+
+    def test_per_gcd_gflops_summit_headline(self):
+        # Sanity-check the paper's headline: 1.411 EFLOPS on 26244 GCDs.
+        n = 9_953_280  # N_L = 61440 x P_r = 162
+        total_flops = fl.hpl_ai_flops(n)
+        runtime = total_flops / 1.411e18
+        rate = fl.per_gcd_gflops(n, 162 * 162, runtime)
+        assert rate == pytest.approx(1.411e18 / (162 * 162) / 1e9, rel=1e-9)
+
+    def test_per_gcd_gflops_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            fl.per_gcd_gflops(100, 4, 0.0)
+        with pytest.raises(ValueError):
+            fl.per_gcd_gflops(100, 0, 1.0)

@@ -1,0 +1,72 @@
+"""Tests for formatting helpers (repro.util.format)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.util.format import (
+    format_bytes,
+    format_flops,
+    format_seconds,
+    format_si,
+    render_table,
+)
+
+
+class TestFormatSi:
+    def test_exaflops(self):
+        assert format_si(2.387e18, "FLOPS") == "2.387 EFLOPS"
+
+    def test_zero(self):
+        assert format_si(0, "FLOPS") == "0 FLOPS"
+
+    def test_no_unit(self):
+        assert format_si(1500, precision=1) == "1.5 K"
+
+    def test_small_value_unchanged(self):
+        assert format_si(12.0, "B", precision=0) == "12 B"
+
+    def test_format_flops_wrapper(self):
+        assert format_flops(1.411e18) == "1.411 EFLOPS"
+
+
+class TestFormatBytes:
+    def test_gib(self):
+        assert format_bytes(16 * 2**30) == "16.0 GiB"
+
+    def test_bytes(self):
+        assert format_bytes(512) == "512.0 B"
+
+
+class TestFormatSeconds:
+    @pytest.mark.parametrize(
+        "value,expected",
+        [
+            (5e-7, "0.5 us"),
+            (0.0032, "3.20 ms"),
+            (42.0, "42.00 s"),
+            (600.0, "10.0 min"),
+            (7200.0, "2.00 h"),
+        ],
+    )
+    def test_ranges(self, value, expected):
+        assert format_seconds(value) == expected
+
+    def test_negative(self):
+        assert format_seconds(-42.0) == "-42.00 s"
+
+
+class TestRenderTable:
+    def test_alignment_and_title(self):
+        out = render_table(
+            ["name", "value"],
+            [["B", 768], ["N", 9953280]],
+            title="params",
+        )
+        lines = out.splitlines()
+        assert lines[0] == "params"
+        assert "name" in lines[2] and "value" in lines[2]
+        assert all(len(line) <= len(lines[3]) + 2 for line in lines[2:])
+
+    def test_row_width_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [["only-one"]])
