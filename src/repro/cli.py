@@ -8,6 +8,9 @@ Subcommands mirror the workflows in the paper:
 - ``tune``    — block-size / node-grid parameter search;
 - ``scan``    — slow-GCD mini-benchmark sweep;
 - ``figure``  — regenerate a paper table/figure by id;
+- ``trace``   — simulate with full observability and export a
+  Chrome/Perfetto trace (open in https://ui.perfetto.dev);
+- ``metrics`` — simulate with observability and print the metrics table;
 - ``specs``   — print machine presets.
 """
 
@@ -335,6 +338,61 @@ def cmd_gantt(args) -> int:
     return 0
 
 
+def _observed_run(args):
+    """Simulate ``args``'s configuration with telemetry enabled."""
+    from repro.core.driver import simulate_run
+    from repro.obs import Observability
+
+    cfg = _build_config(args)
+    obs = Observability(capacity=getattr(args, "max_spans", None))
+    res = simulate_run(cfg, obs=obs)
+    return cfg, obs, res
+
+
+def cmd_trace(args) -> int:
+    """Simulate a run and export its unified trace (Chrome/Perfetto)."""
+    cfg, obs, res = _observed_run(args)
+    path = obs.export_chrome_trace(args.out)
+    cats = obs.tracer.categories()
+    print(f"simulated N={cfg.n} on {cfg.p_rows}x{cfg.p_cols} "
+          f"({cfg.machine.name} model): {res.elapsed:.3f}s virtual")
+    print(f"  {len(obs.tracer)} spans "
+          f"({', '.join(f'{c}: {n}' for c, n in sorted(cats.items()))}"
+          f"{f'; dropped {obs.tracer.dropped}' if obs.tracer.dropped else ''})")
+    print(f"  chrome trace -> {path}  (open in https://ui.perfetto.dev)")
+    if args.jsonl:
+        print(f"  span log     -> {obs.export_jsonl(args.jsonl)}")
+    if args.json:
+        from repro.core.report import save_report
+
+        print(f"  report       -> {save_report(res, args.json, obs=obs)}")
+    return 0
+
+
+def cmd_metrics(args) -> int:
+    """Simulate a run and print its metrics registry."""
+    from repro.util.format import render_table
+
+    cfg, obs, res = _observed_run(args)
+    if args.prom:
+        print(obs.metrics_text(), end="")
+        return 0
+    rows = obs.metrics.rows()
+    table_rows = [
+        [r["metric"], r["labels"], r["kind"],
+         f"{r['value']:.6g}" if isinstance(r["value"], float) else r["value"],
+         r["count"]]
+        for r in rows
+    ]
+    print(render_table(
+        ["metric", "labels", "kind", "value", "count"],
+        table_rows,
+        title=f"metrics: N={cfg.n}, {cfg.p_rows}x{cfg.p_cols} "
+        f"on {cfg.machine.name} ({res.elapsed:.3f}s virtual)",
+    ))
+    return 0
+
+
 def cmd_report(args) -> int:
     """Regenerate the EXPERIMENTS.md reproduction record."""
     from repro.bench.report_md import generate_experiments_markdown
@@ -431,6 +489,30 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--plot", action="store_true",
                    help="also render a terminal plot where available")
     p.set_defaults(func=cmd_figure)
+
+    p = sub.add_parser(
+        "trace", help="simulate with observability and export a Chrome trace"
+    )
+    _add_run_args(p)
+    p.add_argument("--out", default="trace.json",
+                   help="Chrome-trace JSON output path (default trace.json)")
+    p.add_argument("--jsonl", default=None,
+                   help="also write the span log as JSONL")
+    p.add_argument("--json", default=None,
+                   help="also write the run report (with provenance)")
+    p.add_argument("--max-spans", type=int, default=None,
+                   help="bound tracer memory to the newest N spans")
+    p.set_defaults(func=cmd_trace)
+
+    p = sub.add_parser(
+        "metrics", help="simulate with observability and print metrics"
+    )
+    _add_run_args(p)
+    p.add_argument("--prom", action="store_true",
+                   help="Prometheus-style text dump instead of a table")
+    p.add_argument("--max-spans", type=int, default=None,
+                   help="bound tracer memory to the newest N spans")
+    p.set_defaults(func=cmd_metrics)
 
     p = sub.add_parser("gantt", help="per-rank Gantt of a small simulation")
     _add_run_args(p)

@@ -27,6 +27,8 @@ from repro.comm.ring import bcast_ring1, bcast_ring1m, bcast_ring2m
 from repro.comm.route import ROUTE_BUILDERS, RouteSend
 from repro.errors import CommunicationError
 from repro.machine.spec import MpiModel
+from repro.obs import context as obs_context
+from repro.simulate.phantom import nbytes_of
 from repro.simulate.events import (
     Allreduce,
     Barrier,
@@ -88,6 +90,17 @@ class RankComm:
         #: default all-reduce algorithm (None = engine built-in)
         self.allreduce_algorithm: str | None = None
 
+    @staticmethod
+    def _count_bcast(algo_name: str, payload: Any) -> None:
+        """Root-side accounting: bytes broadcast per algorithm variant."""
+        obs = obs_context.current()
+        if obs.enabled and payload is not None:
+            m = obs.metrics
+            m.counter("comm.bcast_bytes", algorithm=algo_name).inc(
+                nbytes_of(payload)
+            )
+            m.counter("comm.bcast_calls", algorithm=algo_name).inc()
+
     # -- point to point ---------------------------------------------------
 
     def send(self, dst: int, payload: Any, tag: int):
@@ -147,6 +160,7 @@ class RankComm:
                 "speed": 1.0,
                 "segments": self._ring_segments_for(len(members)),
             }
+        self._count_bcast(algo_name, payload)
         result = yield from algo(
             self.rank, payload, root, list(members), tag, **kwargs
         )
@@ -198,6 +212,7 @@ class RankComm:
         spec = ROUTE_BUILDERS[algo_name](
             root, list(members), segments, node_of=node_of
         )
+        self._count_bcast(algo_name, payload)
         root_done = yield RouteSend(
             spec, payload, tag * TAG_STRIDE, speed=self._bcast_speed(algo_name)
         )

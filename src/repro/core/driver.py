@@ -25,6 +25,8 @@ from repro.errors import ConfigurationError
 from repro.machine import get_machine
 from repro.machine.spec import MachineSpec
 from repro.machine.topology import CommCosts
+from repro.obs import context as obs_context
+from repro.obs.provenance import run_provenance
 from repro.simulate.engine import Engine, RankStats
 from repro.util import flops as fl
 
@@ -50,6 +52,9 @@ class RunResult:
     stats: List[RankStats] = field(default_factory=list)
     trace: List[dict] = field(default_factory=list)
     engine_events: int = 0
+    #: run-provenance block (:func:`repro.obs.run_provenance`) so
+    #: recorded runs are comparable across campaigns
+    provenance: Optional[dict] = None
 
     def summary(self) -> Dict[str, object]:
         """Headline metrics merged with the configuration facts."""
@@ -72,6 +77,7 @@ def run_benchmark(
     rate_multipliers: Optional[Sequence[float]] = None,
     global_speed: float = 1.0,
     collect_trace: bool = True,
+    obs: Optional["obs_context.Observability"] = None,
 ) -> RunResult:
     """Execute one HPL-AI run on the event engine.
 
@@ -87,6 +93,11 @@ def run_benchmark(
     global_speed:
         Uniform speed multiplier (warm-up effects, Fig 12); applied on
         top of ``rate_multipliers``.
+    obs:
+        Observability handle; ``None`` uses the process-wide one
+        (disabled no-op by default).  When enabled, the engine/executor/
+        comm layers emit spans and metrics into it, driver-level phase
+        spans are added, and the handle keeps the run's provenance.
     """
     if global_speed <= 0:
         raise ConfigurationError(f"global_speed must be positive, got {global_speed}")
@@ -108,12 +119,14 @@ def run_benchmark(
     costs = CommCosts(
         cfg.machine, port_binding=cfg.port_binding, gpu_aware=cfg.gpu_aware
     )
+    obs = obs if obs is not None else obs_context.current()
     engine = Engine(
         cfg.num_ranks,
         costs,
         node_of_rank=cfg.node_grid.node_of_rank,
         mpi=cfg.machine.mpi,
         rate_multipliers=mult,
+        obs=obs,
     )
 
     trace: List[dict] = []
@@ -126,7 +139,11 @@ def run_benchmark(
             cfg, ex, rank, trace if collect_trace else None
         )
 
-    outcome = engine.run(factory)
+    # Install the handle for the duration of the run so instrumentation
+    # points that read the process-wide handle (executors, comm facade)
+    # land in the same tracer/registry the engine was given.
+    with obs_context.use(obs):
+        outcome = engine.run(factory)
 
     # Phase times: every rank's timed window is barrier-aligned, so take
     # rank 0's markers.
@@ -149,11 +166,44 @@ def run_benchmark(
         stats=list(outcome.stats),
         trace=trace,
         engine_events=outcome.events,
+        provenance=run_provenance(cfg),
     )
     if exact:
         result.residual_norm = r0["residual_norm"]
         result.x = r0["x"]
+    if obs.enabled:
+        _record_run_telemetry(obs, cfg, result, r0["t_start"])
     return result
+
+
+def _record_run_telemetry(obs, cfg, result: RunResult, t_start: float) -> None:
+    """Driver-level spans + headline metrics for one finished run."""
+    obs.provenance = result.provenance
+    t_fact_end = t_start + result.elapsed_factorization
+    tracer = obs.tracer
+    tracer.add("factorization", "driver", t_start, t_fact_end)
+    tracer.add(
+        "refinement", "driver", t_fact_end,
+        t_fact_end + result.elapsed_refinement,
+        attrs={"iterations": result.ir_iterations,
+               "converged": result.ir_converged},
+    )
+    m = obs.metrics
+    m.gauge("run.elapsed_s").set(result.elapsed)
+    m.gauge("run.gflops_per_gcd").set(result.gflops_per_gcd)
+    m.counter("run.ir_iterations").inc(result.ir_iterations)
+    m.counter("run.count").inc()
+    if result.stats and result.elapsed > 0:
+        wait = sum(st.total_wait for st in result.stats)
+        m.gauge("run.wait_fraction").set(
+            wait / (result.elapsed * len(result.stats))
+        )
+    h = m.histogram("driver.iteration_s")
+    for entry in result.trace:
+        h.observe(
+            entry.get("panel", 0.0) + entry.get("gemm", 0.0)
+            + entry.get("recv", 0.0)
+        )
 
 
 def solve_hplai(
@@ -186,6 +236,7 @@ def simulate_run(
     cfg: BenchmarkConfig,
     rate_multipliers: Optional[Sequence[float]] = None,
     global_speed: float = 1.0,
+    obs: Optional["obs_context.Observability"] = None,
 ) -> RunResult:
     """Timing-only run of the full rank programs at any engine scale."""
     return run_benchmark(
@@ -193,4 +244,5 @@ def simulate_run(
         exact=False,
         rate_multipliers=rate_multipliers,
         global_speed=global_speed,
+        obs=obs,
     )

@@ -27,9 +27,16 @@ from repro.core.config import BenchmarkConfig
 from repro.core.layout import StepPlan, make_step_plan
 from repro.errors import ConfigurationError
 from repro.lcg.matrix import HplAiMatrix
+from repro.obs import context as obs_context
 from repro.precision.analysis import hpl_ai_tolerance
 from repro.simulate.phantom import PhantomArray
 from repro.util import flops as fl
+
+#: GEMM-rate histogram buckets (GFLOP/s): decades with 1/2/5 steps,
+#: spanning laptop BLAS to several GCD-peak tensor-core rates
+_GFLOPS_BUCKETS = tuple(
+    m * 10.0 ** e for e in range(0, 6) for m in (1.0, 2.0, 5.0)
+)
 
 
 class ExecutorBase:
@@ -51,6 +58,15 @@ class ExecutorBase:
         # (pipelined distributed TRSV): accumulated off the critical path
         # and charged once per sweep.
         self._deferred_gemv_s = 0.0
+        # Observability: GEMM-rate histogram + per-kernel call counters,
+        # resolved once so the enabled path avoids registry lookups.
+        obs = obs_context.current()
+        self._obs_on = obs.enabled
+        if self._obs_on:
+            self._h_gemm_gflops = obs.metrics.histogram(
+                "executor.gemm_gflops", boundaries=_GFLOPS_BUCKETS
+            )
+            self._kernel_calls = obs.metrics.counter
 
     # -- layout ------------------------------------------------------------
 
@@ -67,10 +83,16 @@ class ExecutorBase:
         return regen + h2d
 
     def _t_getrf(self) -> float:
+        if self._obs_on:
+            self._kernel_calls("executor.kernel_calls", kind="getrf").inc()
         return self.km.getrf_time(self.b)
 
     def _t_trsm(self, nrhs: int) -> float:
-        return self.km.trsm_time(self.b, nrhs) if nrhs > 0 else 0.0
+        if nrhs <= 0:
+            return 0.0
+        if self._obs_on:
+            self._kernel_calls("executor.kernel_calls", kind="trsm").inc()
+        return self.km.trsm_time(self.b, nrhs)
 
     def _t_cast(self, rows: int, cols: int) -> float:
         return self.km.cast_time(rows * cols) if rows * cols > 0 else 0.0
@@ -78,7 +100,11 @@ class ExecutorBase:
     def _t_gemm(self, m: int, n: int) -> float:
         if m <= 0 or n <= 0:
             return 0.0
-        return self.km.gemm_time(m, n, self.b, lda=self.cfg.local_rows)
+        secs = self.km.gemm_time(m, n, self.b, lda=self.cfg.local_rows)
+        if self._obs_on and secs > 0:
+            self._h_gemm_gflops.observe(2.0 * m * n * self.b / secs / 1e9)
+            self._kernel_calls("executor.kernel_calls", kind="gemm").inc()
+        return secs
 
     def _t_d2h(self) -> float:
         return self.km.h2d_time(self.cfg.local_rows * self.cfg.local_cols * 4)

@@ -17,6 +17,7 @@ from typing import Dict, List, Union
 
 from repro.core.driver import RunResult
 from repro.errors import ConfigurationError
+from repro.obs.export import dumps_strict
 
 from typing import TYPE_CHECKING
 
@@ -38,8 +39,15 @@ def _stats_summary(stats) -> Dict[str, Dict[str, float]]:
     return out
 
 
-def run_report(result: "Union[RunResult, AnalyticResult]") -> Dict[str, object]:
-    """A JSON-serializable record of one run."""
+def run_report(
+    result: "Union[RunResult, AnalyticResult]", obs=None
+) -> Dict[str, object]:
+    """A JSON-serializable record of one run.
+
+    ``obs``, when given and enabled, contributes its metrics snapshot
+    under ``"metrics"`` — the cross-campaign comparable numbers from the
+    unified telemetry stream.
+    """
     report: Dict[str, object] = {
         "kind": "exact" if getattr(result, "exact", False) else (
             "event" if isinstance(result, RunResult) else "analytic"
@@ -55,8 +63,9 @@ def run_report(result: "Union[RunResult, AnalyticResult]") -> Dict[str, object]:
         report["ir_iterations"] = result.ir_iterations
         report["ir_converged"] = result.ir_converged
         report["engine_events"] = result.engine_events
-        if result.exact:
-            report["residual_norm"] = result.residual_norm
+        # Always recorded: NaN (simulated runs have no meaningful
+        # residual) serializes as null via save_report's strict dump.
+        report["residual_norm"] = result.residual_norm
         report["components"] = _stats_summary(result.stats)
         report["bytes_sent_total"] = sum(st.bytes_sent for st in result.stats)
         report["messages_total"] = sum(
@@ -64,13 +73,26 @@ def run_report(result: "Union[RunResult, AnalyticResult]") -> Dict[str, object]:
         )
     else:
         report["breakdown_s"] = dict(result.breakdown)
+    provenance = getattr(result, "provenance", None)
+    if provenance is not None:
+        report["provenance"] = provenance
+    if obs is not None and obs.enabled and len(obs.metrics):
+        report["metrics"] = obs.metrics.snapshot()
     return report
 
 
-def save_report(result, path) -> Path:
-    """Write the JSON report; returns the path."""
+def save_report(result, path, obs=None) -> Path:
+    """Write the JSON report; returns the path.
+
+    The output is *strict* JSON: non-finite floats (e.g. the NaN
+    ``residual_norm`` of simulated runs) are serialized as ``null``
+    rather than Python's bare ``NaN`` token, which standard parsers
+    reject.
+    """
     path = Path(path)
-    path.write_text(json.dumps(run_report(result), indent=2, sort_keys=True))
+    path.write_text(
+        dumps_strict(run_report(result, obs=obs), indent=2, sort_keys=True)
+    )
     return path
 
 

@@ -1,0 +1,48 @@
+"""Unified observability: spans, metrics, exporters, run provenance.
+
+The paper's extreme-scale practice rests on *recorded, comparable*
+telemetry — "a detailed progress report for each component at definable
+iterations" compared against "previously recorded data" (Section VI-B).
+This package is the single telemetry path for the whole reproduction:
+
+- :mod:`repro.obs.tracer` — span tracer (who did what, when, on which
+  rank) with a bounded-memory ring option;
+- :mod:`repro.obs.metrics` — typed metrics registry (counters, gauges,
+  fixed-bucket histograms) with cross-rank ``snapshot()``/``merge()``;
+- :mod:`repro.obs.export` — Chrome/Perfetto ``trace_event`` JSON, JSONL
+  event logs, and a Prometheus-style text dump;
+- :mod:`repro.obs.provenance` — run-provenance capture so recorded runs
+  are comparable across campaigns;
+- :mod:`repro.obs.context` — the process-wide :class:`Observability`
+  handle with a no-op default, so instrumentation costs ~nothing when
+  disabled.
+
+Quick start::
+
+    from repro.obs import Observability, use
+    from repro.core.driver import simulate_run
+
+    obs = Observability()
+    with use(obs):
+        result = simulate_run(cfg)
+    obs.export_chrome_trace("trace.json")   # open in ui.perfetto.dev
+"""
+
+from repro.obs.context import Observability, current, set_current, use
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.provenance import run_provenance
+from repro.obs.tracer import Span, SpanTracer
+
+__all__ = [
+    "Observability",
+    "current",
+    "set_current",
+    "use",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Span",
+    "SpanTracer",
+    "run_provenance",
+]

@@ -1,0 +1,113 @@
+"""The process-wide observability handle.
+
+Instrumentation points throughout the package (engine, executors, comm
+facade, driver, monitor) fetch the current :class:`Observability` via
+:func:`current` and bail out on a single ``enabled`` check.  The module
+default is a disabled handle, so an uninstrumented run pays one
+attribute read per potential telemetry point and allocates nothing.
+
+Enable telemetry for a block of code with :func:`use`::
+
+    from repro.obs import Observability, use
+
+    obs = Observability()
+    with use(obs):
+        simulate_run(cfg)
+    print(obs.tracer.categories())
+
+or install it process-wide with :func:`set_current`.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Optional
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import SpanTracer
+
+
+class Observability:
+    """One tracer + one metrics registry + the enabled switch.
+
+    Parameters
+    ----------
+    enabled:
+        When False every emission helper is a no-op; the disabled
+        module-default handle is how instrumentation stays ~free.
+    capacity:
+        Optional span-ring bound forwarded to :class:`SpanTracer`.
+    """
+
+    def __init__(
+        self,
+        enabled: bool = True,
+        capacity: Optional[int] = None,
+        tracer: Optional[SpanTracer] = None,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self.enabled = enabled
+        self.tracer = tracer if tracer is not None else SpanTracer(capacity)
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        #: provenance of the most recent observed run (set by the driver)
+        self.provenance: Optional[dict] = None
+
+    @classmethod
+    def disabled(cls) -> "Observability":
+        return cls(enabled=False)
+
+    # -- convenience exports ----------------------------------------------
+
+    def export_chrome_trace(self, path, **kwargs):
+        """Write the collected spans as Chrome/Perfetto trace JSON."""
+        from repro.obs.export import write_chrome_trace
+
+        return write_chrome_trace(path, self, **kwargs)
+
+    def export_jsonl(self, path):
+        """Write the collected spans as JSONL (one span per line)."""
+        from repro.obs.export import write_jsonl
+
+        return write_jsonl(path, self.tracer)
+
+    def metrics_text(self) -> str:
+        """Prometheus-style flat text dump of the metrics registry."""
+        from repro.obs.export import to_prometheus_text
+
+        return to_prometheus_text(self.metrics)
+
+    def clear(self) -> None:
+        """Drop collected spans/metrics (keeps enabled state)."""
+        self.tracer.clear()
+        self.metrics = MetricsRegistry()
+        self.provenance = None
+
+
+#: the module default: disabled, shared, never replaced (so `current()`
+#: is safe to call before any setup)
+_DISABLED = Observability.disabled()
+_current: Observability = _DISABLED
+
+
+def current() -> Observability:
+    """The active process-wide handle (disabled no-op by default)."""
+    return _current
+
+
+def set_current(obs: Optional[Observability]) -> Observability:
+    """Install ``obs`` process-wide; ``None`` restores the disabled
+    default.  Returns the previously active handle."""
+    global _current
+    prev = _current
+    _current = obs if obs is not None else _DISABLED
+    return prev
+
+
+@contextmanager
+def use(obs: Observability):
+    """Scoped installation: ``with use(obs): ...`` then restore."""
+    prev = set_current(obs)
+    try:
+        yield obs
+    finally:
+        set_current(prev)

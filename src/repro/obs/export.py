@@ -1,0 +1,200 @@
+"""Exporters: Chrome/Perfetto trace JSON, JSONL span logs, Prometheus text.
+
+Three machine-readable views of one telemetry stream:
+
+- :func:`to_chrome_trace` — the ``trace_event`` JSON format loadable in
+  ``chrome://tracing`` or https://ui.perfetto.dev (spans become ``"X"``
+  complete events; ranks become thread lanes, categories become event
+  ``cat`` values; the provenance block rides in ``otherData``);
+- :func:`write_jsonl` — one JSON object per span, append-friendly, the
+  format to diff/grep across recorded campaigns;
+- :func:`to_prometheus_text` — a flat Prometheus-exposition-style dump
+  of the metrics registry (counters/gauges as samples, histograms as
+  cumulative ``_bucket``/``_sum``/``_count`` series).
+
+All exporters serialize through :func:`sanitize_json`, which maps
+non-finite floats to ``null`` so the output is *strict* JSON (Python's
+``json.dumps`` would otherwise emit bare ``NaN``/``Infinity`` tokens
+that other parsers reject).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.obs.metrics import Histogram, MetricsRegistry
+from repro.obs.tracer import SpanTracer
+
+#: schema version stamped into exported Chrome traces
+TRACE_SCHEMA_VERSION = 1
+
+#: seconds -> trace_event microseconds
+_US = 1e6
+
+
+def sanitize_json(obj):
+    """Recursively replace non-finite floats with None (strict JSON)."""
+    if isinstance(obj, float):
+        return obj if math.isfinite(obj) else None
+    if isinstance(obj, dict):
+        return {k: sanitize_json(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [sanitize_json(v) for v in obj]
+    return obj
+
+
+def dumps_strict(obj, **kwargs) -> str:
+    """``json.dumps`` that never emits NaN/Infinity tokens."""
+    return json.dumps(sanitize_json(obj), allow_nan=False, **kwargs)
+
+
+def _resolve(source: "Union[SpanTracer, object]"):
+    """Accept an Observability handle or a bare tracer."""
+    tracer = getattr(source, "tracer", source)
+    metrics = getattr(source, "metrics", None)
+    provenance = getattr(source, "provenance", None)
+    return tracer, metrics, provenance
+
+
+def to_chrome_trace(
+    source,
+    provenance: Optional[dict] = None,
+    include_metrics: bool = True,
+    pid: int = 0,
+) -> dict:
+    """Build the ``trace_event`` JSON document for a span stream.
+
+    ``source`` is an :class:`~repro.obs.context.Observability` handle or
+    a bare :class:`SpanTracer`.  Each rank becomes one thread lane
+    (``tid = rank``); spans with ``rank < 0`` (driver-level phases) land
+    in a dedicated lane after the largest rank.
+    """
+    tracer, metrics, auto_prov = _resolve(source)
+    provenance = provenance if provenance is not None else auto_prov
+    max_rank = max((s.rank for s in tracer), default=-1)
+    driver_tid = max_rank + 1
+
+    events = []
+    seen_tids = set()
+    for s in tracer:
+        tid = s.rank if s.rank >= 0 else driver_tid
+        seen_tids.add(tid)
+        ev = {
+            "name": s.name,
+            "cat": s.cat,
+            "ph": "X",
+            "ts": s.start * _US,
+            "dur": s.duration * _US,
+            "pid": pid,
+            "tid": tid,
+        }
+        if s.attrs:
+            ev["args"] = dict(s.attrs)
+        events.append(ev)
+
+    meta = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": pid,
+            "tid": 0,
+            "args": {"name": "repro virtual machine"},
+        }
+    ]
+    for tid in sorted(seen_tids):
+        label = f"rank {tid}" if tid < driver_tid else "driver"
+        meta.append({
+            "name": "thread_name",
+            "ph": "M",
+            "pid": pid,
+            "tid": tid,
+            "args": {"name": label},
+        })
+
+    other: dict = {"schema": TRACE_SCHEMA_VERSION, "dropped_spans": tracer.dropped}
+    if provenance is not None:
+        other["provenance"] = provenance
+    if include_metrics and metrics is not None and len(metrics):
+        other["metrics"] = metrics.snapshot()
+
+    return sanitize_json({
+        "traceEvents": meta + events,
+        "displayTimeUnit": "ms",
+        "otherData": other,
+    })
+
+
+def write_chrome_trace(path, source, **kwargs) -> Path:
+    """Write :func:`to_chrome_trace` output; returns the path."""
+    path = Path(path)
+    path.write_text(
+        json.dumps(to_chrome_trace(source, **kwargs), allow_nan=False)
+    )
+    return path
+
+
+def write_jsonl(path, tracer: SpanTracer) -> Path:
+    """One JSON object per span (rank/cat/name/start/end/attrs)."""
+    path = Path(path)
+    with path.open("w") as fh:
+        for s in tracer:
+            fh.write(dumps_strict({
+                "name": s.name,
+                "cat": s.cat,
+                "rank": s.rank,
+                "start_s": s.start,
+                "end_s": s.end,
+                "dur_s": s.duration,
+                "attrs": s.attrs or {},
+            }))
+            fh.write("\n")
+    return path
+
+
+def read_jsonl(path):
+    """Load a JSONL span log back into a list of dicts."""
+    out = []
+    with Path(path).open() as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                out.append(json.loads(line))
+    return out
+
+
+def _prom_labels(labels) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(f'{k}="{v}"' for k, v in labels)
+    return "{" + inner + "}"
+
+
+def to_prometheus_text(registry: MetricsRegistry) -> str:
+    """Prometheus-exposition-style flat text dump of the registry.
+
+    Metric names keep their dotted form with dots mapped to underscores
+    (``comm.bcast_bytes`` → ``comm_bcast_bytes``).
+    """
+    lines = []
+    typed = set()
+    for (name, labels), inst in registry:
+        prom = name.replace(".", "_").replace("-", "_")
+        if prom not in typed:
+            lines.append(f"# TYPE {prom} {inst.kind}")
+            typed.add(prom)
+        if isinstance(inst, Histogram):
+            cumulative = 0
+            for bound, count in zip(inst.boundaries, inst.bucket_counts):
+                cumulative += count
+                le = _prom_labels(labels + (("le", f"{bound:g}"),))
+                lines.append(f"{prom}_bucket{le} {cumulative}")
+            le = _prom_labels(labels + (("le", "+Inf"),))
+            lines.append(f"{prom}_bucket{le} {inst.count}")
+            lines.append(f"{prom}_sum{_prom_labels(labels)} {inst.sum:g}")
+            lines.append(f"{prom}_count{_prom_labels(labels)} {inst.count}")
+        else:
+            lines.append(f"{prom}{_prom_labels(labels)} {inst.value:g}")
+    return "\n".join(lines) + ("\n" if lines else "")

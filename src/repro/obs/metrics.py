@@ -1,0 +1,277 @@
+"""Typed metrics registry: counters, gauges, fixed-bucket histograms.
+
+The registry is the numeric half of the telemetry stream (spans are the
+temporal half): monotonically increasing counters (bytes broadcast per
+ring variant, kernel invocations), point-in-time gauges (GFLOP/s of the
+last run, wait-time fraction) and histograms with *fixed* bucket
+boundaries so per-rank (or per-run) histograms can be merged exactly —
+the property cross-campaign comparison needs.
+
+Instruments are identified by ``name`` plus optional ``labels``; the
+same (name, labels) pair always returns the same instrument, so emitters
+never need to share object references.  ``snapshot()`` produces a plain
+JSON-able dict and ``merge()`` folds another registry (or snapshot) in —
+the cross-rank aggregation path.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.errors import ConfigurationError
+
+LabelKey = Tuple[Tuple[str, str], ...]
+
+#: default histogram buckets: decades with 1/2/5 steps, seconds-flavoured
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    1e-6, 2e-6, 5e-6, 1e-5, 2e-5, 5e-5, 1e-4, 2e-4, 5e-4,
+    1e-3, 2e-3, 5e-3, 1e-2, 2e-2, 5e-2, 0.1, 0.2, 0.5,
+    1.0, 2.0, 5.0, 10.0, 30.0, 60.0, 300.0,
+)
+
+
+def _label_key(labels: Dict[str, object]) -> LabelKey:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """Monotonically increasing count (events, bytes, iterations)."""
+
+    kind = "counter"
+
+    def __init__(self) -> None:
+        self.value: float = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be non-negative) to the counter."""
+        if amount < 0:
+            raise ConfigurationError(
+                f"counters only go up; got increment {amount}"
+            )
+        self.value += amount
+
+    def snapshot(self) -> dict:
+        """JSON-able state dump."""
+        return {"value": self.value}
+
+    def merge(self, snap: dict) -> None:
+        """Fold another counter's snapshot in (sums the values)."""
+        self.value += snap["value"]
+
+
+class Gauge:
+    """Last-written value (a level, not an accumulation)."""
+
+    kind = "gauge"
+
+    def __init__(self) -> None:
+        self.value: float = 0.0
+        self._written = False
+
+    def set(self, value: float) -> None:
+        """Record the current level, replacing any previous value."""
+        self.value = float(value)
+        self._written = True
+
+    def snapshot(self) -> dict:
+        """JSON-able state dump."""
+        return {"value": self.value}
+
+    def merge(self, snap: dict) -> None:
+        """Fold another gauge's snapshot in.  Gauges have no meaningful
+        sum; the incoming side wins, matching "newest recording"."""
+        self.value = snap["value"]
+        self._written = True
+
+
+class Histogram:
+    """Fixed-boundary histogram (cumulative-style buckets).
+
+    ``bucket_counts[i]`` counts observations ``<= boundaries[i]``
+    (non-cumulative storage; exporters cumulate);  one overflow bucket
+    counts the rest.  Because boundaries are fixed at construction,
+    histograms from different ranks/runs merge exactly.
+    """
+
+    kind = "histogram"
+
+    def __init__(self, boundaries: Sequence[float] = DEFAULT_BUCKETS) -> None:
+        bounds = tuple(float(b) for b in boundaries)
+        if not bounds or any(
+            b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])
+        ):
+            raise ConfigurationError(
+                "histogram boundaries must be non-empty and strictly "
+                f"increasing, got {bounds}"
+            )
+        self.boundaries = bounds
+        self.bucket_counts: List[int] = [0] * (len(bounds) + 1)
+        self.count = 0
+        self.sum = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def observe(self, value: float) -> None:
+        """Record one sample into its bucket and the running stats."""
+        value = float(value)
+        self.bucket_counts[bisect.bisect_left(self.boundaries, value)] += 1
+        self.count += 1
+        self.sum += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Approximate q-quantile (upper bucket boundary that covers it)."""
+        if not 0.0 <= q <= 1.0:
+            raise ConfigurationError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return 0.0
+        target = q * self.count
+        seen = 0
+        for i, c in enumerate(self.bucket_counts):
+            seen += c
+            if seen >= target:
+                if i < len(self.boundaries):
+                    return self.boundaries[i]
+                return self.max
+        return self.max
+
+    def snapshot(self) -> dict:
+        """JSON-able state dump (boundaries, buckets, running stats)."""
+        return {
+            "boundaries": list(self.boundaries),
+            "bucket_counts": list(self.bucket_counts),
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min if self.count else None,
+            "max": self.max if self.count else None,
+        }
+
+    def merge(self, snap: dict) -> None:
+        """Fold another histogram's snapshot in.  Exact because the
+        boundaries are fixed; mismatched boundaries are an error."""
+        if tuple(snap["boundaries"]) != self.boundaries:
+            raise ConfigurationError(
+                "cannot merge histograms with different boundaries"
+            )
+        self.bucket_counts = [
+            a + b for a, b in zip(self.bucket_counts, snap["bucket_counts"])
+        ]
+        self.count += snap["count"]
+        self.sum += snap["sum"]
+        if snap.get("min") is not None:
+            self.min = min(self.min, snap["min"])
+        if snap.get("max") is not None:
+            self.max = max(self.max, snap["max"])
+
+
+Instrument = Union[Counter, Gauge, Histogram]
+
+
+class MetricsRegistry:
+    """Name + labels → instrument, with get-or-create semantics."""
+
+    def __init__(self) -> None:
+        self._instruments: Dict[Tuple[str, LabelKey], Instrument] = {}
+
+    # -- get-or-create -----------------------------------------------------
+
+    def _get(self, cls, name: str, labels: Dict[str, object], **kwargs):
+        key = (name, _label_key(labels))
+        inst = self._instruments.get(key)
+        if inst is None:
+            inst = cls(**kwargs)
+            self._instruments[key] = inst
+        elif not isinstance(inst, cls):
+            raise ConfigurationError(
+                f"metric {name!r} already registered as {inst.kind}"
+            )
+        return inst
+
+    def counter(self, name: str, **labels: object) -> Counter:
+        """Get or create the counter registered under (name, labels)."""
+        return self._get(Counter, name, labels)
+
+    def gauge(self, name: str, **labels: object) -> Gauge:
+        """Get or create the gauge registered under (name, labels)."""
+        return self._get(Gauge, name, labels)
+
+    def histogram(
+        self,
+        name: str,
+        boundaries: Optional[Sequence[float]] = None,
+        **labels: object,
+    ) -> Histogram:
+        """Get or create the histogram registered under (name, labels).
+
+        ``boundaries`` only takes effect on first creation; later calls
+        return the existing instrument unchanged.
+        """
+        kwargs = {}
+        if boundaries is not None:
+            kwargs["boundaries"] = boundaries
+        return self._get(Histogram, name, labels, **kwargs)
+
+    # -- aggregation -------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def __iter__(self):
+        return iter(sorted(self._instruments.items()))
+
+    def snapshot(self) -> dict:
+        """JSON-able dump of every instrument."""
+        out: dict = {}
+        for (name, labels), inst in sorted(self._instruments.items()):
+            series = out.setdefault(name, {"kind": inst.kind, "series": []})
+            series["series"].append(
+                {"labels": dict(labels), **inst.snapshot()}
+            )
+        return out
+
+    def merge(self, other: "Union[MetricsRegistry, dict]") -> None:
+        """Fold another registry (or a snapshot of one) into this one."""
+        snap = other.snapshot() if isinstance(other, MetricsRegistry) else other
+        for name, entry in snap.items():
+            kind = entry["kind"]
+            for series in entry["series"]:
+                labels = dict(series["labels"])
+                if kind == "counter":
+                    inst: Instrument = self.counter(name, **labels)
+                elif kind == "gauge":
+                    inst = self.gauge(name, **labels)
+                elif kind == "histogram":
+                    inst = self.histogram(
+                        name, boundaries=series["boundaries"], **labels
+                    )
+                else:
+                    raise ConfigurationError(
+                        f"unknown instrument kind {kind!r} in snapshot"
+                    )
+                inst.merge(series)
+
+    def rows(self) -> List[dict]:
+        """Flat table rows (name, labels, kind, value/count/mean) for
+        terminal rendering."""
+        rows = []
+        for (name, labels), inst in sorted(self._instruments.items()):
+            label_s = ",".join(f"{k}={v}" for k, v in labels)
+            if isinstance(inst, Histogram):
+                rows.append({
+                    "metric": name, "labels": label_s, "kind": inst.kind,
+                    "value": inst.mean, "count": inst.count,
+                })
+            else:
+                rows.append({
+                    "metric": name, "labels": label_s, "kind": inst.kind,
+                    "value": inst.value, "count": "",
+                })
+        return rows

@@ -1,0 +1,75 @@
+"""Run-provenance capture: *what* produced a recording, exactly.
+
+The paper's monitoring workflow compares every run against "previously
+recorded data" — which only works when a recording says precisely which
+configuration, machine model, package version and seeds produced it.
+:func:`run_provenance` captures all of that as a plain JSON-able dict;
+the driver stamps it onto every :class:`~repro.core.driver.RunResult`
+and :func:`repro.core.report.run_report` carries it into the report, so
+two campaign records are comparable (or visibly not).
+"""
+
+from __future__ import annotations
+
+import platform
+import socket
+import sys
+from datetime import datetime, timezone
+from typing import Optional
+
+from repro._version import __version__
+
+#: bump when the provenance block's layout changes
+PROVENANCE_SCHEMA = 1
+
+
+def run_provenance(cfg=None, extra: Optional[dict] = None) -> dict:
+    """Provenance block for one run.
+
+    Parameters
+    ----------
+    cfg:
+        Optional :class:`~repro.core.config.BenchmarkConfig`; when given
+        its ``describe()`` facts, machine name and RNG seed are included.
+    extra:
+        Caller-supplied facts (campaign id, run index, ...) merged under
+        the ``"extra"`` key.
+    """
+    prov: dict = {
+        "schema": PROVENANCE_SCHEMA,
+        "package": "repro",
+        "version": __version__,
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "hostname": socket.gethostname(),
+        "timestamp_utc": datetime.now(timezone.utc).isoformat(),
+        "argv": list(sys.argv),
+    }
+    try:
+        import numpy
+
+        prov["numpy"] = numpy.__version__
+    except Exception:  # pragma: no cover - numpy is a hard dependency
+        prov["numpy"] = None
+    if cfg is not None:
+        prov["config"] = cfg.describe()
+        prov["machine"] = cfg.machine.name
+        prov["seed"] = cfg.seed
+        prov["panel_precision"] = cfg.panel_precision
+        prov["refinement_solver"] = cfg.refinement_solver
+    if extra:
+        prov["extra"] = dict(extra)
+    return prov
+
+
+def same_experiment(a: dict, b: dict) -> bool:
+    """True when two provenance blocks describe the same experiment.
+
+    "Same experiment" means identical configuration, machine and seed —
+    the precondition for the watchdog's recorded-data comparison;
+    version/host/timestamp may differ (that is what campaigns vary).
+    """
+    keys = ("config", "machine", "seed", "panel_precision",
+            "refinement_solver")
+    return all(a.get(k) == b.get(k) for k in keys)

@@ -30,6 +30,7 @@ import numpy as np
 from repro.errors import DeadlockError, SimulationError
 from repro.machine.spec import MpiModel
 from repro.machine.topology import CommCosts
+from repro.obs import context as obs_context
 from repro.simulate.events import (
     Allreduce,
     Barrier,
@@ -140,6 +141,13 @@ class Engine:
         When True, every Compute op and blocking wait is appended to
         :attr:`timeline` as ``(rank, start, end, kind)`` — Gantt-chart
         raw material (costly at scale; off by default).
+    obs:
+        Observability handle to emit spans/metrics into; ``None``
+        (default) uses the process-wide handle from
+        :func:`repro.obs.current`, which is a disabled no-op unless the
+        caller installed one.  Compute ops become ``executor`` spans,
+        blocking waits ``engine`` spans, and point-to-point transfers
+        ``comm`` spans.
     """
 
     def __init__(
@@ -151,6 +159,7 @@ class Engine:
         rate_multipliers: Optional[Sequence[float]] = None,
         max_events: int = 200_000_000,
         record_timeline: bool = False,
+        obs: Optional["obs_context.Observability"] = None,
     ) -> None:
         if num_ranks <= 0:
             raise SimulationError(f"num_ranks must be positive, got {num_ranks}")
@@ -193,6 +202,23 @@ class Engine:
         self.record_timeline = record_timeline
         #: (rank, start, end, kind) spans when record_timeline is on
         self.timeline: List[Tuple[int, float, float, str]] = []
+
+        # observability: one enabled check per emission point; the
+        # hot-path instruments are resolved once here so the enabled
+        # path never does a registry lookup per message.
+        self.obs = obs if obs is not None else obs_context.current()
+        self._emit = self.obs.enabled
+        if self._emit:
+            self._span_add = self.obs.tracer.add
+            m = self.obs.metrics
+            self._ctr_bytes = {
+                True: m.counter("comm.bytes_sent", scope="intra"),
+                False: m.counter("comm.bytes_sent", scope="inter"),
+            }
+            self._ctr_msgs = {
+                True: m.counter("comm.messages", scope="intra"),
+                False: m.counter("comm.messages", scope="inter"),
+            }
 
     # -- public API -----------------------------------------------------------
 
@@ -276,6 +302,8 @@ class Engine:
             self._resume(rank, st.clock)
         elif isinstance(op, BlockUntil):
             waited = max(op.time - st.clock, 0.0)
+            if self._emit and waited > 0:
+                self._span_add(op.kind, "engine", st.clock, op.time, rank)
             self.stats[rank].add(op.kind, waited)
             st.clock = max(st.clock, op.time)
             self._resume(rank)
@@ -294,6 +322,8 @@ class Engine:
         scaled = op.seconds / float(self._mult[rank])
         if self.record_timeline and scaled > 0:
             self.timeline.append((rank, st.clock, st.clock + scaled, op.kind))
+        if self._emit and scaled > 0:
+            self._span_add(op.kind, "executor", st.clock, st.clock + scaled, rank)
         st.clock += scaled
         self.stats[rank].add(op.kind, scaled)
         self._resume(rank)
@@ -309,7 +339,8 @@ class Engine:
         mechanism) and pay host staging when not GPU-aware.
         """
         src_node, dst_node = self.node_of(src), self.node_of(dst)
-        if src_node == dst_node:
+        intra = src_node == dst_node
+        if intra:
             start = max(ready, self._link_out[src])
             xfer = size / self.costs.intra_bw
             arrival = start + self.costs.intra_latency + xfer
@@ -330,6 +361,13 @@ class Engine:
             self._nic_in[dst_node] = done
         self.stats[src].bytes_sent += int(size)
         self.stats[src].messages_sent += 1
+        if self._emit:
+            self._span_add(
+                "xfer", "comm", start, done, src,
+                attrs={"dst": dst, "bytes": int(size), "intra": intra},
+            )
+            self._ctr_bytes[intra].inc(size)
+            self._ctr_msgs[intra].inc()
         return done, arrival
 
     def _schedule_transfer(
@@ -352,6 +390,8 @@ class Engine:
         self._deliver(key, msg)
         if blocking:
             waited = max(done - st.clock, 0.0)
+            if self._emit and waited > 0:
+                self._span_add("wait_send", "engine", st.clock, done, rank)
             self.stats[rank].add("wait_send", waited)
             st.clock = max(st.clock, done)
             self._resume(rank)
@@ -416,6 +456,11 @@ class Engine:
             self.timeline.append(
                 (rank, st.clock, st.clock + waited, "wait_recv")
             )
+        if self._emit and waited > 0:
+            self._span_add(
+                "wait_recv", "engine", st.clock, msg.arrival, rank,
+                attrs={"src": msg.src},
+            )
         self.stats[rank].add("wait_recv", waited)
         st.clock = max(st.clock, msg.arrival)
         self._resume(rank, msg.payload)
@@ -440,6 +485,8 @@ class Engine:
         if info["type"] == "isend":
             done = info["done"]
             waited = max(done - st.clock, 0.0)
+            if self._emit and waited > 0:
+                self._span_add("wait_send", "engine", st.clock, done, rank)
             self.stats[rank].add("wait_send", waited)
             st.clock = max(st.clock, done)
             self._resume(rank)
@@ -522,7 +569,10 @@ class Engine:
         finish = start + cost
         for r in pend.members:
             st = self._ranks[r]
-            self.stats[r].add(wait_kind, max(finish - st.clock, 0.0))
+            waited = max(finish - st.clock, 0.0)
+            if self._emit and waited > 0:
+                self._span_add(wait_kind, "engine", st.clock, finish, r)
+            self.stats[r].add(wait_kind, waited)
             st.clock = finish
             self._resume(r, results[r])
 

@@ -4,13 +4,21 @@ With ``Engine(record_timeline=True)`` every compute span and blocking
 receive wait becomes a ``(rank, start, end, kind)`` tuple; these helpers
 turn that into a terminal Gantt chart or CSV — the visual counterpart of
 the paper's per-iteration breakdown (Fig 10), but per rank.
+
+The same renderers work on the unified telemetry stream: pass
+``obs.tracer.as_timeline()`` (see :class:`repro.obs.SpanTracer`) and the
+spans collected by the observability subsystem render identically.
+Unknown span kinds draw as ``'?'`` and raise a one-time warning naming
+them, so newly instrumented categories are never silently lumped
+together.
 """
 
 from __future__ import annotations
 
 import csv
+import warnings
 from pathlib import Path
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Sequence, Set, Tuple
 
 from repro.errors import ConfigurationError
 
@@ -35,7 +43,25 @@ GLYPHS: Dict[str, str] = {
     "wait_reduce": ";",
     "wait_barrier": "|",
     "comm_post": "'",
+    "xfer": "x",
 }
+
+#: kinds already reported by :func:`_warn_unknown_kinds` (warn once each)
+_warned_kinds: Set[str] = set()
+
+
+def _warn_unknown_kinds(kinds) -> None:
+    """One-time warning for kinds with no glyph (they all render '?')."""
+    unknown = sorted(k for k in kinds if k not in GLYPHS)
+    fresh = [k for k in unknown if k not in _warned_kinds]
+    if fresh:
+        _warned_kinds.update(fresh)
+        warnings.warn(
+            "timeline contains span kind(s) with no Gantt glyph: "
+            f"{', '.join(fresh)} — all render as '?'; add them to "
+            "repro.simulate.timeline.GLYPHS to tell them apart",
+            stacklevel=3,
+        )
 
 
 def render_gantt(
@@ -85,6 +111,7 @@ def render_gantt(
                 row.append(GLYPHS.get(kind, "?"))
         lines.append(f"r{rank:<3d}|" + "".join(row) + "|")
     used = {k for _r, _s, _e, k in timeline}
+    _warn_unknown_kinds(used)
     legend = "  ".join(
         f"{GLYPHS.get(k, '?')}={k}" for k in sorted(used)
     )
@@ -93,11 +120,23 @@ def render_gantt(
 
 
 def timeline_to_csv(timeline: Sequence[Span], path) -> Path:
-    """Write the spans as CSV (rank, start_s, end_s, kind)."""
+    """Write the spans as CSV (rank, start_s, end_s, kind).
+
+    The first line is a ``#``-prefixed comment carrying the kind legend
+    (``kind=glyph`` pairs for every kind present), so a CSV consumed
+    outside Python still documents its own vocabulary.
+    """
     if not timeline:
         raise ConfigurationError("timeline is empty")
+    used = sorted({k for _r, _s, _e, k in timeline})
+    _warn_unknown_kinds(used)
     path = Path(path)
     with path.open("w", newline="") as fh:
+        fh.write(
+            "# legend: "
+            + "  ".join(f"{k}={GLYPHS.get(k, '?')}" for k in used)
+            + "\n"
+        )
         writer = csv.writer(fh)
         writer.writerow(["rank", "start_s", "end_s", "kind"])
         writer.writerows(timeline)

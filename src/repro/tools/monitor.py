@@ -24,6 +24,7 @@ from repro.core.config import BenchmarkConfig
 from repro.errors import ConfigurationError, EarlyTerminationError
 from repro.machine.topology import CommCosts
 from repro.model.perf_model import estimate_iteration
+from repro.obs import context as obs_context
 from repro.util.format import format_seconds, render_table
 
 
@@ -63,6 +64,33 @@ class PowerModel:
             busy = st.total_compute
             idle = max(elapsed - busy, 0.0)
             total += self.energy_joules(busy, idle)
+        return total / 1e6
+
+    def energy_from_spans(self, spans, elapsed: float, num_ranks: int) -> float:
+        """Fleet energy (MJ) integrated over a span/timeline stream.
+
+        Accepts :class:`repro.obs.Span` objects or the legacy
+        ``(rank, start, end, kind)`` tuples; non-wait spans count as
+        busy, everything else (including an entirely empty timeline) is
+        idle draw for the whole ``elapsed`` window.
+        """
+        if elapsed < 0:
+            raise ConfigurationError("elapsed must be non-negative")
+        if num_ranks < 1:
+            raise ConfigurationError("num_ranks must be >= 1")
+        busy: Dict[int, float] = {}
+        for s in spans:
+            if hasattr(s, "rank"):
+                rank, dur, kind = s.rank, s.duration, s.name
+            else:
+                rank, start, end, kind = s
+                dur = end - start
+            if not kind.startswith("wait") and kind != "comm_post":
+                busy[rank] = busy.get(rank, 0.0) + dur
+        total = 0.0
+        for r in range(num_ranks):
+            b = min(busy.get(r, 0.0), elapsed)
+            total += self.energy_joules(b, elapsed - b)
         return total / 1e6
 
 
@@ -137,6 +165,13 @@ class ProgressMonitor:
             healthy=healthy,
         )
         self.reports.append(report)
+        obs = obs_context.current()
+        if obs.enabled:
+            m = obs.metrics
+            m.gauge("monitor.slowdown").set(slowdown)
+            m.counter("monitor.reports").inc()
+            if not healthy:
+                m.counter("monitor.unhealthy_reports").inc()
         if healthy:
             self._unhealthy_streak = 0
         else:
@@ -159,6 +194,19 @@ class ProgressMonitor:
             )
             self.observe(entry["k"], total)
         return self.reports
+
+    def watch_result(self, result) -> List[ProgressReport]:
+        """Run the watchdog over a finished run's recorded trace.
+
+        The unified-telemetry entry point: takes a
+        :class:`~repro.core.driver.RunResult` (whose per-iteration trace
+        the driver recorded) instead of a raw dict list.
+        """
+        if not getattr(result, "trace", None):
+            raise ConfigurationError(
+                "result has no per-iteration trace (collect_trace=False?)"
+            )
+        return self.watch_trace(result.trace)
 
     def render(self) -> str:
         """ASCII table of all report intervals."""

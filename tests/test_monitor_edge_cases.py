@@ -1,0 +1,136 @@
+"""Edge-case tests for ProgressMonitor and PowerModel (paper VI-B)."""
+
+import pytest
+
+from repro.core.config import BenchmarkConfig
+from repro.errors import ConfigurationError, EarlyTerminationError
+from repro.machine import get_machine
+from repro.obs import Observability, use
+from repro.tools.monitor import PowerModel, ProgressMonitor
+
+
+def _cfg(num_blocks=12):
+    block = 32
+    return BenchmarkConfig(
+        n=block * 2 * (num_blocks // 2), block=block,
+        machine=get_machine("summit"), p_rows=2, p_cols=2,
+    )
+
+
+def _monitor(**kwargs):
+    defaults = dict(tolerance=0.5, patience=3, report_every=2)
+    defaults.update(kwargs)
+    return ProgressMonitor(_cfg(), **defaults)
+
+
+class TestProgressMonitorEdges:
+    def test_zero_report_interval_rejected(self):
+        with pytest.raises(ConfigurationError):
+            _monitor(report_every=0)
+        with pytest.raises(ConfigurationError):
+            _monitor(patience=0)
+        with pytest.raises(ConfigurationError):
+            _monitor(tolerance=0.0)
+
+    def test_negative_measurement_rejected(self):
+        with pytest.raises(ConfigurationError):
+            _monitor().observe(0, -1.0)
+
+    def test_no_report_between_intervals(self):
+        mon = _monitor(report_every=4)
+        assert mon.observe(0, mon.expected_iteration_s(0)) is None
+        assert mon.observe(1, mon.expected_iteration_s(1)) is None
+
+    def test_final_partial_window_reports(self):
+        """The last iteration reports even off the report_every stride."""
+        mon = _monitor(report_every=10)
+        nb = mon.cfg.num_blocks
+        report = None
+        for k in range(nb):
+            report = mon.observe(k, mon.expected_iteration_s(k))
+        assert report is not None
+        assert report.iteration == nb - 1
+        assert report.healthy
+
+    def test_recovery_resets_unhealthy_streak(self):
+        """A healthy interval after a transient slowdown resets patience."""
+        mon = _monitor(patience=2, report_every=1, tolerance=0.5)
+        slow, ok = 10.0, 1.0
+        mon.observe(0, slow * mon.expected_iteration_s(0))   # unhealthy 1
+        mon.observe(1, ok * mon.expected_iteration_s(1))     # recovery
+        # another single unhealthy interval must NOT terminate
+        report = mon.observe(2, slow * mon.expected_iteration_s(2))
+        assert not report.healthy
+        assert mon._unhealthy_streak == 1
+
+    def test_terminates_only_after_consecutive_count(self):
+        mon = _monitor(patience=3, report_every=1, tolerance=0.5)
+        for k in range(2):
+            mon.observe(k, 10.0 * mon.expected_iteration_s(k))
+        with pytest.raises(EarlyTerminationError) as exc:
+            mon.observe(2, 10.0 * mon.expected_iteration_s(2))
+        assert exc.value.iteration == 2
+        assert len(mon.reports) == 3
+
+    def test_observe_emits_monitor_metrics(self):
+        obs = Observability()
+        with use(obs):
+            mon = _monitor(report_every=1)
+            mon.observe(0, 10.0 * mon.expected_iteration_s(0))
+        assert obs.metrics.counter("monitor.reports").value == 1
+        assert obs.metrics.counter("monitor.unhealthy_reports").value == 1
+        assert obs.metrics.gauge("monitor.slowdown").value > 0.5
+
+    def test_watch_result_requires_trace(self):
+        from repro.core.driver import RunResult
+
+        mon = _monitor()
+        res = RunResult(
+            config=mon.cfg, elapsed=1.0, elapsed_factorization=1.0,
+            elapsed_refinement=0.0, gflops_per_gcd=1.0,
+            total_flops_per_s=1.0, ir_iterations=0, ir_converged=True,
+            exact=False, trace=[],
+        )
+        with pytest.raises(ConfigurationError):
+            mon.watch_result(res)
+
+
+class TestPowerModel:
+    def test_energy_over_empty_timeline_is_pure_idle(self):
+        pm = PowerModel(busy_watts=300.0, idle_watts=90.0)
+        mj = pm.energy_from_spans([], elapsed=100.0, num_ranks=4)
+        assert mj == pytest.approx(4 * 100.0 * 90.0 / 1e6)
+
+    def test_zero_elapsed_empty_timeline(self):
+        pm = PowerModel()
+        assert pm.energy_from_spans([], elapsed=0.0, num_ranks=8) == 0.0
+
+    def test_busy_spans_integrate(self):
+        pm = PowerModel(busy_watts=200.0, idle_watts=100.0)
+        timeline = [
+            (0, 0.0, 6.0, "gemm"),          # 6 s busy
+            (0, 6.0, 10.0, "wait_recv"),    # waits are idle draw
+            (1, 0.0, 2.0, "getrf"),         # 2 s busy
+        ]
+        mj = pm.energy_from_spans(timeline, elapsed=10.0, num_ranks=2)
+        expected = (6 * 200 + 4 * 100) + (2 * 200 + 8 * 100)
+        assert mj == pytest.approx(expected / 1e6)
+
+    def test_accepts_span_objects(self):
+        from repro.obs.tracer import SpanTracer
+
+        tr = SpanTracer()
+        tr.add("gemm", "executor", 0.0, 5.0, rank=0)
+        tr.add("wait_recv", "engine", 5.0, 10.0, rank=0)
+        pm = PowerModel(busy_watts=300.0, idle_watts=90.0)
+        mj = pm.energy_from_spans(tr, elapsed=10.0, num_ranks=1)
+        assert mj == pytest.approx((5 * 300 + 5 * 90) / 1e6)
+
+    def test_validation(self):
+        pm = PowerModel()
+        with pytest.raises(ConfigurationError):
+            pm.energy_from_spans([], elapsed=-1.0, num_ranks=1)
+        with pytest.raises(ConfigurationError):
+            pm.energy_from_spans([], elapsed=1.0, num_ranks=0)
+        with pytest.raises(ConfigurationError):
+            pm.energy_joules(-1.0, 0.0)

@@ -1,0 +1,131 @@
+"""Tests for the exporters (repro.obs.export) and provenance capture."""
+
+import json
+import math
+
+import pytest
+
+from repro.obs.context import Observability
+from repro.obs.export import (
+    dumps_strict,
+    read_jsonl,
+    sanitize_json,
+    to_chrome_trace,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.obs.provenance import run_provenance, same_experiment
+from repro.obs.tracer import SpanTracer
+
+
+def _tracer():
+    tr = SpanTracer()
+    tr.add("gemm", "executor", 0.0, 1e-3, rank=0, attrs={"k": 1})
+    tr.add("xfer", "comm", 0.0, 5e-4, rank=1, attrs={"bytes": 128})
+    tr.add("factorization", "driver", 0.0, 1e-3)  # rank -1 -> driver lane
+    return tr
+
+
+class TestSanitize:
+    def test_non_finite_to_null(self):
+        data = {"a": float("nan"), "b": [1.0, float("inf")], "c": "NaN"}
+        clean = sanitize_json(data)
+        assert clean == {"a": None, "b": [1.0, None], "c": "NaN"}
+
+    def test_dumps_strict_never_emits_nan(self):
+        text = dumps_strict({"x": float("nan")})
+        assert "NaN" not in text
+        assert json.loads(text) == {"x": None}
+
+
+class TestChromeTrace:
+    def test_structure(self):
+        doc = to_chrome_trace(_tracer())
+        assert set(doc) == {"traceEvents", "displayTimeUnit", "otherData"}
+        xs = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert len(xs) == 3
+        gemm = next(e for e in xs if e["name"] == "gemm")
+        assert gemm["cat"] == "executor"
+        assert gemm["ts"] == 0.0
+        assert gemm["dur"] == pytest.approx(1e3)  # microseconds
+        assert gemm["tid"] == 0
+        assert gemm["args"] == {"k": 1}
+
+    def test_driver_lane_after_ranks(self):
+        doc = to_chrome_trace(_tracer())
+        drv = next(
+            e for e in doc["traceEvents"]
+            if e["ph"] == "X" and e["name"] == "factorization"
+        )
+        assert drv["tid"] == 2  # max rank 1 + 1
+        names = {
+            e["args"]["name"]
+            for e in doc["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "thread_name"
+        }
+        assert {"rank 0", "rank 1", "driver"} <= names
+
+    def test_observability_handle_carries_provenance_and_metrics(self):
+        obs = Observability()
+        obs.tracer.add("gemm", "executor", 0.0, 1.0, rank=0)
+        obs.metrics.counter("n").inc()
+        obs.provenance = {"schema": 1, "version": "x"}
+        doc = to_chrome_trace(obs)
+        assert doc["otherData"]["provenance"]["version"] == "x"
+        assert "n" in doc["otherData"]["metrics"]
+
+    def test_written_file_is_strict_json(self, tmp_path):
+        path = write_chrome_trace(tmp_path / "t.json", _tracer())
+        strict = json.loads(
+            path.read_text(),
+            parse_constant=lambda s: pytest.fail(f"bare {s} in output"),
+        )
+        assert strict["otherData"]["schema"] == 1
+
+
+class TestJsonl:
+    def test_roundtrip(self, tmp_path):
+        path = write_jsonl(tmp_path / "spans.jsonl", _tracer())
+        back = read_jsonl(path)
+        assert len(back) == 3
+        assert back[0]["name"] == "gemm"
+        assert back[0]["dur_s"] == pytest.approx(1e-3)
+        assert back[1]["attrs"] == {"bytes": 128}
+
+
+class TestProvenance:
+    def test_captures_environment(self):
+        prov = run_provenance()
+        assert prov["package"] == "repro"
+        assert prov["schema"] == 1
+        assert prov["python"].count(".") == 2
+        assert "timestamp_utc" in prov
+
+    def test_captures_config(self):
+        from repro.core.config import BenchmarkConfig
+        from repro.machine import get_machine
+
+        cfg = BenchmarkConfig(
+            n=128, block=32, machine=get_machine("summit"), p_rows=2, p_cols=2
+        )
+        prov = run_provenance(cfg, extra={"campaign": 7})
+        assert prov["machine"] == "summit"
+        assert prov["seed"] == cfg.seed
+        assert prov["config"]["N"] == 128
+        assert prov["extra"] == {"campaign": 7}
+        assert json.loads(json.dumps(prov)) == prov
+
+    def test_same_experiment(self):
+        from repro.core.config import BenchmarkConfig
+        from repro.machine import get_machine
+
+        cfg = BenchmarkConfig(
+            n=128, block=32, machine=get_machine("summit"), p_rows=2, p_cols=2
+        )
+        a, b = run_provenance(cfg), run_provenance(cfg)
+        assert same_experiment(a, b)  # timestamps differ, experiment same
+        cfg2 = BenchmarkConfig(
+            n=128, block=32, machine=get_machine("summit"), p_rows=2,
+            p_cols=2, seed=99,
+        )
+        assert not same_experiment(a, run_provenance(cfg2))

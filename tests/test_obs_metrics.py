@@ -1,0 +1,131 @@
+"""Tests for the metrics registry (repro.obs.metrics)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs.export import to_prometheus_text
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+class TestInstruments:
+    def test_counter_monotonic(self):
+        c = Counter()
+        c.inc()
+        c.inc(2.5)
+        assert c.value == pytest.approx(3.5)
+        with pytest.raises(ConfigurationError):
+            c.inc(-1)
+
+    def test_gauge_last_write_wins(self):
+        g = Gauge()
+        g.set(5.0)
+        g.set(2.0)
+        assert g.value == 2.0
+
+    def test_histogram_buckets(self):
+        h = Histogram(boundaries=[1.0, 10.0, 100.0])
+        for v in (0.5, 0.7, 5.0, 50.0, 5000.0):
+            h.observe(v)
+        assert h.bucket_counts == [2, 1, 1, 1]
+        assert h.count == 5
+        assert h.mean == pytest.approx(5056.2 / 5)
+        assert h.min == 0.5 and h.max == 5000.0
+
+    def test_histogram_boundary_validation(self):
+        with pytest.raises(ConfigurationError):
+            Histogram(boundaries=[])
+        with pytest.raises(ConfigurationError):
+            Histogram(boundaries=[1.0, 1.0])
+
+    def test_histogram_quantile(self):
+        h = Histogram(boundaries=[1.0, 2.0, 4.0])
+        for v in (0.5, 1.5, 1.5, 3.0):
+            h.observe(v)
+        assert h.quantile(0.5) == 2.0
+        assert Histogram().quantile(0.5) == 0.0
+
+
+class TestRegistry:
+    def test_get_or_create_identity(self):
+        reg = MetricsRegistry()
+        a = reg.counter("bytes", scope="intra")
+        b = reg.counter("bytes", scope="intra")
+        c = reg.counter("bytes", scope="inter")
+        assert a is b and a is not c
+
+    def test_kind_conflict_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(ConfigurationError):
+            reg.gauge("x")
+
+    def test_snapshot_is_jsonable(self):
+        import json
+
+        reg = MetricsRegistry()
+        reg.counter("a", k="v").inc(3)
+        reg.gauge("b").set(1.5)
+        reg.histogram("c", boundaries=[1.0, 2.0]).observe(1.5)
+        snap = reg.snapshot()
+        assert json.loads(json.dumps(snap)) == snap
+        assert snap["a"]["series"][0] == {"labels": {"k": "v"}, "value": 3.0}
+
+    def test_merge_cross_rank(self):
+        """snapshot()/merge() is the cross-rank aggregation path."""
+        ranks = []
+        for _ in range(3):
+            reg = MetricsRegistry()
+            reg.counter("bytes").inc(100)
+            reg.histogram("t", boundaries=[1.0, 2.0]).observe(0.5)
+            ranks.append(reg.snapshot())
+        total = MetricsRegistry()
+        for snap in ranks:
+            total.merge(snap)
+        assert total.counter("bytes").value == 300
+        h = total.histogram("t", boundaries=[1.0, 2.0])
+        assert h.count == 3 and h.bucket_counts[0] == 3
+
+    def test_merge_mismatched_histograms_rejected(self):
+        a = MetricsRegistry()
+        a.histogram("t", boundaries=[1.0]).observe(0.5)
+        b = MetricsRegistry()
+        b.histogram("t", boundaries=[2.0]).observe(0.5)
+        with pytest.raises(ConfigurationError):
+            a.merge(b)
+
+    def test_merge_registry_object(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("n").inc()
+        b.counter("n").inc(4)
+        a.merge(b)
+        assert a.counter("n").value == 5
+
+
+class TestPrometheusText:
+    def test_counter_and_gauge_lines(self):
+        reg = MetricsRegistry()
+        reg.counter("comm.bytes", scope="inter").inc(42)
+        reg.gauge("run.elapsed_s").set(1.25)
+        text = to_prometheus_text(reg)
+        assert '# TYPE comm_bytes counter' in text
+        assert 'comm_bytes{scope="inter"} 42' in text
+        assert "run_elapsed_s 1.25" in text
+
+    def test_histogram_cumulative_buckets(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat", boundaries=[1.0, 2.0])
+        for v in (0.5, 1.5, 5.0):
+            h.observe(v)
+        text = to_prometheus_text(reg)
+        assert 'lat_bucket{le="1"} 1' in text
+        assert 'lat_bucket{le="2"} 2' in text
+        assert 'lat_bucket{le="+Inf"} 3' in text
+        assert "lat_count 3" in text
+
+    def test_empty_registry(self):
+        assert to_prometheus_text(MetricsRegistry()) == ""

@@ -56,6 +56,21 @@ class TestRunReport:
         assert loaded == json.loads(path.read_text())
         assert loaded["elapsed_s"] == pytest.approx(phantom_result.elapsed)
 
+    def test_nan_residual_serializes_as_null(self, phantom_result, tmp_path):
+        """Phantom runs carry a NaN residual; the report must still be
+        strict JSON (NaN is not valid JSON and breaks json.loads in
+        strict parsers)."""
+        import math
+
+        assert math.isnan(phantom_result.residual_norm)
+        path = save_report(phantom_result, tmp_path / "run.json")
+        text = path.read_text()
+        assert "NaN" not in text
+        loaded = json.loads(
+            text, parse_constant=lambda s: pytest.fail(f"bare {s} token")
+        )
+        assert loaded["residual_norm"] is None
+
 
 class TestTraceCsv:
     def test_roundtrip(self, phantom_result, tmp_path):

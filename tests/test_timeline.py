@@ -96,5 +96,10 @@ class TestRendering:
         engine, _res = _run_with_timeline()
         path = timeline_to_csv(engine.timeline, tmp_path / "tl.csv")
         lines = path.read_text().splitlines()
-        assert lines[0] == "rank,start_s,end_s,kind"
-        assert len(lines) == len(engine.timeline) + 1
+        assert lines[0].startswith("# legend: ")
+        assert lines[1] == "rank,start_s,end_s,kind"
+        assert len(lines) == len(engine.timeline) + 2
+        # every kind present in the data is documented in the legend
+        kinds = {row[3] for row in (ln.split(",") for ln in lines[2:])}
+        for kind in kinds:
+            assert f"{kind}=" in lines[0]
