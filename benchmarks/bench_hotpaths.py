@@ -1,0 +1,35 @@
+"""Hot-path harness smoke benchmark: the optimization contract, in CI.
+
+Runs the ``bench hotpaths`` harness at a small size and asserts the two
+properties the exact-path overhaul promises: the tile cache makes warm
+fill dramatically cheaper than cold generation, and the optimized solve
+remains deterministic (identical checksums across runs).
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.bench.hotpaths import SCHEMA, render_hotpaths, run_hotpaths
+
+
+def test_hotpaths_harness(benchmark, show, tmp_path):
+    out = tmp_path / "BENCH_hotpaths.json"
+    record = run_once(
+        benchmark, run_hotpaths,
+        n=256, block=32, grid=2, reps=2, out=str(out),
+    )
+    show(render_hotpaths(record))
+
+    assert record["schema"] == SCHEMA
+    assert out.exists()
+    stages = {r["stage"]: r for r in record["results"]}
+
+    # The tile cache must beat regeneration by a wide margin.
+    assert stages["lcg_fill_warm"]["mean_s"] < stages["lcg_fill_cold"]["mean_s"]
+
+    # End-to-end checksums present and stable across a second harness run.
+    ref = record["reference"]
+    assert ref["x_sha256"] and ref["ipiv_sha256"]
+    again = run_hotpaths(n=256, block=32, grid=2, reps=1, out=None)
+    assert again["reference"] == ref

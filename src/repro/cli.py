@@ -11,6 +11,7 @@ Subcommands mirror the workflows in the paper:
 - ``trace``   — simulate with full observability and export a
   Chrome/Perfetto trace (open in https://ui.perfetto.dev);
 - ``metrics`` — simulate with observability and print the metrics table;
+- ``bench``   — hot-path benchmark harness (writes BENCH_hotpaths.json);
 - ``specs``   — print machine presets.
 """
 
@@ -408,6 +409,20 @@ def cmd_report(args) -> int:
     return 0
 
 
+def cmd_bench(args) -> int:
+    """Run the hot-path benchmark harness and write BENCH_hotpaths.json."""
+    from repro.bench.hotpaths import render_hotpaths, run_hotpaths
+
+    record = run_hotpaths(
+        n=args.n, block=args.block, grid=args.grid, reps=args.reps,
+        seed=args.seed, machine=args.machine, out=args.out,
+    )
+    print(render_hotpaths(record))
+    if args.out:
+        print(f"wrote {args.out}")
+    return 0
+
+
 def cmd_specs(args) -> int:
     """Print the machine presets (Table I)."""
     from repro.bench.figures import table1_specs
@@ -525,6 +540,21 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--out", default=None,
                    help="write to a file instead of stdout")
     p.set_defaults(func=cmd_report)
+
+    p = sub.add_parser(
+        "bench", help="hot-path micro/macro benchmark harness"
+    )
+    p.add_argument("what", choices=("hotpaths",))
+    p.add_argument("-n", type=int, default=1024, help="matrix size N")
+    p.add_argument("-b", "--block", type=int, default=64, help="block size B")
+    p.add_argument("-p", "--grid", type=int, default=2, help="grid dim")
+    p.add_argument("--reps", type=int, default=3,
+                   help="repetitions per stage (default 3)")
+    p.add_argument("--seed", type=int, default=42)
+    p.add_argument("--out", default="BENCH_hotpaths.json",
+                   help="JSON record path ('' to skip writing)")
+    _add_machine_arg(p)
+    p.set_defaults(func=cmd_bench)
 
     p = sub.add_parser("specs", help="print machine presets")
     p.set_defaults(func=cmd_specs)

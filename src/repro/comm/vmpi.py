@@ -89,6 +89,10 @@ class RankComm:
         self.node_of = node_of
         #: default all-reduce algorithm (None = engine built-in)
         self.allreduce_algorithm: str | None = None
+        # Route specs are pure functions of (algorithm, root, members,
+        # segments) for a fixed node map; the panel loop rebuilds the
+        # same handful of trees thousands of times, so memoize them.
+        self._route_cache: Dict[tuple, Any] = {}
 
     @staticmethod
     def _count_bcast(algo_name: str, payload: Any) -> None:
@@ -209,9 +213,14 @@ class RankComm:
         else:
             segments = self._ring_segments_for(len(members))
             node_of = None
-        spec = ROUTE_BUILDERS[algo_name](
-            root, list(members), segments, node_of=node_of
-        )
+        cache_key = (algo_name, root, tuple(members), segments)
+        spec = self._route_cache.get(cache_key)
+        if spec is None:
+            spec = ROUTE_BUILDERS[algo_name](
+                root, list(members), segments, node_of=node_of
+            )
+            self._route_cache[cache_key] = spec
+
         self._count_bcast(algo_name, payload)
         root_done = yield RouteSend(
             spec, payload, tag * TAG_STRIDE, speed=self._bcast_speed(algo_name)

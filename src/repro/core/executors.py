@@ -17,6 +17,7 @@ time (and applies per-GCD variability).
 
 from __future__ import annotations
 
+import contextlib
 from typing import List, Optional, Tuple
 
 import numpy as np
@@ -67,6 +68,14 @@ class ExecutorBase:
                 "executor.gemm_gflops", boundaries=_GFLOPS_BUCKETS
             )
             self._kernel_calls = obs.metrics.counter
+            self._tracer = obs.tracer
+
+    def _hotpath_span(self, name: str):
+        """Wall-clock span around an optimized hot region (obs-enabled
+        runs only); virtual engine time is charged separately."""
+        if self._obs_on:
+            return self._tracer.span(name, "hotpath", self.rank, clock="wall")
+        return contextlib.nullcontext()
 
     # -- layout ------------------------------------------------------------
 
@@ -281,6 +290,13 @@ class ExactExecutor(ExecutorBase):
         super().__init__(cfg, p_ir, p_ic, rank)
         self.matrix = HplAiMatrix(cfg.n, cfg.seed)
         self.shim = get_shim(cfg.machine.platform)
+        #: global element index of every owned column / row-block, for
+        #: bulk gather and scatter on the hot paths
+        self._gcols = cfg.col_dim.element_indices(p_ic)
+        self._grow_blocks = (
+            np.arange(cfg.row_dim.blocks_per_proc, dtype=np.int64)
+            * cfg.p_rows + p_ir
+        )
         self.local: Optional[np.ndarray] = None
         # IR state
         self.x: Optional[np.ndarray] = None
@@ -296,18 +312,25 @@ class ExactExecutor(ExecutorBase):
     def fill_local(self) -> float:
         """Generate the local pieces of A in FP64 and store as FP32.
 
-        Mirrors Algorithm 1 line 2 + the host-to-device copy: each local
-        block-cyclic tile is regenerated from the LCG.
+        Mirrors Algorithm 1 line 2 + the host-to-device copy.  One bulk
+        :meth:`~repro.lcg.matrix.HplAiMatrix.block` call per local tile
+        *row band* (full matrix width) replaces the per-tile loop; the
+        owned columns are then gathered from the band.  Full-width bands
+        are the canonical cache unit: the other ranks of this process
+        row, every IR residual, and the verification pass all hit the
+        same entries instead of regenerating them.
         """
         cfg = self.cfg
         b = self.b
         local = np.empty((cfg.local_rows, cfg.local_cols), dtype=np.float32)
-        for lr in range(cfg.row_dim.blocks_per_proc):
-            gr = cfg.row_dim.global_block(self.p_ir, lr)
-            for lc in range(cfg.col_dim.blocks_per_proc):
-                gc = cfg.col_dim.global_block(self.p_ic, lc)
-                tile = self.matrix.block(gr * b, (gr + 1) * b, gc * b, (gc + 1) * b)
-                local[lr * b : (lr + 1) * b, lc * b : (lc + 1) * b] = tile
+        all_cols = cfg.p_cols == 1
+        with self._hotpath_span("fill_local"):
+            for lr in range(cfg.row_dim.blocks_per_proc):
+                gr = cfg.row_dim.global_block(self.p_ir, lr)
+                band = self.matrix.block(gr * b, (gr + 1) * b, 0, cfg.n)
+                local[lr * b : (lr + 1) * b, :] = (
+                    band if all_cols else band[:, self._gcols]
+                )
         self.local = local
         return self._t_fill()
 
@@ -437,18 +460,35 @@ class ExactExecutor(ExecutorBase):
         regeneration per rank.  (Our x is kept replicated, so the line-37
         broadcast is a no-op data-wise; the work distribution matches.)
         """
-        cfg, b = self.cfg, self.b
-        partial = np.zeros(cfg.n)
-        for lc in range(cfg.col_dim.blocks_per_proc):
-            j = cfg.col_dim.global_block(self.p_ic, lc)
-            xj = self.x[j * b : (j + 1) * b]
-            for lr in range(cfg.row_dim.blocks_per_proc):
-                g = cfg.row_dim.global_block(self.p_ir, lr)
-                tile = self.matrix.block(g * b, (g + 1) * b, j * b, (j + 1) * b)
-                partial[g * b : (g + 1) * b] -= tile @ xj
+        partial = np.zeros(self.cfg.n)
+        with self._hotpath_span("ir_residual"):
+            self._tile_matvec(partial, self.x, sign=-1.0)
         if self.rank == 0:
             partial += self.b_vec
         return partial, self._t_ir_residual()
+
+    def _tile_matvec(self, partial: np.ndarray, v: np.ndarray,
+                     sign: float) -> None:
+        """``partial += sign * (local tiles of A) @ v`` over owned tiles.
+
+        Regenerates one full-width FP64 row band per local block row —
+        the same cache keys the fill populated, so after the first touch
+        each refinement iteration's "regeneration" is a cache lookup.
+        The per-tile multiply order (ascending owned column) is kept so
+        results are bitwise-identical to the historical per-tile loop.
+        """
+        cfg, b = self.cfg, self.b
+        for lr in range(cfg.row_dim.blocks_per_proc):
+            g = cfg.row_dim.global_block(self.p_ir, lr)
+            band = self.matrix.block(g * b, (g + 1) * b, 0, cfg.n)
+            seg = partial[g * b : (g + 1) * b]
+            for lc in range(cfg.col_dim.blocks_per_proc):
+                j = cfg.col_dim.global_block(self.p_ic, lc)
+                tile = band[:, j * b : (j + 1) * b]
+                if sign < 0:
+                    seg -= tile @ v[j * b : (j + 1) * b]
+                else:
+                    seg += tile @ v[j * b : (j + 1) * b]
 
     def ir_matvec_partial(self, v: np.ndarray) -> Tuple[np.ndarray, float]:
         """Partial ``A @ v`` over this rank's tiles (for GMRES).
@@ -456,15 +496,9 @@ class ExactExecutor(ExecutorBase):
         Same on-the-fly regeneration pattern as the residual; the
         Allreduce of the partials yields the full product.
         """
-        cfg, b = self.cfg, self.b
-        partial = np.zeros(cfg.n)
-        for lc in range(cfg.col_dim.blocks_per_proc):
-            j = cfg.col_dim.global_block(self.p_ic, lc)
-            vj = v[j * b : (j + 1) * b]
-            for lr in range(cfg.row_dim.blocks_per_proc):
-                g = cfg.row_dim.global_block(self.p_ir, lr)
-                tile = self.matrix.block(g * b, (g + 1) * b, j * b, (j + 1) * b)
-                partial[g * b : (g + 1) * b] += tile @ vj
+        partial = np.zeros(self.cfg.n)
+        with self._hotpath_span("ir_matvec"):
+            self._tile_matvec(partial, v, sign=1.0)
         return partial, self._t_ir_residual()
 
     def ir_converged(self, r: np.ndarray) -> bool:
@@ -516,15 +550,31 @@ class ExactExecutor(ExecutorBase):
 
     def ir_col_update(self, j: int, w, lower: bool) -> float:
         """Fold ``-T(i, j) @ w`` into the local accumulator for every
-        local block-row i strictly below (lower) / above (upper) j."""
+        local block-row i strictly below (lower) / above (upper) j.
+
+        The participating local blocks are a contiguous run (global block
+        index grows with local index), so the per-block GEMV loop
+        collapses into one stacked ``(count*b, b) @ (b,)`` GEMV with a
+        block-scatter of the result — bitwise-identical per-row dots.
+        """
         b = self.b
-        count = 0
-        for lr in range(self.cfg.row_dim.blocks_per_proc):
-            g = self.cfg.row_dim.global_block(self.p_ir, lr)
-            if (lower and g > j) or (not lower and g < j):
-                block = self._local_block(g, j).astype(np.float64)
-                self.update_acc[g * b : (g + 1) * b] -= block @ w
-                count += 1
+        row_dim = self.cfg.row_dim
+        total = row_dim.blocks_per_proc
+        if lower:
+            count = row_dim.local_blocks_at_or_after(self.p_ir, j + 1)
+            lr0 = total - count
+        else:
+            count = total - row_dim.local_blocks_at_or_after(self.p_ir, j)
+            lr0 = 0
+        if count == 0:
+            return self._charge_col_update(0)
+        lc = self.cfg.col_dim.local_block(j)
+        stacked = self.local[
+            lr0 * b : (lr0 + count) * b, lc * b : (lc + 1) * b
+        ].astype(np.float64)
+        prod = stacked @ w
+        acc = self.update_acc.reshape(-1, b)
+        acc[self._grow_blocks[lr0 : lr0 + count]] -= prod.reshape(count, b)
         return self._charge_col_update(count)
 
     def ir_store_solution_segment(self, j: int, w) -> None:

@@ -24,6 +24,7 @@ intended for exact-mode validation at small N plus per-operation timing.
 
 from __future__ import annotations
 
+import contextlib
 from typing import List, Optional, Tuple
 
 import numpy as np
@@ -33,6 +34,7 @@ from repro.core.config import BenchmarkConfig
 from repro.core.layout import make_step_plan
 from repro.errors import SingularMatrixError
 from repro.lcg.matrix import HplAiMatrix
+from repro.obs import context as obs_context
 from repro.simulate.events import Barrier, Compute, Now
 from repro.util import flops as fl
 
@@ -48,6 +50,13 @@ TAG_SWAP = 1
 TAG_U_PANEL = 2
 TAG_L_PANEL = 3
 TAG_SWAP_TRAIL = 4
+#: batched LASWP exchange — one message per (panel, peer pair), so the
+#: phase needs no per-column ``j`` offset.  (The old per-column scheme
+#: added ``span_idx`` to ``_tag(k, 7, j)``, which aliased column j+1's
+#: span-0 tag between the same rank pair.)
+TAG_LASWP = 7
+
+_NULL_CTX = contextlib.nullcontext()
 
 
 class HplExecutor:
@@ -68,9 +77,14 @@ class HplExecutor:
         self.matrix = matrix if matrix is not None else HplAiMatrix(
             cfg.n, cfg.seed
         )
+        #: global element index per local row/column, strictly increasing
+        #: — the bulk gather/scatter maps for the vectorized hot paths
+        self._grows = cfg.row_dim.element_indices(p_ir)
+        self._gcols = cfg.col_dim.element_indices(p_ic)
         self.local: Optional[np.ndarray] = None
         #: global pivot rows, ipiv[g] = row swapped with row g at step g
         self.ipiv: List[int] = []
+        self._obs_on = obs_context.current().enabled
 
     # -- layout helpers ---------------------------------------------------
 
@@ -97,15 +111,27 @@ class HplExecutor:
     # -- data ------------------------------------------------------------------
 
     def fill_local(self) -> float:
-        """Regenerate this rank's FP64 tiles; returns the time."""
+        """Regenerate this rank's FP64 tiles; returns the time.
+
+        One full-width ``block()`` call per local tile row band, with the
+        owned columns gathered out — the band is the canonical tile-cache
+        unit shared with the other ranks of this process row and the
+        post-solve verification pass.
+        """
         cfg, b = self.cfg, self.b
         local = np.empty((cfg.local_rows, cfg.local_cols))
-        for lr in range(cfg.row_dim.blocks_per_proc):
-            gr = cfg.row_dim.global_block(self.p_ir, lr)
-            for lc in range(cfg.col_dim.blocks_per_proc):
-                gc = cfg.col_dim.global_block(self.p_ic, lc)
-                local[lr * b:(lr + 1) * b, lc * b:(lc + 1) * b] = (
-                    self.matrix.block(gr * b, (gr + 1) * b, gc * b, (gc + 1) * b)
+        all_cols = cfg.p_cols == 1
+        span = (
+            obs_context.current().tracer.span(
+                "fill_local", "hotpath", self.rank, clock="wall")
+            if self._obs_on else _NULL_CTX
+        )
+        with span:
+            for lr in range(cfg.row_dim.blocks_per_proc):
+                gr = cfg.row_dim.global_block(self.p_ir, lr)
+                band = self.matrix.block(gr * b, (gr + 1) * b, 0, cfg.n)
+                local[lr * b:(lr + 1) * b, :] = (
+                    band if all_cols else band[:, self._gcols]
                 )
         self.local = local
         # FP64 generation + upload: twice the FP32 volume.
@@ -116,27 +142,20 @@ class HplExecutor:
 
     def local_pivot_candidate(self, col: int, row_start: int) -> Tuple[float, int]:
         """(|value|, global row) of this rank's best pivot in ``col`` at
-        or below ``row_start`` (rank must own the column)."""
+        or below ``row_start`` (rank must own the column).
+
+        The candidate rows form a contiguous local suffix (global index
+        grows with local index), so this is a single masked argmax; ties
+        resolve to the first (lowest local = lowest global) occurrence,
+        exactly as the historical per-block scan did.
+        """
         lc = self.local_col(col)
-        best_val, best_row = -1.0, -1
-        b = self.b
-        for lr_block in range(self.cfg.row_dim.blocks_per_proc):
-            g_block = self.cfg.row_dim.global_block(self.p_ir, lr_block)
-            lo = g_block * b
-            hi = lo + b
-            if hi <= row_start:
-                continue
-            seg_start = max(lo, row_start)
-            lrow0 = lr_block * b + (seg_start - lo)
-            seg = self.local[lrow0: lr_block * b + b, lc]
-            if seg.size == 0:
-                continue
-            idx = int(np.argmax(np.abs(seg)))
-            val = abs(float(seg[idx]))
-            if val > best_val:
-                best_val = val
-                best_row = seg_start + idx
-        return best_val, best_row
+        lo = int(np.searchsorted(self._grows, row_start))
+        if lo >= self._grows.size:
+            return -1.0, -1
+        col_abs = np.abs(self.local[lo:, lc])
+        idx = int(np.argmax(col_abs))
+        return float(col_abs[idx]), int(self._grows[lo + idx])
 
     def get_row_segment(self, global_row: int, col_lo: int, col_hi: int) -> np.ndarray:
         """This rank's local slice of row ``global_row`` between the
@@ -173,7 +192,6 @@ class HplExecutor:
             raise SingularMatrixError(
                 f"zero/non-finite pivot in column {col}"
             )
-        b = self.b
         lc = self.local_col(col)
         j_in_panel = lc - panel_lo
         # The MAXLOC exchange carries |pivot|; the *signed* pivot is the
@@ -181,25 +199,19 @@ class HplExecutor:
         signed_pivot = float(pivot_row_seg[j_in_panel])
         if signed_pivot == 0.0:
             raise SingularMatrixError(f"zero pivot in column {col}")
-        count = 0
-        for lr_block in range(self.cfg.row_dim.blocks_per_proc):
-            g_block = self.cfg.row_dim.global_block(self.p_ir, lr_block)
-            lo = g_block * b
-            if lo + b <= row_start:
-                continue
-            seg_start = max(lo, row_start)
-            r0 = lr_block * b + (seg_start - lo)
-            r1 = lr_block * b + b
-            if r0 >= r1:
-                continue
-            block = self.local[r0:r1, panel_lo:panel_hi]
+        # The rows at/below row_start are a contiguous local suffix, so
+        # the whole update is one scale + one outer product (elementwise
+        # identical to the old per-block loop).
+        r0 = int(np.searchsorted(self._grows, row_start))
+        count = self.cfg.local_rows - r0
+        if count > 0:
+            block = self.local[r0:, panel_lo:panel_hi]
             multipliers = block[:, j_in_panel] / signed_pivot
             block[:, j_in_panel] = multipliers
             if j_in_panel + 1 < pivot_row_seg.size:
                 block[:, j_in_panel + 1:] -= np.outer(
                     multipliers, pivot_row_seg[j_in_panel + 1:]
                 )
-            count += r1 - r0
         # A slice of the rank-1 update's flops.
         return fl.gemm_flops(count, panel_hi - panel_lo, 1) / max(
             self.km.fp64_gemm_rate(max(count, 1), panel_hi - panel_lo, 32), 1.0
@@ -262,12 +274,141 @@ class HplExecutor:
 
 
 def _pivot_reduce(candidates):
-    """Combine (|value|, row) candidates: max by value, row breaks ties."""
+    """Combine (|value|, row) candidates with MPI_MAXLOC semantics.
+
+    Largest value wins; equal values resolve to the lowest row index.
+    The ``(-1.0, -1)`` "no candidate" sentinel never wins against a real
+    candidate: a previous version compared ``0 <= row < best[1]``, which
+    is false while ``best[1] == -1``, so a valid candidate *tying* the
+    sentinel-free best was dropped depending on arrival order.
+    """
     best = (-1.0, -1)
     for val, row in candidates:
-        if val > best[0] or (val == best[0] and 0 <= row < best[1]):
+        if row < 0:
+            continue  # sentinel: rank had no rows in range
+        if val > best[0] or (val == best[0] and (best[1] < 0 or row < best[1])):
             best = (val, row)
     return best
+
+
+def _laswp_permutation(ipiv, col_lo: int, col_hi: int) -> dict:
+    """Net row permutation of one panel's swap sequence.
+
+    Applying the swaps ``(col, ipiv[col])`` for ``col`` in
+    ``[col_lo, col_hi)`` in order leaves row ``dest`` holding the
+    original contents of row ``sigma[dest]``.  Identity entries are
+    dropped, so an empty dict means the panel needs no interchanges.
+    """
+    cur: dict = {}
+    for col in range(col_lo, col_hi):
+        p = ipiv[col]
+        if p == col:
+            continue
+        cur[col], cur[p] = cur.get(p, p), cur.get(col, col)
+    return {dest: src for dest, src in cur.items() if dest != src}
+
+
+def _gather_row(ex: HplExecutor, global_row: int, spans) -> np.ndarray:
+    """One local row's span columns, concatenated into a flat buffer."""
+    lr = ex.local_row(global_row)
+    if len(spans) == 1:
+        lo, hi = spans[0]
+        return ex.local[lr, lo:hi].copy()
+    return np.concatenate([ex.local[lr, lo:hi] for lo, hi in spans])
+
+
+def _scatter_row(ex: HplExecutor, global_row: int, spans,
+                 values: np.ndarray) -> None:
+    """Inverse of :func:`_gather_row`: write the flat buffer back."""
+    lr = ex.local_row(global_row)
+    off = 0
+    for lo, hi in spans:
+        ex.local[lr, lo:hi] = values[off: off + hi - lo]
+        off += hi - lo
+
+
+def _apply_laswp_batched(cfg, ex: HplExecutor, comm, grid, k: int,
+                         spans, sigma: dict):
+    """Apply one panel's net row permutation with batched exchanges.
+
+    Both sides of every exchange derive the same (dest, src) list from
+    ``sigma`` in ascending-dest order, so a single stacked array per
+    (peer, direction) replaces the old per-column send/recv pairs.  All
+    source rows are snapshotted before any write (copy-before-overwrite),
+    which is what makes applying the *net* permutation equivalent to the
+    sequential swap-by-swap data movement.
+    """
+    row_dim = cfg.row_dim
+    my = ex.p_ir
+    incoming: dict = {}   # peer p_ir -> [(dest, src)] ascending dest
+    outgoing: dict = {}
+    local_moves = []
+    src_rows_needed = set()
+    for dest in sorted(sigma):
+        src = sigma[dest]
+        dest_owner = row_dim.owner_of_index(dest)
+        src_owner = row_dim.owner_of_index(src)
+        if dest_owner == my and src_owner == my:
+            local_moves.append((dest, src))
+            src_rows_needed.add(src)
+        elif dest_owner == my:
+            incoming.setdefault(src_owner, []).append((dest, src))
+        elif src_owner == my:
+            outgoing.setdefault(dest_owner, []).append((dest, src))
+            src_rows_needed.add(src)
+    if not (incoming or outgoing or local_moves):
+        return
+    old = {src: _gather_row(ex, src, spans) for src in src_rows_needed}
+    span_ctx = (
+        obs_context.current().tracer.span(
+            "laswp_batch", "hotpath", ex.rank, clock="wall", panel=k)
+        if ex._obs_on else _NULL_CTX
+    )
+    with span_ctx:
+        for peer in sorted(set(incoming) | set(outgoing)):
+            out_rows = outgoing.get(peer)
+            in_rows = incoming.get(peer)
+            peer_rank = grid.rank_of(peer, ex.p_ic)
+            payload = (
+                np.stack([old[src] for _dest, src in out_rows])
+                if out_rows else None
+            )
+            theirs = None
+            # Lower process row sends first — a deterministic order both
+            # sides agree on (the engine's sends are buffered, but the
+            # discipline keeps the protocol rendezvous-safe).
+            if my < peer:
+                if payload is not None:
+                    yield from comm.send(peer_rank, payload, _tag(k, TAG_LASWP))
+                if in_rows:
+                    theirs = yield from comm.recv(peer_rank, _tag(k, TAG_LASWP))
+            else:
+                if in_rows:
+                    theirs = yield from comm.recv(peer_rank, _tag(k, TAG_LASWP))
+                if payload is not None:
+                    yield from comm.send(peer_rank, payload, _tag(k, TAG_LASWP))
+            if in_rows:
+                for (dest, _src), row_vals in zip(in_rows, theirs):
+                    _scatter_row(ex, dest, spans, row_vals)
+        for dest, src in local_moves:
+            _scatter_row(ex, dest, spans, old[src])
+
+
+def _column_strip(m, cfg: BenchmarkConfig, jj: int) -> np.ndarray:
+    """Full-height column block ``jj`` of ``m`` for the residual check.
+
+    Cache-backed LCG matrices are assembled from the full-width row bands
+    the distributed fill already cached, so no entry is regenerated; the
+    values are identical either way (each entry is a pure function of its
+    global position).
+    """
+    b = cfg.block
+    if not getattr(m, "use_cache", False):
+        return m.block(0, cfg.n, jj * b, (jj + 1) * b)
+    return np.concatenate([
+        m.block(g * b, (g + 1) * b, 0, cfg.n)[:, jj * b:(jj + 1) * b]
+        for g in range(cfg.num_blocks)
+    ])
 
 
 def hpl_rank_program(cfg: BenchmarkConfig, ex: HplExecutor, rank: int):
@@ -404,45 +545,25 @@ def hpl_rank_program(cfg: BenchmarkConfig, ex: HplExecutor, rank: int):
                 ipiv.extend(piv_list)
         del row_members_all
 
-        # ---- apply interchanges LAPACK-style (LASWP) -----------------------
+        # ---- apply interchanges LAPACK-style (LASWP), batched --------------
         # Full-width row swaps — including previously factored L columns —
         # so that the stored factors are exactly those of P A and the
         # solve is two clean triangular sweeps on the permuted b.  The
         # panel's own columns were already swapped during factorization
-        # on the panel owners, so they are excluded there.
+        # on the panel owners, so they are excluded there.  The panel's
+        # column-by-column swap sequence composes into one net row
+        # permutation that every rank derives from the shared ipiv, so
+        # all interchanges collapse into at most one stacked send/recv
+        # pair per peer process row (tag phase TAG_LASWP, no per-column
+        # or per-span tag arithmetic).
         if in_panel_col:
             spans = [(0, panel_lo), (panel_hi, cfg.local_cols)]
         else:
             spans = [(0, cfg.local_cols)]
         spans = [(lo, hi) for lo, hi in spans if hi > lo]
-        for j in range(b):
-            col = k * b + j
-            if col >= cfg.n:
-                break
-            pivot_row = ipiv[col]
-            if pivot_row == col:
-                continue
-            owner_a = cfg.row_dim.owner_of_index(col)
-            owner_b = cfg.row_dim.owner_of_index(pivot_row)
-            for span_idx, (lo, hi) in enumerate(spans):
-                if owner_a == owner_b:
-                    if ex.p_ir == owner_a:
-                        ra = ex.get_row_segment(col, lo, hi)
-                        rb = ex.get_row_segment(pivot_row, lo, hi)
-                        ex.set_row_segment(col, lo, hi, rb)
-                        ex.set_row_segment(pivot_row, lo, hi, ra)
-                elif ex.p_ir == owner_a:
-                    peer = grid.rank_of(owner_b, ex.p_ic)
-                    mine = ex.get_row_segment(col, lo, hi)
-                    yield from comm.send(peer, mine, _tag(k, 7, j) + span_idx)
-                    theirs = yield from comm.recv(peer, _tag(k, 7, j) + span_idx)
-                    ex.set_row_segment(col, lo, hi, theirs)
-                elif ex.p_ir == owner_b:
-                    peer = grid.rank_of(owner_a, ex.p_ic)
-                    theirs = yield from comm.recv(peer, _tag(k, 7, j) + span_idx)
-                    mine = ex.get_row_segment(pivot_row, lo, hi)
-                    yield from comm.send(peer, mine, _tag(k, 7, j) + span_idx)
-                    ex.set_row_segment(pivot_row, lo, hi, theirs)
+        sigma = _laswp_permutation(ipiv, k * b, min((k + 1) * b, cfg.n))
+        if spans and sigma:
+            yield from _apply_laswp_batched(cfg, ex, comm, grid, k, spans, sigma)
 
         # ---- diagonal + U panel + trailing update -----------------------------
         plan = ex.plan(k)
@@ -535,14 +656,29 @@ def hpl_rank_program(cfg: BenchmarkConfig, ex: HplExecutor, rank: int):
             self.solve_partial[jj * b:(jj + 1) * b] = w
 
         def ir_col_update(self, jj, w, lower):
-            count = 0
-            for lr in range(cfg.row_dim.blocks_per_proc):
-                g = cfg.row_dim.global_block(ex.p_ir, lr)
-                if (lower and g > jj) or (not lower and g < jj):
-                    block = ex._local_block(g, jj)
-                    self.update_acc[g * b:(g + 1) * b] -= block @ w
-                    count += 1
-            return ex.cm.gemv_time(count * b, b) if count else 0.0
+            # The participating local block rows are contiguous, so the
+            # per-block GEMVs collapse into one stacked GEMV + scatter
+            # (bitwise-identical per-row dot products).
+            total = cfg.row_dim.blocks_per_proc
+            if lower:
+                count = cfg.row_dim.local_blocks_at_or_after(ex.p_ir, jj + 1)
+                lr0 = total - count
+            else:
+                count = total - cfg.row_dim.local_blocks_at_or_after(
+                    ex.p_ir, jj
+                )
+                lr0 = 0
+            if count == 0:
+                return 0.0
+            lc = cfg.col_dim.local_block(jj)
+            stacked = ex.local[lr0 * b:(lr0 + count) * b, lc * b:(lc + 1) * b]
+            prod = stacked @ w
+            acc = self.update_acc.reshape(-1, b)
+            g0 = lr0 * cfg.p_rows + ex.p_ir
+            acc[g0: g0 + count * cfg.p_rows: cfg.p_rows] -= prod.reshape(
+                count, b
+            )
+            return ex.cm.gemv_time(count * b, b)
 
         def ir_solution_partial(self):
             return self.solve_partial.copy(), 0.0
@@ -562,12 +698,15 @@ def hpl_rank_program(cfg: BenchmarkConfig, ex: HplExecutor, rank: int):
 
     # residual check: the first process row regenerates its process
     # column's blocks (full height) so each global column contributes
-    # exactly once to the Allreduce.
+    # exactly once to the Allreduce.  For cache-backed matrices the
+    # column strip is assembled from the full-width row bands the fills
+    # already cached (every global row block was banded by its owning
+    # process row), so this pass regenerates nothing.
     partial = np.zeros(cfg.n)
     if ex.p_ir == 0:
         for lc in range(cfg.col_dim.blocks_per_proc):
             jj = cfg.col_dim.global_block(ex.p_ic, lc)
-            tile = m.block(0, cfg.n, jj * b, (jj + 1) * b)
+            tile = _column_strip(m, cfg, jj)
             partial += tile @ x[jj * b:(jj + 1) * b]
     ax = yield from comm.allreduce(partial, everyone)
     residual = float(np.max(np.abs(m.rhs() - ax)))

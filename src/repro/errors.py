@@ -33,6 +33,15 @@ class ConvergenceError(NumericsError):
     """Iterative refinement failed to reach the HPL-AI tolerance."""
 
 
+class PrecisionError(NumericsError):
+    """A value cannot be represented in the requested reduced precision.
+
+    Raised instead of silently mapping out-of-range FP64 values to
+    ``inf`` when rounding operands to FP16 (the tensor-core input
+    format caps at 65504).
+    """
+
+
 class CommunicationError(ReproError, RuntimeError):
     """Base class for virtual-MPI protocol violations."""
 

@@ -16,6 +16,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.errors import ConfigurationError
 from repro.util.validation import check_positive_int
 
@@ -107,6 +109,20 @@ class BlockCyclicDim:
             )
         local_block, offset = divmod(local_i, self.b)
         return self.global_block(proc, local_block) * self.b + offset
+
+    def element_indices(self, proc: int) -> np.ndarray:
+        """Global element index of every local element on ``proc``.
+
+        The vectorized inverse of :meth:`local_index` — an int64 array of
+        length :attr:`local_n`, strictly increasing (block-cyclic layout
+        preserves order within a process).  Hot-path code precomputes
+        this once and uses it for bulk gather/scatter instead of calling
+        :meth:`global_index` per element.
+        """
+        if not 0 <= proc < self.p:
+            raise ConfigurationError(f"proc {proc} out of range for p={self.p}")
+        i = np.arange(self.local_n, dtype=np.int64)
+        return ((i // self.b) * self.p + proc) * self.b + i % self.b
 
     def local_blocks_at_or_after(self, proc: int, first_global_block: int) -> int:
         """How many of ``proc``'s blocks have global index >= ``first_global_block``.

@@ -8,6 +8,12 @@ part of ``A`` on demand — which is how the FP64 residual is computed
 during iterative refinement without ever storing the FP64 matrix.
 """
 
+from repro.lcg.cache import (
+    TileCache,
+    clear_tile_cache,
+    configure_tile_cache,
+    tile_cache,
+)
 from repro.lcg.generator import (
     LCG_A,
     LCG_C,
@@ -22,9 +28,13 @@ __all__ = [
     "LCG_A",
     "LCG_C",
     "Lcg64",
+    "TileCache",
     "affine_compose",
     "affine_power",
+    "clear_tile_cache",
+    "configure_tile_cache",
     "states_at",
+    "tile_cache",
     "HplAiMatrix",
     "uniform_from_state",
 ]

@@ -159,8 +159,15 @@ def states_at(
         Integer array (any shape) of step counts; must be non-negative.
     """
     pos = np.asarray(positions)
-    if pos.size and pos.min() < 0:
-        raise ConfigurationError("LCG positions must be non-negative")
+    if pos.size:
+        # float/bool positions would silently truncate in the uint64 cast
+        # below (and bool positions are almost certainly a caller bug).
+        if not np.issubdtype(pos.dtype, np.integer):
+            raise ConfigurationError(
+                f"LCG positions must have an integer dtype, got {pos.dtype}"
+            )
+        if pos.min() < 0:
+            raise ConfigurationError("LCG positions must be non-negative")
     pos = pos.astype(np.uint64, copy=False)
 
     if (a, c) == (LCG_A, LCG_C):

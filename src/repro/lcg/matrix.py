@@ -30,6 +30,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import ConfigurationError
+from repro.lcg.cache import tile_cache
 from repro.lcg.generator import LCG_A, LCG_C, states_at
 from repro.util.validation import check_positive_int
 
@@ -65,16 +66,23 @@ class HplAiMatrix:
         LCG seed; two matrices with the same ``(n, seed)`` are identical.
     a, c:
         Optional LCG constants (default MMIX).
+    use_cache:
+        Consult the process-wide :func:`repro.lcg.cache.tile_cache` in
+        :meth:`block`.  Entries are pure functions of
+        ``(n, seed, a, c)`` and the range, so two matrices with the same
+        parameters share cached tiles; disable to force regeneration.
     """
 
     def __init__(
-        self, n: int, seed: int = 42, a: int = LCG_A, c: int = LCG_C
+        self, n: int, seed: int = 42, a: int = LCG_A, c: int = LCG_C,
+        use_cache: bool = True,
     ) -> None:
         check_positive_int(n, "n")
         self.n = n
         self.seed = seed
         self.a = a
         self.c = c
+        self.use_cache = use_cache
         self._offdiag_scale = 1.0 / (2.0 * n)
 
     # -- scalar access ---------------------------------------------------
@@ -105,9 +113,33 @@ class HplAiMatrix:
         """Materialize ``A[row_start:row_stop, col_start:col_stop]``.
 
         Fully vectorized: cost is O(block area), independent of position.
+        Results are memoized in the shared bounded
+        :func:`~repro.lcg.cache.tile_cache` (unless ``use_cache=False``)
+        and a *fresh* array is always returned — callers may mutate it.
         """
         self._check_range(row_start, row_stop, "row")
         self._check_range(col_start, col_stop, "col")
+        cache = tile_cache() if self.use_cache else None
+        key = (self.n, self.seed, self.a, self.c,
+               row_start, row_stop, col_start, col_stop)
+        if cache is not None:
+            cached = cache.get(key)
+            if cached is not None:
+                if np.dtype(dtype) == np.float64:
+                    return cached.copy()
+                return cached.astype(dtype)
+        out = self._generate_block(row_start, row_stop, col_start, col_stop)
+        if cache is not None:
+            cache.put(key, out)
+            # put() froze the stored array; hand callers a private copy.
+            if np.dtype(dtype) == np.float64:
+                return out.copy()
+        return out.astype(dtype, copy=False)
+
+    def _generate_block(
+        self, row_start: int, row_stop: int, col_start: int, col_stop: int
+    ) -> np.ndarray:
+        """Uncached FP64 materialization of one rectangular range."""
         rows = np.arange(row_start, row_stop, dtype=np.uint64)
         cols = np.arange(col_start, col_stop, dtype=np.uint64)
         positions = rows[:, None] * np.uint64(self.n) + cols[None, :] + np.uint64(1)
@@ -119,7 +151,7 @@ class HplAiMatrix:
         if diag_lo < diag_hi:
             d = np.arange(diag_lo, diag_hi)
             out[d - row_start, d - col_start] = 1.0 + u[d - row_start, d - col_start]
-        return out.astype(dtype, copy=False)
+        return out
 
     def rows(self, row_start: int, row_stop: int) -> np.ndarray:
         """Materialize full rows ``A[row_start:row_stop, :]`` in FP64."""

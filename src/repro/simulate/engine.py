@@ -167,6 +167,19 @@ class Engine:
         self.costs = comm_costs
         self.node_of = node_of_rank or (lambda r: r)
         self.mpi = mpi if mpi is not None else comm_costs.machine.mpi
+        # Hot-path precomputation: _transfer runs once per message segment
+        # (routed broadcasts fan a panel into dozens of segments), so the
+        # rank→node map and the cost-model scalars are resolved once here
+        # instead of through property/call chains per transfer.  The
+        # numbers are identical — CommCosts is frozen and node maps are
+        # pure functions of the grid.
+        self._rank_node = [self.node_of(r) for r in range(num_ranks)]
+        self._intra_bw = comm_costs.intra_bw
+        self._intra_lat = comm_costs.intra_latency
+        self._nic_bw = comm_costs.node_nic_bw
+        self._inter_lat = comm_costs.inter_latency
+        self._staged = not comm_costs.gpu_aware
+        self._lat_memo: Dict[Tuple[int, int], float] = {}
         if rate_multipliers is None:
             self._mult = np.ones(num_ranks)
         else:
@@ -338,24 +351,24 @@ class Engine:
         transfers serialize on both nodes' NICs (the eq.-5 sharing
         mechanism) and pay host staging when not GPU-aware.
         """
-        src_node, dst_node = self.node_of(src), self.node_of(dst)
+        src_node, dst_node = self._rank_node[src], self._rank_node[dst]
         intra = src_node == dst_node
         if intra:
             start = max(ready, self._link_out[src])
-            xfer = size / self.costs.intra_bw
-            arrival = start + self.costs.intra_latency + xfer
+            xfer = size / self._intra_bw
+            arrival = start + self._intra_lat + xfer
             done = start + xfer
             self._link_out[src] = done
         else:
-            bw = self.costs.node_nic_bw * speed
+            bw = self._nic_bw * speed
             start = max(ready, self._nic_out[src_node], self._nic_in[dst_node])
             xfer = size / bw
-            arrival = (
-                start
-                + self.costs.latency_between(src_node, dst_node)
-                + xfer
-                + self.costs.staging_time(size)
-            )
+            lat = self._lat_memo.get((src_node, dst_node))
+            if lat is None:
+                lat = self.costs.latency_between(src_node, dst_node)
+                self._lat_memo[(src_node, dst_node)] = lat
+            staging = self.costs.staging_time(size) if self._staged else 0.0
+            arrival = start + lat + xfer + staging
             done = start + xfer
             self._nic_out[src_node] = done
             self._nic_in[dst_node] = done
@@ -529,14 +542,12 @@ class Engine:
         p = len(members)
         if p <= 1:
             return 0.0
-        nodes = {self.node_of(r) for r in members}
+        nodes = {self._rank_node[r] for r in members}
         rounds = max(1, ceil(log2(p)))
         if len(nodes) == 1:
-            per_round = self.costs.intra_latency + size / self.costs.intra_bw
+            per_round = self._intra_lat + size / self._intra_bw
         else:
-            per_round = (
-                self.costs.inter_latency + size / self.costs.node_nic_bw
-            )
+            per_round = self._inter_lat + size / self._nic_bw
         return rounds * per_round
 
     def _finish_collective(self, pend_key, pend: PendingCollective) -> None:

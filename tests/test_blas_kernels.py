@@ -24,7 +24,11 @@ from repro.blas import (
 )
 from repro.blas.getrf import apply_pivots, unpack_lu
 from repro.blas.trsv import lu_solve_packed
-from repro.errors import ConfigurationError, SingularMatrixError
+from repro.errors import (
+    ConfigurationError,
+    PrecisionError,
+    SingularMatrixError,
+)
 from repro.lcg.matrix import HplAiMatrix
 
 
@@ -56,6 +60,42 @@ class TestGemm:
         a = np.array([[1.0 + 2**-12]], dtype=np.float32)
         b = np.array([[1.0]], dtype=np.float32)
         assert gemm_mixed(a, b)[0, 0] == 1.0
+
+    def test_mixed_fp16_overflow_raises(self):
+        # 70000 > FP16_MAX (65504): the cast would silently produce inf
+        # and poison the accumulation; it must raise instead.
+        a = np.array([[70000.0]], dtype=np.float32)
+        b = np.ones((1, 1), dtype=np.float32)
+        with pytest.raises(PrecisionError, match="FP16 max"):
+            gemm_mixed(a, b)
+        with pytest.raises(PrecisionError, match="operand B"):
+            gemm_mixed(b, a)
+
+    def test_mixed_overflow_message_counts_and_worst(self):
+        a = np.array([[7e4, -1e5, 1.0]], dtype=np.float64)
+        b = np.ones((3, 1))
+        with pytest.raises(PrecisionError, match=r"2 value\(s\)"):
+            gemm_mixed(a, b)
+
+    def test_mixed_at_fp16_max_is_exact(self):
+        # The boundary value itself is representable: no error.
+        m = float(np.finfo(np.float16).max)
+        out = gemm_mixed(np.array([[m]]), np.array([[1.0]]))
+        assert out[0, 0] == np.float32(m)
+
+    def test_mixed_existing_inf_nan_pass_through(self):
+        # Already-nonfinite inputs cast faithfully: not an overflow.
+        a = np.array([[np.inf, np.nan]], dtype=np.float32)
+        b = np.zeros((2, 1), dtype=np.float32)
+        with np.errstate(invalid="ignore"):  # inf * 0 is the point
+            out = gemm_mixed(a, b)
+        assert np.isnan(out[0, 0])
+
+    def test_mixed_fp16_operands_skip_the_check(self):
+        # FP16 inputs cannot overflow the cast; inf passes through.
+        a = np.array([[np.inf]], dtype=np.float16)
+        b = np.ones((1, 1), dtype=np.float16)
+        assert np.isinf(gemm_mixed(a, b)[0, 0])
 
     def test_update_in_place(self):
         c = np.full((2, 2), 10.0, dtype=np.float32)

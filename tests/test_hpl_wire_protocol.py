@@ -1,0 +1,181 @@
+"""Wire-protocol regression tests for the distributed LU.
+
+Two historical bugs are pinned here:
+
+1. The per-column LASWP exchange tagged span ``s`` of column ``j`` as
+   ``_tag(k, 7, j) + s``, which equals ``_tag(k, 7, j + 1)`` — column
+   ``j+1``'s first span — so two different in-flight messages between
+   the same rank pair shared a tag whenever a panel had multiple spans.
+2. ``_pivot_reduce`` compared ``0 <= row < best[1]`` on value ties,
+   which silently dropped a valid candidate whenever the running best
+   was still the ``(-1.0, -1)`` sentinel — an arrival-order-dependent
+   deviation from MPI_MAXLOC semantics.
+"""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.comm.bcast import TAG_STRIDE
+from repro.comm.vmpi import RankComm
+from repro.core.config import BenchmarkConfig
+from repro.core.hpl_dist import (
+    TAG_LASWP,
+    _TAG_BASE,
+    _pivot_reduce,
+    _tag,
+    solve_hpl_distributed,
+)
+from repro.machine import SUMMIT
+
+from tests.test_hpl_distributed import DenseMatrix, _random_general
+
+
+def _phase_of(tag: int) -> int:
+    """Recover the ``_tag`` phase from a pre-stride factorization tag."""
+    return ((tag - _TAG_BASE) // 4096) % 8
+
+
+class TestLaswpTagAliasing:
+    def test_laswp_tags_unique_per_rank_pair(self, monkeypatch):
+        """Every LASWP message between a rank pair carries a distinct tag.
+
+        Run a pivot-requiring system on a 2x2 grid and record every
+        point-to-point send.  Under the aliased per-column scheme, any
+        panel whose row swaps cross process rows produced duplicate
+        (src, dst, tag) triples; the batched exchange sends exactly one
+        message per (panel, direction) with the bare phase tag.
+        """
+        sends = []
+        orig_send = RankComm.send
+
+        def spy_send(self, dst, payload, tag):
+            sends.append((self.rank, dst, tag))
+            return orig_send(self, dst, payload, tag)
+
+        monkeypatch.setattr(RankComm, "send", spy_send)
+
+        a, b = _random_general(64, seed=3)
+        cfg = BenchmarkConfig(
+            n=64, block=8, machine=SUMMIT, p_rows=2, p_cols=2
+        )
+        res = solve_hpl_distributed(cfg, matrix=DenseMatrix(a, b))
+        assert res["residual_norm"] < 1e-10  # the run itself is healthy
+        swaps = sum(1 for g, p in enumerate(res["ipiv"]) if p != g)
+        assert swaps > 10  # pivoting genuinely exercised LASWP
+
+        laswp = [
+            (src, dst, tag) for src, dst, tag in sends
+            if tag >= _TAG_BASE and _phase_of(tag) == TAG_LASWP
+        ]
+        assert laswp, "LASWP exchanges must occur on a pivoting 2x2 run"
+        assert len(laswp) == len(set(laswp)), (
+            "duplicate (src, dst, tag) among LASWP messages: the "
+            "wire-tag aliasing bug is back"
+        )
+
+    def test_old_scheme_aliased(self):
+        """The arithmetic fact the fix removes: span 1 of column j is
+        indistinguishable from span 0 of column j+1."""
+        assert _tag(3, TAG_LASWP, 5) + 1 == _tag(3, TAG_LASWP, 6)
+
+    def test_laswp_tag_has_no_column_offset(self, monkeypatch):
+        """Batched LASWP uses one tag per panel: j is always 0."""
+        sends = []
+        orig_send = RankComm.send
+
+        def spy_send(self, dst, payload, tag):
+            sends.append(tag)
+            return orig_send(self, dst, payload, tag)
+
+        monkeypatch.setattr(RankComm, "send", spy_send)
+        a, b = _random_general(64, seed=11)
+        cfg = BenchmarkConfig(
+            n=64, block=8, machine=SUMMIT, p_rows=2, p_cols=2
+        )
+        solve_hpl_distributed(cfg, matrix=DenseMatrix(a, b))
+        laswp = [t for t in sends
+                 if t >= _TAG_BASE and _phase_of(t) == TAG_LASWP]
+        for tag in laswp:
+            assert (tag - _TAG_BASE) % 4096 == 0
+
+
+class TestPivotReduceMaxloc:
+    def test_sentinel_never_beats_tying_candidate(self):
+        # Pre-fix: best stayed (-1, ...) sentinel-shaped and a candidate
+        # tying the current best value was dropped when best[1] == -1.
+        assert _pivot_reduce([(0.5, -1), (0.5, 2)]) == (0.5, 2)
+        assert _pivot_reduce([(0.5, 2), (0.5, -1)]) == (0.5, 2)
+
+    def test_all_sentinels(self):
+        assert _pivot_reduce([(-1.0, -1), (-1.0, -1)]) == (-1.0, -1)
+
+    def test_maxloc_lowest_row_on_tie(self):
+        assert _pivot_reduce([(2.0, 7), (2.0, 3), (1.0, 0)]) == (2.0, 3)
+
+    def test_order_invariance_property(self):
+        """MPI_MAXLOC is commutative: every arrival order must agree."""
+        candidates = [(0.5, -1), (2.0, 9), (2.0, 4), (-1.0, -1), (1.5, 0)]
+        results = {
+            _pivot_reduce(perm)
+            for perm in itertools.permutations(candidates)
+        }
+        assert results == {(2.0, 4)}
+
+    def test_order_invariance_random(self):
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            vals = rng.choice([0.5, 1.0, 2.0], size=6)
+            rows = rng.choice([-1, 0, 1, 2, 5, 9], size=6)
+            cands = [
+                (float(v), int(r)) if r >= 0 else (-1.0, -1)
+                for v, r in zip(vals, rows)
+            ]
+            base = _pivot_reduce(cands)
+            for _ in range(10):
+                rng.shuffle(cands)
+                assert _pivot_reduce(cands) == base
+
+
+class TestTagWindowDisjointness:
+    """Refinement sweep tags must never collide with factorization tags
+    (both travel through the same engine mailboxes, scaled by
+    TAG_STRIDE)."""
+
+    @pytest.mark.parametrize("n,block", [(64, 8), (1024, 64), (4096, 128)])
+    def test_refine_window_below_hpl_dist_window(self, n, block):
+        from repro.core.refine import _REFINE_TAG_BASE, _sweep_tag
+
+        cfg = BenchmarkConfig(
+            n=n, block=block, machine=SUMMIT, p_rows=2, p_cols=2
+        )
+        nb = cfg.num_blocks
+        refine_tags = {
+            _sweep_tag(cfg, it, j, upper)
+            for it in range(cfg.ir_max_iters)
+            for j in range(nb)
+            for upper in (False, True)
+        }
+        assert min(refine_tags) >= _REFINE_TAG_BASE
+        # Entirely below the factorization window.
+        assert max(refine_tags) < _TAG_BASE
+
+        hpl_tags = {
+            _tag(k, phase, j)
+            for k in range(nb)
+            for phase in range(8)
+            for j in (0, block - 1)
+        }
+        assert not (refine_tags & hpl_tags)
+        # And disjoint from the hplai factorization tags (8k + phase).
+        hplai_tags = set(range(0, 8 * nb + 8))
+        assert not (refine_tags & hplai_tags)
+        assert not (hpl_tags & hplai_tags)
+
+    def test_tag_stride_preserves_disjointness(self):
+        # Distinct logical tags stay distinct on the wire.
+        tags = [_tag(0, TAG_LASWP), _tag(1, TAG_LASWP), 8 * 3 + 2,
+                (1 << 22) + 17]
+        wire = [t * TAG_STRIDE for t in tags]
+        assert len(set(wire)) == len(tags)

@@ -1,0 +1,148 @@
+"""Tests for the bounded shared LCG tile cache."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.lcg.cache import TileCache, clear_tile_cache, tile_cache
+from repro.lcg.matrix import HplAiMatrix
+
+
+@pytest.fixture(autouse=True)
+def _fresh_cache():
+    clear_tile_cache()
+    yield
+    clear_tile_cache()
+
+
+class TestTileCacheMechanics:
+    def test_put_get_roundtrip(self):
+        c = TileCache(max_bytes=1 << 20)
+        key = (8, 1, 2, 3, 0, 4, 0, 8)
+        a = np.arange(32.0).reshape(4, 8)
+        c.put(key, a)
+        got = c.get(key)
+        np.testing.assert_array_equal(got, a)
+        assert not got.flags.writeable  # stored entries are frozen
+
+    def test_miss_returns_none_and_counts(self):
+        c = TileCache()
+        assert c.get((1, 2, 3, 4, 0, 1, 0, 1)) is None
+        assert c.stats()["misses"] == 1
+
+    def test_byte_budget_enforced_lru(self):
+        row = np.zeros((1, 128))  # 1 KiB each
+        c = TileCache(max_bytes=4 * row.nbytes)
+        keys = [(i, 0, 0, 0, 0, 1, 0, 128) for i in range(6)]
+        for k in keys:
+            c.put(k, row)
+        assert c.total_bytes <= c.max_bytes
+        assert len(c) == 4
+        # Oldest two were evicted, newest four retained.
+        assert c.get(keys[0]) is None and c.get(keys[1]) is None
+        assert c.get(keys[5]) is not None
+        assert c.stats()["evictions"] == 2
+
+    def test_get_refreshes_lru_order(self):
+        row = np.zeros((1, 128))
+        c = TileCache(max_bytes=2 * row.nbytes)
+        k1, k2, k3 = [(i, 0, 0, 0, 0, 1, 0, 128) for i in range(3)]
+        c.put(k1, row)
+        c.put(k2, row)
+        c.get(k1)  # refresh: k2 becomes the eviction victim
+        c.put(k3, row)
+        assert c.get(k1) is not None
+        assert c.get(k2) is None
+
+    def test_oversized_entry_skipped(self):
+        c = TileCache(max_bytes=64)
+        c.put((0,) * 8, np.zeros(1024))
+        assert len(c) == 0
+
+    def test_zero_budget_disables_retention(self):
+        c = TileCache(max_bytes=0)
+        c.put((0,) * 8, np.zeros(4))
+        assert len(c) == 0 and c.total_bytes == 0
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TileCache(max_bytes=-1)
+        with pytest.raises(ConfigurationError):
+            TileCache().resize(-5)
+
+    def test_resize_shrink_evicts(self):
+        row = np.zeros((1, 128))
+        c = TileCache(max_bytes=4 * row.nbytes)
+        for i in range(4):
+            c.put((i, 0, 0, 0, 0, 1, 0, 128), row)
+        c.resize(2 * row.nbytes)
+        assert len(c) == 2 and c.total_bytes <= c.max_bytes
+
+
+class TestMatrixCacheIntegration:
+    def test_cached_blocks_bitwise_identical(self):
+        m_cached = HplAiMatrix(64, 7)
+        m_direct = HplAiMatrix(64, 7, use_cache=False)
+        cold = m_cached.block(0, 16, 0, 64)   # populates
+        warm = m_cached.block(0, 16, 0, 64)   # hits
+        direct = m_direct.block(0, 16, 0, 64)
+        np.testing.assert_array_equal(cold, direct)
+        np.testing.assert_array_equal(warm, direct)
+        assert tile_cache().stats()["hits"] >= 1
+
+    def test_shared_across_instances(self):
+        HplAiMatrix(64, 7).block(0, 16, 0, 64)
+        before = tile_cache().stats()["hits"]
+        HplAiMatrix(64, 7).block(0, 16, 0, 64)  # same matrix, new object
+        assert tile_cache().stats()["hits"] == before + 1
+
+    def test_distinct_matrices_do_not_collide(self):
+        a = HplAiMatrix(64, 7).block(0, 8, 0, 64)
+        b = HplAiMatrix(64, 8).block(0, 8, 0, 64)  # different seed
+        assert not np.array_equal(a, b)
+
+    def test_returned_arrays_are_private_copies(self):
+        m = HplAiMatrix(64, 7)
+        first = m.block(0, 8, 0, 64)
+        first[0, 0] = 1e9  # caller scribbles on its copy
+        again = m.block(0, 8, 0, 64)
+        assert again[0, 0] != 1e9
+        assert again.flags.writeable
+
+    def test_non_fp64_request_from_cache(self):
+        m = HplAiMatrix(64, 7)
+        ref = m.block(0, 8, 0, 64).astype(np.float32)
+        m.block(0, 8, 0, 64)  # ensure cached
+        np.testing.assert_array_equal(
+            m.block(0, 8, 0, 64, dtype=np.float32), ref
+        )
+
+    def test_use_cache_false_bypasses(self):
+        m = HplAiMatrix(64, 7, use_cache=False)
+        m.block(0, 8, 0, 64)
+        m.block(0, 8, 0, 64)
+        s = tile_cache().stats()
+        assert s["entries"] == 0 and s["hits"] == 0 and s["misses"] == 0
+
+    def test_bounded_memory_under_sweep(self):
+        """A band sweep far larger than the budget stays within it."""
+        from repro.lcg.cache import configure_tile_cache
+
+        band_bytes = 8 * 64 * 8  # one 8x64 FP64 band
+        configure_tile_cache(3 * band_bytes)
+        try:
+            m = HplAiMatrix(64, 7)
+            for g in range(8):
+                m.block(g * 8, (g + 1) * 8, 0, 64)
+            s = tile_cache().stats()
+            assert s["bytes"] <= s["max_bytes"]
+            assert s["evictions"] >= 5
+            # Evicted bands regenerate identically.
+            np.testing.assert_array_equal(
+                m.block(0, 8, 0, 64),
+                HplAiMatrix(64, 7, use_cache=False).block(0, 8, 0, 64),
+            )
+        finally:
+            from repro.lcg.cache import DEFAULT_MAX_BYTES
+
+            configure_tile_cache(DEFAULT_MAX_BYTES)

@@ -106,6 +106,20 @@ class TestStatesAt:
         with pytest.raises(ConfigurationError):
             states_at(5, np.array([-1]))
 
+    def test_rejects_float_positions(self):
+        # A float array would silently truncate in the uint64 cast.
+        with pytest.raises(ConfigurationError, match="integer dtype"):
+            states_at(5, np.array([0.0, 1.5]))
+
+    def test_rejects_bool_positions(self):
+        with pytest.raises(ConfigurationError, match="integer dtype"):
+            states_at(5, np.array([True, False]))
+
+    def test_accepts_any_integer_dtype(self):
+        for dt in (np.int32, np.uint32, np.int64, np.uint64):
+            out = states_at(5, np.arange(3, dtype=dt))
+            assert int(out[0]) == 5
+
     @given(st.integers(0, 2**63), st.integers(0, 2**64 - 1))
     @settings(max_examples=30, deadline=None)
     def test_agrees_with_affine_power(self, pos, seed):
