@@ -1,99 +1,35 @@
 #!/usr/bin/env python
 """Validate an exported Chrome-trace JSON against the documented schema.
 
+Thin shim over :mod:`repro.analyze.checkers.trace_schema` — the check
+now lives in the ``repro.analyze`` framework, so ``repro lint
+trace.json [--require-layers]`` is the canonical entry point; this
+script is kept for existing CI invocations and standalone use.
+
 Usage::
 
     python scripts/check_trace_schema.py trace.json [--require-layers]
 
-Checks (see docs/OBSERVABILITY.md):
-
-- the file is *strict* JSON (no bare NaN/Infinity tokens);
-- top level is an object with a ``traceEvents`` list and an
-  ``otherData`` object carrying the schema version;
-- every event has ``name``/``cat``/``ph``/``pid``/``tid``, phases are
-  ``X`` (complete span) or ``M`` (metadata), and ``X`` events carry
-  non-negative ``ts``/``dur`` microsecond numbers;
-- with ``--require-layers``, spans from the ``engine``, ``executor``
-  and ``comm`` layers must all be present (what any instrumented
-  benchmark run produces).
-
-Exits 0 on success, 1 with a line per problem otherwise.  Run in CI on
-a tiny ``simulate_run`` export so exporter regressions fail fast.
+Exits 0 on success, 1 with a line per problem otherwise.
 """
 
 from __future__ import annotations
 
 import argparse
-import json
 import sys
 from pathlib import Path
 
-#: layers an instrumented benchmark run must emit spans from
-REQUIRED_LAYERS = ("engine", "executor", "comm")
+# Standalone fallback: make the in-tree package importable when the
+# caller has not set PYTHONPATH=src.
+_SRC = Path(__file__).resolve().parents[1] / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
 
-VALID_PHASES = {"X", "M", "C"}
-
-
-def _fail_on_constant(token):
-    raise ValueError(f"non-strict JSON token {token!r}")
-
-
-def check_trace(doc: dict, require_layers: bool = False) -> list:
-    """Return a list of problem strings (empty = valid)."""
-    problems = []
-    if not isinstance(doc, dict):
-        return [f"top level must be an object, got {type(doc).__name__}"]
-    events = doc.get("traceEvents")
-    if not isinstance(events, list):
-        return ["top-level 'traceEvents' list is missing"]
-    other = doc.get("otherData")
-    if not isinstance(other, dict):
-        problems.append("top-level 'otherData' object is missing")
-    elif not isinstance(other.get("schema"), int):
-        problems.append("otherData.schema version (int) is missing")
-
-    cats = set()
-    span_count = 0
-    for i, ev in enumerate(events):
-        where = f"traceEvents[{i}]"
-        if not isinstance(ev, dict):
-            problems.append(f"{where}: event must be an object")
-            continue
-        for key, types in (("name", str), ("ph", str),
-                           ("pid", int), ("tid", int)):
-            if not isinstance(ev.get(key), types):
-                problems.append(f"{where}: missing/invalid {key!r}")
-        ph = ev.get("ph")
-        if ph not in VALID_PHASES:
-            problems.append(
-                f"{where}: phase {ph!r} not in {sorted(VALID_PHASES)}"
-            )
-        if ph == "X":
-            span_count += 1
-            if not isinstance(ev.get("cat"), str):
-                problems.append(f"{where}: span missing 'cat'")
-            else:
-                cats.add(ev["cat"])
-            for key in ("ts", "dur"):
-                val = ev.get(key)
-                if not isinstance(val, (int, float)) or val < 0:
-                    problems.append(
-                        f"{where}: {key!r} must be a non-negative number, "
-                        f"got {val!r}"
-                    )
-            if "args" in ev and not isinstance(ev["args"], dict):
-                problems.append(f"{where}: 'args' must be an object")
-
-    if span_count == 0:
-        problems.append("trace contains no 'X' (complete span) events")
-    if require_layers:
-        missing = [c for c in REQUIRED_LAYERS if c not in cats]
-        if missing:
-            problems.append(
-                f"missing spans from required layer(s): {', '.join(missing)} "
-                f"(found categories: {sorted(cats) or 'none'})"
-            )
-    return problems
+from repro.analyze.checkers.trace_schema import (  # noqa: E402
+    REQUIRED_LAYERS,
+    check_trace,
+    load_strict_json,
+)
 
 
 def main(argv=None) -> int:
@@ -105,10 +41,9 @@ def main(argv=None) -> int:
     )
     args = parser.parse_args(argv)
 
-    text = Path(args.path).read_text()
     try:
-        doc = json.loads(text, parse_constant=_fail_on_constant)
-    except ValueError as exc:
+        doc = load_strict_json(args.path)
+    except (ValueError, OSError) as exc:
         print(f"{args.path}: not strict JSON: {exc}", file=sys.stderr)
         return 1
 

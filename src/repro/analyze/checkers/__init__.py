@@ -1,0 +1,27 @@
+"""Checker registry: the suite ``repro lint`` runs by default."""
+
+from repro.analyze.checkers.collectives import CollectiveMatchingChecker
+from repro.analyze.checkers.hygiene import HygieneChecker
+from repro.analyze.checkers.precision_flow import PrecisionFlowChecker
+from repro.analyze.checkers.tag_space import TagSpaceChecker
+from repro.analyze.checkers.trace_schema import TraceSchemaChecker
+
+__all__ = [
+    "CollectiveMatchingChecker",
+    "HygieneChecker",
+    "PrecisionFlowChecker",
+    "TagSpaceChecker",
+    "TraceSchemaChecker",
+    "all_checkers",
+]
+
+
+def all_checkers(require_layers: bool = False):
+    """Fresh instances of the full default checker suite."""
+    return [
+        PrecisionFlowChecker(),
+        TagSpaceChecker(),
+        CollectiveMatchingChecker(),
+        HygieneChecker(),
+        TraceSchemaChecker(require_layers=require_layers),
+    ]

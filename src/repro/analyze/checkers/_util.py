@@ -1,0 +1,83 @@
+"""Shared AST helpers for the checkers."""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Optional
+
+
+def const_fold_int(node: ast.AST, env: Dict[str, int]) -> Optional[int]:
+    """Fold an integer expression of constants and known names.
+
+    Supports the arithmetic the tag formulas use (+ - * // % << >> and
+    unary +/-).  Returns None when the expression is not a compile-time
+    integer under ``env``.
+    """
+    if isinstance(node, ast.Constant):
+        return node.value if isinstance(node.value, int) else None
+    if isinstance(node, ast.Name):
+        return env.get(node.id)
+    if isinstance(node, ast.UnaryOp):
+        val = const_fold_int(node.operand, env)
+        if val is None:
+            return None
+        if isinstance(node.op, ast.USub):
+            return -val
+        if isinstance(node.op, ast.UAdd):
+            return val
+        return None
+    if isinstance(node, ast.BinOp):
+        lhs = const_fold_int(node.left, env)
+        rhs = const_fold_int(node.right, env)
+        if lhs is None or rhs is None:
+            return None
+        op = node.op
+        if isinstance(op, ast.Add):
+            return lhs + rhs
+        if isinstance(op, ast.Sub):
+            return lhs - rhs
+        if isinstance(op, ast.Mult):
+            return lhs * rhs
+        if isinstance(op, ast.FloorDiv):
+            return lhs // rhs if rhs else None
+        if isinstance(op, ast.Mod):
+            return lhs % rhs if rhs else None
+        if isinstance(op, ast.LShift):
+            return lhs << rhs
+        if isinstance(op, ast.RShift):
+            return lhs >> rhs
+        if isinstance(op, ast.Pow):
+            return lhs ** rhs if rhs >= 0 else None
+    return None
+
+
+def module_int_constants(tree: ast.Module) -> Dict[str, int]:
+    """Module-level ``NAME = <int expr>`` bindings, resolved in order."""
+    env: Dict[str, int] = {}
+    for stmt in tree.body:
+        if (
+            isinstance(stmt, ast.Assign)
+            and len(stmt.targets) == 1
+            and isinstance(stmt.targets[0], ast.Name)
+        ):
+            val = const_fold_int(stmt.value, env)
+            if val is not None:
+                env[stmt.targets[0].id] = val
+    return env
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain, else None."""
+    parts = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def normalize_expr(node: ast.AST) -> str:
+    """Structural key for comparing expressions across call sites."""
+    return ast.dump(node, annotate_fields=False)

@@ -1,0 +1,208 @@
+"""``collective-matching``: symmetric wire protocols on the virtual MPI.
+
+The simulated-MPI deadlock class: a rank program that starts a routed
+broadcast no other rank finishes (or sends on a tag nobody receives)
+hangs the whole SPMD schedule.  Statically, the rank program modules
+are written so that both sides of every exchange spell the tag with the
+*same expression* — which makes the symmetry machine-checkable:
+
+- **bcast pairing** (error): every tag expression used in a
+  ``comm.bcast_start(...)`` must appear in a ``comm.bcast_finish(...)``
+  in the same module, and vice versa — a one-sided routed broadcast is
+  a guaranteed deadlock for some grid shape.
+- **send/recv pairing** (warning): every tag expression used in
+  ``comm.send/isend`` must appear in a ``comm.recv/irecv`` in the same
+  module, and vice versa.  (Warning, not error: cross-module protocols
+  are possible, but none exist in this codebase.)
+- **conditional collective** (warning): ``comm.allreduce`` /
+  ``comm.barrier`` / a raw ``Barrier(...)`` event inside an ``if``
+  whose condition depends on rank-local state (anything other than the
+  shared ``cfg``) — whole-communicator collectives must be executed
+  unconditionally by every member or the engine deadlocks.
+
+Bare tag *names* (e.g. a ``tag`` local) are skipped: both sides share
+the variable, so the pairing is trivially symmetric at the site where
+the name is bound.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.analyze.checkers._util import normalize_expr
+from repro.analyze.findings import Finding, Severity
+from repro.analyze.framework import SourceChecker, SourceModule
+
+_SEND_METHODS = {"send": 2, "isend": 2}     # method -> tag positional index
+_RECV_METHODS = {"recv": 1, "irecv": 1}
+_START_METHODS = {"bcast_start": 3}
+_FINISH_METHODS = {"bcast_finish": 1}
+#: collectives every member of the communicator must call
+_SYMMETRIC_METHODS = {"allreduce", "barrier"}
+#: Name roots in an if-condition that are uniform across all ranks
+_UNIFORM_ROOTS = {"cfg", "config"}
+
+
+def _comm_call(node: ast.AST) -> Optional[Tuple[str, ast.Call]]:
+    """(method, call) when ``node`` is a ``comm.<method>(...)`` call."""
+    if (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and isinstance(node.func.value, ast.Name)
+        and node.func.value.id.endswith("comm")
+    ):
+        return node.func.attr, node
+    return None
+
+
+def _tag_arg(call: ast.Call, index: int) -> Optional[ast.AST]:
+    """The tag argument at positional ``index`` (or ``tag=`` keyword)."""
+    for kw in call.keywords:
+        if kw.arg == "tag":
+            return kw.value
+    if len(call.args) > index:
+        return call.args[index]
+    return None
+
+
+def _condition_roots(test: ast.AST) -> set:
+    """Root identifiers a condition's value depends on."""
+    roots = set()
+    for sub in ast.walk(test):
+        if isinstance(sub, ast.Name):
+            roots.add(sub.id)
+        elif isinstance(sub, ast.Attribute):
+            base = sub.value
+            while isinstance(base, ast.Attribute):
+                base = base.value
+            if isinstance(base, ast.Name):
+                roots.add(base.id)
+    return roots
+
+
+class CollectiveMatchingChecker(SourceChecker):
+    id = "collective-matching"
+    description = (
+        "send/recv and bcast_start/bcast_finish tags must pair up; "
+        "whole-communicator collectives must run unconditionally"
+    )
+
+    def check(self, module: SourceModule) -> Iterable[Finding]:
+        sends: Dict[str, List[ast.Call]] = {}
+        recvs: Dict[str, List[ast.Call]] = {}
+        starts: Dict[str, List[ast.Call]] = {}
+        finishes: Dict[str, List[ast.Call]] = {}
+
+        def record(bucket, call, tag_index):
+            tag = _tag_arg(call, tag_index)
+            if tag is None or isinstance(tag, ast.Name):
+                return  # shared-variable tags are trivially symmetric
+            bucket.setdefault(normalize_expr(tag), []).append(call)
+
+        for node in ast.walk(module.tree):
+            hit = _comm_call(node)
+            if hit is None:
+                yield from self._check_raw_barrier(module, node)
+                continue
+            method, call = hit
+            if method in _SEND_METHODS:
+                record(sends, call, _SEND_METHODS[method])
+            elif method in _RECV_METHODS:
+                record(recvs, call, _RECV_METHODS[method])
+            elif method in _START_METHODS:
+                record(starts, call, _START_METHODS[method])
+            elif method in _FINISH_METHODS:
+                record(finishes, call, _FINISH_METHODS[method])
+            if method in _SYMMETRIC_METHODS:
+                yield from self._check_conditional(module, call, method)
+
+        yield from self._pairing(
+            module, starts, finishes, "bcast_start", "bcast_finish",
+            Severity.ERROR,
+        )
+        yield from self._pairing(
+            module, finishes, starts, "bcast_finish", "bcast_start",
+            Severity.ERROR,
+        )
+        yield from self._pairing(
+            module, sends, recvs, "send", "recv", Severity.WARNING
+        )
+        yield from self._pairing(
+            module, recvs, sends, "recv", "send", Severity.WARNING
+        )
+
+    # -- rules ------------------------------------------------------------
+
+    def _pairing(self, module, have, want, have_kind, want_kind, severity):
+        for key, calls in have.items():
+            if key in want:
+                continue
+            call = calls[0]
+            tag_src = ast.unparse(_tag_arg(
+                call, {**_SEND_METHODS, **_RECV_METHODS, **_START_METHODS,
+                       **_FINISH_METHODS}[call.func.attr]
+            ))
+            yield Finding(
+                checker=self.id, path=module.path, line=call.lineno,
+                col=call.col_offset, severity=severity,
+                message=(
+                    f"comm.{have_kind} tag `{tag_src}` has no matching "
+                    f"comm.{want_kind} with the same tag expression in "
+                    "this module: the wire protocol is one-sided "
+                    "(deadlock for some grid shape)"
+                ),
+            )
+
+    def _check_conditional(self, module, call, method):
+        cur = module.parent_of(call)
+        while cur is not None and not isinstance(
+            cur, (ast.FunctionDef, ast.AsyncFunctionDef)
+        ):
+            if isinstance(cur, ast.If):
+                roots = _condition_roots(cur.test)
+                if roots - _UNIFORM_ROOTS:
+                    yield Finding(
+                        checker=self.id, path=module.path,
+                        line=call.lineno, col=call.col_offset,
+                        severity=Severity.WARNING,
+                        message=(
+                            f"comm.{method} under a condition on "
+                            f"`{', '.join(sorted(roots - _UNIFORM_ROOTS))}`"
+                            ": whole-communicator collectives must be "
+                            "executed by every member or the engine "
+                            "deadlocks"
+                        ),
+                    )
+                    return
+            cur = module.parent_of(cur)
+
+    def _check_raw_barrier(self, module, node):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id == "Barrier"
+        ):
+            yield from self._check_conditional_raw(module, node)
+
+    def _check_conditional_raw(self, module, call):
+        cur = module.parent_of(call)
+        while cur is not None and not isinstance(
+            cur, (ast.FunctionDef, ast.AsyncFunctionDef)
+        ):
+            if isinstance(cur, ast.If):
+                roots = _condition_roots(cur.test)
+                if roots - _UNIFORM_ROOTS:
+                    yield Finding(
+                        checker=self.id, path=module.path,
+                        line=call.lineno, col=call.col_offset,
+                        severity=Severity.WARNING,
+                        message=(
+                            "Barrier event under a condition on "
+                            f"`{', '.join(sorted(roots - _UNIFORM_ROOTS))}`"
+                            ": barriers must be executed by every member "
+                            "or the engine deadlocks"
+                        ),
+                    )
+                    return
+            cur = module.parent_of(cur)

@@ -1,0 +1,123 @@
+"""``hygiene``: small patterns with outsized blast radius here.
+
+- **bare except** (error) and **blanket except** (warning): swallowing
+  ``Exception`` hides :class:`repro.errors.ReproError` subclasses the
+  engine relies on for deadlock/convergence reporting.
+- **mutable default argument** (error): the classic shared-state trap.
+- **comm generator called without ``yield from``** (error): every
+  :class:`repro.comm.vmpi.RankComm` method is a generator — calling one
+  without ``yield from`` builds a generator object and silently does
+  *nothing*: no message is sent, and the matching peer blocks forever
+  inside the engine.  This is the quietest possible way to deadlock a
+  rank program.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analyze.findings import Finding, Severity
+from repro.analyze.framework import SourceChecker, SourceModule
+
+#: RankComm generator methods that must be driven with ``yield from``
+_COMM_GENERATOR_METHODS = {
+    "send", "isend", "recv", "irecv", "wait", "wait_all",
+    "bcast", "bcast_start", "bcast_finish",
+    "allreduce", "reduce", "barrier", "now",
+}
+
+_MUTABLE_CTORS = {"list", "dict", "set", "bytearray", "defaultdict",
+                  "OrderedDict", "Counter", "deque"}
+
+
+def _is_mutable_default(node: ast.AST) -> bool:
+    if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                         ast.DictComp, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        func = node.func
+        name = func.id if isinstance(func, ast.Name) else (
+            func.attr if isinstance(func, ast.Attribute) else None
+        )
+        return name in _MUTABLE_CTORS
+    return False
+
+
+def _is_comm_generator_call(node: ast.AST) -> bool:
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr in _COMM_GENERATOR_METHODS
+        and isinstance(node.func.value, ast.Name)
+        and node.func.value.id.endswith("comm")
+    )
+
+
+class HygieneChecker(SourceChecker):
+    id = "hygiene"
+    description = (
+        "bare/blanket except, mutable default arguments, and comm "
+        "generator calls missing yield from"
+    )
+
+    def check(self, module: SourceModule) -> Iterable[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ExceptHandler):
+                yield from self._check_handler(module, node)
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from self._check_defaults(module, node)
+            elif _is_comm_generator_call(node):
+                parent = module.parent_of(node)
+                if not isinstance(parent, ast.YieldFrom):
+                    yield Finding(
+                        checker=self.id, path=module.path,
+                        line=node.lineno, col=node.col_offset,
+                        severity=Severity.ERROR,
+                        message=(
+                            f"comm.{node.func.attr}(...) is a generator "
+                            "and was called without `yield from`: the "
+                            "operation never executes and the peer rank "
+                            "deadlocks"
+                        ),
+                    )
+
+    def _check_handler(self, module, node):
+        if node.type is None:
+            yield Finding(
+                checker=self.id, path=module.path, line=node.lineno,
+                col=node.col_offset, severity=Severity.ERROR,
+                message=(
+                    "bare `except:` catches SystemExit/KeyboardInterrupt "
+                    "and hides engine faults; catch a ReproError subclass"
+                ),
+            )
+        elif (
+            isinstance(node.type, ast.Name)
+            and node.type.id in ("Exception", "BaseException")
+        ):
+            yield Finding(
+                checker=self.id, path=module.path, line=node.lineno,
+                col=node.col_offset, severity=Severity.WARNING,
+                message=(
+                    f"blanket `except {node.type.id}` hides ReproError "
+                    "subclasses the engine relies on; narrow the handler"
+                ),
+            )
+
+    def _check_defaults(self, module, node):
+        args = node.args
+        for default in list(args.defaults) + [
+            d for d in args.kw_defaults if d is not None
+        ]:
+            if _is_mutable_default(default):
+                yield Finding(
+                    checker=self.id, path=module.path,
+                    line=default.lineno, col=default.col_offset,
+                    severity=Severity.ERROR,
+                    message=(
+                        f"mutable default argument in {node.name!r}: the "
+                        "default is shared across calls; use None and "
+                        "construct inside the function"
+                    ),
+                )

@@ -1,0 +1,157 @@
+"""``precision-flow``: disciplined down-cast points.
+
+The paper's mixed-precision correctness story (Section III-C) hinges on
+every FP16/BF16 down-cast being a *deliberate* rounding site: the cast
+either goes through the :mod:`repro.precision` helpers or sits next to
+an explicit overflow guard (``gemm_mixed``'s ``PrecisionError`` path),
+because a finite FP32/FP64 value above 65504 silently becomes ``inf``
+in FP16 and poisons the whole accumulation — destroying the iterative
+refinement convergence the benchmark is scored on.
+
+Two rules:
+
+- **unguarded down-cast** (error): ``x.astype(np.float16)``-style casts
+  (including ``dtype=np.float16`` array constructions and bare
+  ``np.float16(...)`` calls) whose enclosing function shows no overflow
+  guard.  A guard is any reference to ``PrecisionError``, an
+  ``isfinite`` check, or an ``FP16_MAX``-style range constant in the
+  same function.
+- **implicit mixed-dtype arithmetic** (warning): a binary arithmetic
+  expression where exactly one operand is a 16-bit down-cast — NumPy's
+  silent type promotion makes the result dtype an accident of the other
+  operand.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Optional
+
+from repro.analyze.checkers._util import dotted_name
+from repro.analyze.findings import Finding, Severity
+from repro.analyze.framework import SourceChecker, SourceModule
+
+#: attribute/name spellings that denote a 16-bit target dtype
+_HALF_NAMES = {
+    "np.float16", "numpy.float16", "np.half", "numpy.half",
+    "FP16.dtype", "BF16.dtype",
+}
+_HALF_STRINGS = {"float16", "half", "e", "<f2", ">f2", "f2", "bfloat16"}
+
+#: identifiers whose presence in a function marks it as overflow-guarded
+_GUARD_NAMES = {"PrecisionError", "isfinite", "FP16_MAX"}
+
+#: array constructors whose ``dtype=`` keyword creates a cast
+_ARRAY_CTORS = {
+    "array", "asarray", "ascontiguousarray", "asfortranarray",
+    "empty", "zeros", "ones", "full", "frombuffer", "fromiter",
+}
+
+_ARITH_OPS = (ast.Add, ast.Sub, ast.Mult, ast.MatMult, ast.Div)
+
+
+def _is_half_dtype(node: ast.AST) -> bool:
+    """Whether an expression denotes a 16-bit float dtype."""
+    name = dotted_name(node)
+    if name in _HALF_NAMES:
+        return True
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value in _HALF_STRINGS
+    # np.dtype("float16")
+    if (
+        isinstance(node, ast.Call)
+        and dotted_name(node.func) in ("np.dtype", "numpy.dtype")
+        and node.args
+    ):
+        return _is_half_dtype(node.args[0])
+    return False
+
+
+def _downcast_site(node: ast.AST) -> Optional[str]:
+    """Describe ``node`` if it is a down-cast expression, else None."""
+    if not isinstance(node, ast.Call):
+        return None
+    func = node.func
+    # x.astype(np.float16)
+    if isinstance(func, ast.Attribute) and func.attr == "astype":
+        targets = list(node.args[:1]) + [
+            kw.value for kw in node.keywords if kw.arg == "dtype"
+        ]
+        if any(_is_half_dtype(t) for t in targets):
+            return "astype down-cast to a 16-bit float"
+        return None
+    name = dotted_name(func)
+    # np.float16(x)
+    if name in _HALF_NAMES and node.args:
+        return f"direct {name}(...) down-cast"
+    # np.ascontiguousarray(x, dtype=np.float16) and friends
+    if name and name.split(".")[0] in ("np", "numpy") \
+            and name.split(".")[-1] in _ARRAY_CTORS:
+        for kw in node.keywords:
+            if kw.arg == "dtype" and _is_half_dtype(kw.value):
+                return f"{name}(dtype=<16-bit float>) construction"
+    return None
+
+
+def _has_guard(scope: ast.AST) -> bool:
+    """Whether ``scope`` references any overflow-guard identifier."""
+    for sub in ast.walk(scope):
+        if isinstance(sub, ast.Name) and sub.id in _GUARD_NAMES:
+            return True
+        if isinstance(sub, ast.Attribute) and sub.attr in _GUARD_NAMES:
+            return True
+    return False
+
+
+class PrecisionFlowChecker(SourceChecker):
+    id = "precision-flow"
+    description = (
+        "FP16/BF16 down-casts must carry an overflow guard or go through "
+        "the repro.precision helpers"
+    )
+
+    def check(self, module: SourceModule) -> Iterable[Finding]:
+        guarded_scopes: dict = {}
+        for node in ast.walk(module.tree):
+            what = _downcast_site(node)
+            if what is not None:
+                scope = module.enclosing_function(node) or module.tree
+                if scope not in guarded_scopes:
+                    guarded_scopes[scope] = _has_guard(scope)
+                if not guarded_scopes[scope]:
+                    where = (
+                        f"function {scope.name!r}"
+                        if isinstance(scope, (ast.FunctionDef,
+                                              ast.AsyncFunctionDef))
+                        else "module scope"
+                    )
+                    yield Finding(
+                        checker=self.id,
+                        path=module.path,
+                        line=node.lineno,
+                        col=node.col_offset,
+                        severity=Severity.ERROR,
+                        message=(
+                            f"unguarded {what} in {where}: finite values "
+                            "above the FP16 range silently become inf; "
+                            "guard with an isfinite/PrecisionError check or "
+                            "use the repro.precision helpers"
+                        ),
+                    )
+            if isinstance(node, ast.BinOp) and isinstance(node.op, _ARITH_OPS):
+                left = _downcast_site(node.left) is not None
+                right = _downcast_site(node.right) is not None
+                if left != right:
+                    yield Finding(
+                        checker=self.id,
+                        path=module.path,
+                        line=node.lineno,
+                        col=node.col_offset,
+                        severity=Severity.WARNING,
+                        message=(
+                            "implicit mixed-dtype arithmetic: one operand "
+                            "is a 16-bit down-cast, so the result dtype "
+                            "depends on silent promotion; cast both "
+                            "operands explicitly"
+                        ),
+                    )

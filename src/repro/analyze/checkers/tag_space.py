@@ -1,0 +1,257 @@
+"""``tag-space``: prove per-(step, phase) wire-tag windows disjoint.
+
+The distributed LU modules derive every wire tag from a module-local
+``_tag(k, phase[, j])`` formula.  Message matching is correct iff the
+windows those formulas span never alias: two different logical channels
+must never produce the same tag between the same rank pair.  PR 2 fixed
+exactly such a bug — the per-column LASWP exchange computed
+``_tag(k, 7, j) + span_idx``, and ``_tag(k, 7, j) + span == _tag(k, 7,
+j+1)`` aliased column ``j+1``'s first span between the same peers.
+
+The checker recovers the formula by *executing* the module's ``_tag``
+function (with module-level integer constants resolved statically),
+verifies it is linear in each argument, derives the window strides
+``(dk, dphase, dj)``, and then proves every call site stays inside its
+window:
+
+- the phase argument must be a compile-time constant, in
+  ``[0, dk/dphase)`` — otherwise step ``k``'s top window aliases step
+  ``k+1``'s bottom one;
+- a constant column index must be in ``[0, dphase/dj)``; a bare loop
+  variable is accepted (the loop bound is the block size, which the
+  formula's window width must be sized for);
+- the column argument must not contain arithmetic, and **no arithmetic
+  may be applied to the ``_tag(...)`` result** — any external offset
+  can walk out of the window (the pre-PR-2 aliasing class).
+"""
+
+from __future__ import annotations
+
+import ast
+import copy
+from typing import Iterable, Optional
+
+from repro.analyze.checkers._util import const_fold_int, module_int_constants
+from repro.analyze.findings import Finding, Severity
+from repro.analyze.framework import SourceChecker, SourceModule
+
+#: tag-formula function names the checker recognises
+_TAG_FUNC_NAMES = {"_tag"}
+
+_ARITH_OPS = (ast.Add, ast.Sub, ast.Mult, ast.FloorDiv, ast.Mod,
+              ast.LShift, ast.RShift)
+
+
+def _compile_tag_func(fndef: ast.FunctionDef, consts: dict):
+    """Execute the tag formula's def in a minimal namespace."""
+    # Strip annotations/decorators: they would be evaluated at def time
+    # against the sandbox namespace (no builtins, so even ``int`` is
+    # unresolvable when the source relied on lazy PEP-563 annotations).
+    fndef = copy.deepcopy(fndef)
+    fndef.decorator_list = []
+    fndef.returns = None
+    args = fndef.args
+    for arg in (args.posonlyargs + args.args + args.kwonlyargs
+                + [a for a in (args.vararg, args.kwarg) if a is not None]):
+        arg.annotation = None
+    mod = ast.Module(body=[fndef], type_ignores=[])
+    ast.fix_missing_locations(mod)
+    ns = dict(consts)
+    ns["__builtins__"] = {}
+    code = compile(mod, filename="<tag-formula>", mode="exec")
+    exec(code, ns)  # noqa: S102 - our own parsed source, no builtins
+    return ns[fndef.name]
+
+
+def _positional_arity(fndef: ast.FunctionDef) -> tuple:
+    """(required positional count, total positional count)."""
+    args = fndef.args
+    total = len(args.args)
+    required = total - len(args.defaults)
+    return required, total
+
+
+class _Formula:
+    """Numerically-derived linear structure of one ``_tag`` function."""
+
+    def __init__(self, fn, has_j: bool):
+        self.fn = fn
+        self.has_j = has_j
+        zero = (0, 0, 0) if has_j else (0, 0)
+        self.base = fn(*zero)
+        self.dk = fn(*self._unit(0)) - self.base
+        self.dphase = fn(*self._unit(1)) - self.base
+        self.dj = (fn(*self._unit(2)) - self.base) if has_j else 0
+
+    def _unit(self, axis: int) -> tuple:
+        vec = [0, 0, 0] if self.has_j else [0, 0]
+        vec[axis] = 1
+        return tuple(vec)
+
+    def is_linear(self) -> bool:
+        """Spot-check linearity on a sample grid."""
+        samples = [(2, 3, 5), (7, 1, 0), (13, 0, 11), (1, 6, 1)]
+        for k, p, j in samples:
+            args = (k, p, j) if self.has_j else (k, p)
+            expect = self.base + k * self.dk + p * self.dphase + \
+                (j * self.dj if self.has_j else 0)
+            try:
+                if self.fn(*args) != expect:
+                    return False
+            # A user formula can raise anything; non-linear verdict either
+            # way.
+            except Exception:  # lint: ignore[hygiene]
+                return False
+        return True
+
+    @property
+    def phase_capacity(self) -> Optional[int]:
+        if self.dphase > 0 and self.dk > self.dphase:
+            return self.dk // self.dphase
+        return None
+
+    @property
+    def column_capacity(self) -> Optional[int]:
+        if self.has_j and self.dj > 0 and self.dphase > self.dj:
+            return self.dphase // self.dj
+        return None
+
+
+class TagSpaceChecker(SourceChecker):
+    id = "tag-space"
+    description = (
+        "wire-tag windows derived from _tag(k, phase, j) must be provably "
+        "disjoint (no external arithmetic, constant in-range phases)"
+    )
+
+    def check(self, module: SourceModule) -> Iterable[Finding]:
+        fndef = next(
+            (
+                n for n in module.tree.body
+                if isinstance(n, ast.FunctionDef)
+                and n.name in _TAG_FUNC_NAMES
+            ),
+            None,
+        )
+        if fndef is None:
+            return
+        consts = module_int_constants(module.tree)
+        required, total = _positional_arity(fndef)
+        has_j = total >= 3
+        try:
+            formula = _Formula(_compile_tag_func(fndef, consts), has_j)
+            linear = formula.is_linear()
+        # Executing an arbitrary tag formula can raise anything; report
+        # rather than crash the lint run.
+        except Exception as exc:  # lint: ignore[hygiene]
+            yield Finding(
+                checker=self.id, path=module.path, line=fndef.lineno,
+                severity=Severity.WARNING,
+                message=(
+                    f"could not evaluate the _tag formula ({exc}); tag "
+                    "windows cannot be proven disjoint"
+                ),
+            )
+            return
+        if not linear or formula.dk <= 0 or formula.dphase <= 0 or (
+            has_j and formula.dj <= 0
+        ):
+            yield Finding(
+                checker=self.id, path=module.path, line=fndef.lineno,
+                severity=Severity.WARNING,
+                message=(
+                    "_tag formula is not linear with positive strides in "
+                    "(k, phase, j); tag windows cannot be proven disjoint"
+                ),
+            )
+            return
+
+        phase_cap = formula.phase_capacity
+        col_cap = formula.column_capacity
+        for finding in self._check_sites(module, consts, has_j,
+                                         phase_cap, col_cap):
+            yield finding
+
+    # -- per-call-site rules ---------------------------------------------
+
+    def _check_sites(self, module, consts, has_j, phase_cap, col_cap):
+        for node in ast.walk(module.tree):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id in _TAG_FUNC_NAMES
+            ):
+                continue
+            line, col = node.lineno, node.col_offset
+
+            # Rule 1: no arithmetic on the _tag(...) result.
+            parent = module.parent_of(node)
+            if isinstance(parent, ast.BinOp) and isinstance(
+                parent.op, _ARITH_OPS
+            ):
+                yield Finding(
+                    checker=self.id, path=module.path, line=line, col=col,
+                    severity=Severity.ERROR,
+                    message=(
+                        "arithmetic applied to a _tag(...) result: external "
+                        "offsets can walk into the adjacent tag window and "
+                        "alias another channel (the pre-batched-LASWP bug "
+                        "class); encode the offset inside the formula's "
+                        "column argument instead"
+                    ),
+                )
+
+            # Rule 2: phase must be a compile-time constant in range.
+            if len(node.args) >= 2:
+                phase_val = const_fold_int(node.args[1], consts)
+                if phase_val is None:
+                    yield Finding(
+                        checker=self.id, path=module.path, line=line,
+                        col=col, severity=Severity.ERROR,
+                        message=(
+                            "_tag phase argument is not a compile-time "
+                            "constant; the tag window cannot be proven "
+                            "disjoint from other phases"
+                        ),
+                    )
+                elif phase_cap is not None and not (
+                    0 <= phase_val < phase_cap
+                ):
+                    yield Finding(
+                        checker=self.id, path=module.path, line=line,
+                        col=col, severity=Severity.ERROR,
+                        message=(
+                            f"_tag phase {phase_val} is outside the "
+                            f"per-step window (capacity {phase_cap}): "
+                            "step k's tags alias step "
+                            f"k{'+' if phase_val >= 0 else '-'}1's"
+                        ),
+                    )
+
+            # Rule 3: the column argument must be simple and in range.
+            j_args = list(node.args[2:3]) + [
+                kw.value for kw in node.keywords if kw.arg == "j"
+            ]
+            for j_node in j_args:
+                j_val = const_fold_int(j_node, consts)
+                if j_val is not None:
+                    if col_cap is not None and not 0 <= j_val < col_cap:
+                        yield Finding(
+                            checker=self.id, path=module.path, line=line,
+                            col=col, severity=Severity.ERROR,
+                            message=(
+                                f"_tag column index {j_val} is outside the "
+                                f"per-phase window (capacity {col_cap}): "
+                                "it aliases the next phase's window"
+                            ),
+                        )
+                elif not isinstance(j_node, ast.Name):
+                    yield Finding(
+                        checker=self.id, path=module.path, line=line,
+                        col=col, severity=Severity.ERROR,
+                        message=(
+                            "_tag column argument contains arithmetic; "
+                            "per-column windows are not provably disjoint "
+                            "(pass a plain loop index instead)"
+                        ),
+                    )

@@ -1,0 +1,131 @@
+"""``trace-schema``: validate exported Chrome-trace JSON artifacts.
+
+The library-level home of what ``scripts/check_trace_schema.py`` used
+to implement standalone (the script is now a thin shim over this
+module).  :func:`check_trace` validates a parsed trace document;
+:class:`TraceSchemaChecker` adapts it to the :mod:`repro.analyze`
+framework so ``repro lint trace.json`` is the single entry point.
+
+Checks (see docs/OBSERVABILITY.md):
+
+- the file is *strict* JSON (no bare NaN/Infinity tokens);
+- top level is an object with a ``traceEvents`` list and an
+  ``otherData`` object carrying the schema version;
+- every event has ``name``/``ph``/``pid``/``tid``, phases are ``X``
+  (complete span), ``M`` (metadata) or ``C`` (counter), and ``X``
+  events carry a category plus non-negative ``ts``/``dur``
+  microsecond numbers;
+- with ``require_layers``, spans from the ``engine``, ``executor`` and
+  ``comm`` layers must all be present (what any instrumented benchmark
+  run produces).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, List
+
+from repro.analyze.findings import Finding, Severity
+from repro.analyze.framework import ArtifactChecker
+
+#: layers an instrumented benchmark run must emit spans from
+REQUIRED_LAYERS = ("engine", "executor", "comm")
+
+VALID_PHASES = {"X", "M", "C"}
+
+
+def _fail_on_constant(token):
+    raise ValueError(f"non-strict JSON token {token!r}")
+
+
+def check_trace(doc: dict, require_layers: bool = False) -> List[str]:
+    """Return a list of problem strings (empty = valid)."""
+    problems = []
+    if not isinstance(doc, dict):
+        return [f"top level must be an object, got {type(doc).__name__}"]
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return ["top-level 'traceEvents' list is missing"]
+    other = doc.get("otherData")
+    if not isinstance(other, dict):
+        problems.append("top-level 'otherData' object is missing")
+    elif not isinstance(other.get("schema"), int):
+        problems.append("otherData.schema version (int) is missing")
+
+    cats = set()
+    span_count = 0
+    for i, ev in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(ev, dict):
+            problems.append(f"{where}: event must be an object")
+            continue
+        for key, types in (("name", str), ("ph", str),
+                           ("pid", int), ("tid", int)):
+            if not isinstance(ev.get(key), types):
+                problems.append(f"{where}: missing/invalid {key!r}")
+        ph = ev.get("ph")
+        if ph not in VALID_PHASES:
+            problems.append(
+                f"{where}: phase {ph!r} not in {sorted(VALID_PHASES)}"
+            )
+        if ph == "X":
+            span_count += 1
+            if not isinstance(ev.get("cat"), str):
+                problems.append(f"{where}: span missing 'cat'")
+            else:
+                cats.add(ev["cat"])
+            for key in ("ts", "dur"):
+                val = ev.get(key)
+                if not isinstance(val, (int, float)) or val < 0:
+                    problems.append(
+                        f"{where}: {key!r} must be a non-negative number, "
+                        f"got {val!r}"
+                    )
+            if "args" in ev and not isinstance(ev["args"], dict):
+                problems.append(f"{where}: 'args' must be an object")
+
+    if span_count == 0:
+        problems.append("trace contains no 'X' (complete span) events")
+    if require_layers:
+        missing = [c for c in REQUIRED_LAYERS if c not in cats]
+        if missing:
+            problems.append(
+                f"missing spans from required layer(s): {', '.join(missing)} "
+                f"(found categories: {sorted(cats) or 'none'})"
+            )
+    return problems
+
+
+def load_strict_json(path: str):
+    """Parse ``path`` as strict JSON (bare NaN/Infinity are rejected)."""
+    return json.loads(
+        Path(path).read_text(), parse_constant=_fail_on_constant
+    )
+
+
+class TraceSchemaChecker(ArtifactChecker):
+    id = "trace-schema"
+    description = "exported Chrome-trace JSON matches the documented schema"
+
+    def __init__(self, require_layers: bool = False):
+        self.require_layers = require_layers
+
+    def matches(self, path: str) -> bool:
+        return path.endswith(".json")
+
+    def check_file(self, path: str) -> Iterable[Finding]:
+        try:
+            doc = load_strict_json(path)
+        except (ValueError, OSError) as exc:
+            yield Finding(
+                checker=self.id, path=path, line=0,
+                severity=Severity.ERROR,
+                message=f"not strict JSON: {exc}",
+            )
+            return
+        for problem in check_trace(doc, require_layers=self.require_layers):
+            yield Finding(
+                checker=self.id, path=path, line=0,
+                severity=Severity.ERROR, message=problem,
+            )

@@ -1,0 +1,123 @@
+"""Implementation of the ``repro lint`` subcommand.
+
+Kept out of :mod:`repro.cli` so the top-level CLI module stays a thin
+argparse surface; exit codes follow the usual linter convention:
+
+- 0 — clean (possibly via baseline);
+- 1 — findings (or unparsable sources);
+- 2 — usage error (unknown checker id, unreadable baseline).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+from repro.analyze.checkers import all_checkers
+from repro.analyze.framework import Baseline, run_analysis
+
+#: baseline used when ``--baseline`` is not given and the file exists
+DEFAULT_BASELINE = ".lint-baseline.json"
+
+
+def add_lint_parser(sub) -> None:
+    """Register the ``lint`` subparser on an argparse ``sub``-parsers."""
+    p = sub.add_parser(
+        "lint",
+        help="static analysis: precision-flow, tag-space, collectives...",
+    )
+    p.add_argument(
+        "paths", nargs="*", default=["src"],
+        help="files/directories to analyze (default: src); .json files "
+        "are validated as Chrome-trace artifacts",
+    )
+    p.add_argument("--format", choices=("text", "json"), default="text",
+                   help="report format (default text)")
+    p.add_argument("--out", default=None,
+                   help="also write the JSON report to a file")
+    p.add_argument("--baseline", default=None,
+                   help=f"baseline file (default: {DEFAULT_BASELINE} "
+                   "when present)")
+    p.add_argument("--no-baseline", action="store_true",
+                   help="ignore any baseline file")
+    p.add_argument("--update-baseline", action="store_true",
+                   help="write all current findings to the baseline file "
+                   "and exit 0")
+    p.add_argument("--select", default=None,
+                   help="comma-separated checker ids to run")
+    p.add_argument("--list", action="store_true", dest="list_checkers",
+                   help="list available checkers and exit")
+    p.add_argument("--require-layers", action="store_true",
+                   help="trace-schema: require engine/executor/comm spans")
+    p.set_defaults(func=cmd_lint)
+
+
+def _resolve_baseline(args):
+    if args.no_baseline:
+        return None, None
+    path = args.baseline
+    if path is None:
+        path = DEFAULT_BASELINE if Path(DEFAULT_BASELINE).exists() else None
+        if path is None:
+            return None, DEFAULT_BASELINE
+    elif not Path(path).exists():
+        # An explicit baseline path may not exist yet when updating.
+        return None, path
+    return Baseline.load(path), path
+
+
+def cmd_lint(args) -> int:
+    """Run the analysis suite; see module docstring for exit codes."""
+    checkers = all_checkers(require_layers=args.require_layers)
+    if args.list_checkers:
+        for c in checkers:
+            print(f"  {c.id:>20}  {c.description}")
+        return 0
+    select = (
+        [s.strip() for s in args.select.split(",") if s.strip()]
+        if args.select else None
+    )
+    try:
+        baseline, baseline_path = _resolve_baseline(args)
+    except (ValueError, OSError) as exc:
+        print(f"lint: cannot load baseline: {exc}", file=sys.stderr)
+        return 2
+
+    try:
+        report = run_analysis(
+            args.paths, checkers=checkers, baseline=baseline, select=select
+        )
+    except ValueError as exc:
+        print(f"lint: {exc}", file=sys.stderr)
+        return 2
+
+    if args.update_baseline:
+        target = baseline_path or DEFAULT_BASELINE
+        from repro.analyze.framework import Baseline as _B
+
+        merged = _B.from_findings(report.findings + report.baselined)
+        merged.save(target)
+        print(f"lint: wrote {len(merged)} accepted finding(s) to {target}")
+        return 0
+
+    doc = report.to_dict()
+    if args.out:
+        Path(args.out).write_text(json.dumps(doc, indent=2) + "\n")
+    if args.format == "json":
+        print(json.dumps(doc, indent=2))
+    else:
+        for path, err in report.parse_errors:
+            print(f"{path}:0:0: error [parse] {err}")
+        for finding in report.findings:
+            print(finding.format())
+        summary = (
+            f"lint: {report.files_checked} file(s), "
+            f"{len(report.findings)} finding(s)"
+        )
+        if report.baselined:
+            summary += f", {len(report.baselined)} baselined"
+        if baseline is not None:
+            summary += f" (baseline: {baseline_path})"
+        print(summary)
+    return 0 if report.ok else 1

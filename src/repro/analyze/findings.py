@@ -1,0 +1,84 @@
+"""The finding model shared by every checker.
+
+A :class:`Finding` is one diagnosed problem at a source location.  Its
+*fingerprint* deliberately excludes the line number so that unrelated
+edits above a known-accepted finding do not invalidate the baseline;
+the (checker, file, message) triple is stable as long as the flagged
+code itself is unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import PurePath
+
+
+class Severity:
+    """Severity levels, ordered: ``error`` > ``warning`` > ``info``."""
+
+    ERROR = "error"
+    WARNING = "warning"
+    INFO = "info"
+
+    _ORDER = {ERROR: 2, WARNING: 1, INFO: 0}
+
+    @classmethod
+    def rank(cls, severity: str) -> int:
+        """Numeric rank for sorting (unknown severities sort lowest)."""
+        return cls._ORDER.get(severity, -1)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One diagnosed problem at a source location."""
+
+    checker: str
+    path: str
+    line: int
+    message: str
+    severity: str = Severity.ERROR
+    col: int = 0
+    #: free-form extra context (function name, tag expression, ...)
+    context: dict = field(default_factory=dict, compare=False)
+
+    def __post_init__(self) -> None:
+        # Normalize to forward slashes so baselines are OS-independent.
+        object.__setattr__(
+            self, "path", PurePath(self.path).as_posix()
+        )
+
+    @property
+    def fingerprint(self) -> tuple:
+        """Line-independent identity used for baseline matching."""
+        return (self.checker, self.path, self.message)
+
+    def format(self) -> str:
+        """Human-readable one-liner, ``file:line:col: sev [id] msg``."""
+        return (
+            f"{self.path}:{self.line}:{self.col}: "
+            f"{self.severity} [{self.checker}] {self.message}"
+        )
+
+    def to_dict(self) -> dict:
+        """JSON-serializable representation (stable key order)."""
+        out = {
+            "checker": self.checker,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "severity": self.severity,
+            "message": self.message,
+        }
+        if self.context:
+            out["context"] = dict(self.context)
+        return out
+
+
+def sort_findings(findings) -> list:
+    """Deterministic report order: path, line, severity rank, checker."""
+    return sorted(
+        findings,
+        key=lambda f: (
+            f.path, f.line, -Severity.rank(f.severity), f.checker, f.message
+        ),
+    )

@@ -9,7 +9,7 @@ discrete-event engine at the paper's own 64-GCD configuration.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, List, Sequence
 
 from repro.core.config import BenchmarkConfig
 from repro.core.hpl import hpl_gflops_per_gcd

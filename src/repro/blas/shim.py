@@ -144,9 +144,18 @@ _SHIMS: Dict[str, Callable[[], BlasShim]] = {
 
 
 def get_shim(platform: str, record_calls: bool = False) -> BlasShim:
-    """Construct the shim for a platform name (``"cuda"`` or ``"rocm"``)."""
+    """Construct the shim for a platform name (``"cuda"`` or ``"rocm"``).
+
+    With ``REPRO_SANITIZE=1`` in the environment, the returned shim is
+    the :class:`repro.analyze.sanitize.SanitizedBlasShim`, which asserts
+    the mixed-precision dtype/finiteness contracts on every call.
+    """
     if platform not in _SHIMS:
         raise ConfigurationError(
             f"unknown platform {platform!r}; expected one of {sorted(_SHIMS)}"
         )
+    from repro.analyze.sanitize import SanitizedBlasShim, sanitize_enabled
+
+    if sanitize_enabled():
+        return SanitizedBlasShim(platform, record_calls=record_calls)
     return BlasShim(platform, record_calls=record_calls)

@@ -12,6 +12,8 @@ Subcommands mirror the workflows in the paper:
   Chrome/Perfetto trace (open in https://ui.perfetto.dev);
 - ``metrics`` — simulate with observability and print the metrics table;
 - ``bench``   — hot-path benchmark harness (writes BENCH_hotpaths.json);
+- ``lint``    — static analysis (precision-flow, tag-space,
+  collective-matching, hygiene, trace-schema) with baseline support;
 - ``specs``   — print machine presets.
 """
 
@@ -555,6 +557,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="JSON record path ('' to skip writing)")
     _add_machine_arg(p)
     p.set_defaults(func=cmd_bench)
+
+    from repro.analyze.cli import add_lint_parser
+
+    add_lint_parser(sub)
 
     p = sub.add_parser("specs", help="print machine presets")
     p.set_defaults(func=cmd_specs)

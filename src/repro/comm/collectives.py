@@ -15,7 +15,7 @@ phantoms, which pass through with timing only).
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import Sequence
 
 import numpy as np
 

@@ -31,7 +31,7 @@ import numpy as np
 
 from repro.errors import CommunicationError
 from repro.comm.bcast import TAG_STRIDE
-from repro.simulate.events import Isend, Recv, Send, Wait
+from repro.simulate.events import Isend, Recv, Wait
 from repro.simulate.phantom import PhantomArray
 
 #: hard ceiling so ring wire tags cannot collide across rings

@@ -18,7 +18,7 @@ time (and applies per-GCD variability).
 from __future__ import annotations
 
 import contextlib
-from typing import List, Optional, Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 

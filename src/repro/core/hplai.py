@@ -24,7 +24,7 @@ disjoint high window (see :mod:`repro.core.refine`).
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import List, Optional
 
 from repro.comm.vmpi import RankComm
 from repro.core.config import BenchmarkConfig

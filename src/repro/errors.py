@@ -42,6 +42,15 @@ class PrecisionError(NumericsError):
     """
 
 
+class SanitizerError(NumericsError):
+    """A runtime precision contract was violated under ``REPRO_SANITIZE``.
+
+    Raised by :mod:`repro.analyze.sanitize` when a BLAS-shim operand or
+    result breaks the mixed-precision dtype/finiteness contracts the
+    static ``precision-flow`` checker enforces structurally.
+    """
+
+
 class CommunicationError(ReproError, RuntimeError):
     """Base class for virtual-MPI protocol violations."""
 

@@ -31,7 +31,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Iterator, List, Optional, Sequence
+from typing import Iterator, List, Optional
 
 from repro.core.config import BenchmarkConfig
 from repro.errors import ConfigurationError

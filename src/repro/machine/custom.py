@@ -12,7 +12,6 @@ hypothetical machine can be pushed through every study in this package
 
 from __future__ import annotations
 
-from typing import Optional
 
 from repro.errors import ConfigurationError
 from repro.machine.kernels import CpuKernelModel, GpuKernelModel

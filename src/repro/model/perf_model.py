@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from math import ceil, log2
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 from repro.core.config import BenchmarkConfig
 from repro.machine.topology import CommCosts

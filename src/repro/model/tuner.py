@@ -7,7 +7,6 @@ Each sweep evaluates the analytic model over one knob — block size B
 
 from __future__ import annotations
 
-from dataclasses import replace
 from typing import Dict, Iterable, List, Optional
 
 from repro.core.config import BenchmarkConfig

@@ -23,8 +23,11 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, PrecisionError
 from repro.precision.types import Precision
+
+#: largest finite FP16 magnitude; wider finite values round to ``inf``
+_FP16_MAX = float(np.finfo(np.float16).max)
 
 #: Descriptor for emulated bfloat16 (stored in float32 containers; the
 #: ``bytes`` field is the *logical* wire size used by cost models).
@@ -64,10 +67,22 @@ def cast_panel(x: np.ndarray, precision: str) -> np.ndarray:
     """Round a panel to the requested storage precision.
 
     ``"fp16"`` returns a float16 array; ``"bf16"`` returns a float32
-    array holding bf16-representable values.
+    array holding bf16-representable values.  Finite values beyond the
+    FP16 range raise :class:`PrecisionError` instead of silently
+    rounding to ``inf`` (the same contract as ``gemm_mixed``; bf16
+    shares FP32's exponent range, so only the fp16 path can overflow).
     """
     if precision == "fp16":
-        return np.ascontiguousarray(x, dtype=np.float16)
+        a = np.asarray(x)
+        finite_overflow = np.isfinite(a) & (np.abs(a) > _FP16_MAX)
+        if finite_overflow.any():
+            worst = float(np.max(np.abs(np.where(finite_overflow, a, 0.0))))
+            raise PrecisionError(
+                f"cast_panel: {int(finite_overflow.sum())} value(s) above "
+                f"the FP16 max ({_FP16_MAX:.0f}); largest is {worst:.6g} — "
+                "the FP16 cast would silently produce inf"
+            )
+        return np.ascontiguousarray(a, dtype=np.float16)
     if precision == "bf16":
         return round_to_bf16(x)
     raise ConfigurationError(

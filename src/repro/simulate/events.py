@@ -12,7 +12,7 @@ choice is one of the paper's tuning dimensions.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Optional, Tuple
+from typing import Any, Tuple
 
 
 @dataclass

@@ -17,7 +17,7 @@ phase timeline, supporting the "monitor the power utilization" practice.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from repro.core.config import BenchmarkConfig

@@ -14,8 +14,8 @@ excluding the flagged nodes.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Sequence
+from dataclasses import dataclass
+from typing import List
 
 import numpy as np
 

@@ -1,0 +1,61 @@
+"""Regression fixture: the pre-PR-2 LASWP tag-aliasing wire protocol.
+
+This reproduces the per-column row-interchange exchange that shipped
+before the batched LASWP rewrite: each panel column ``j`` swapped rows
+span by span, deriving the wire tag as ``_tag(k, 7, j) + span_idx``.
+Because the ``_tag`` formula packs columns contiguously
+(``... + j``), the offset aliases the neighbouring column's window:
+
+    _tag(k, 7, j) + span == _tag(k, 7, j + span)
+
+so with two spans, column ``j``'s span-1 message carried the same tag
+as column ``j+1``'s span-0 message between the same rank pair — and the
+engine's FIFO matching could cross-deliver them.  The ``tag-space``
+checker must flag every ``_tag(...) + span_idx`` site in this file.
+
+(Not a test module: imported as data by tests/test_analyze_tagspace.py.)
+"""
+
+_TAG_BASE = 1 << 24
+
+
+def _tag(k, phase, j=0):
+    return _TAG_BASE + (k * 8 + phase) * 4096 + j
+
+
+TAG_SWAP_COL = 7
+
+
+def apply_interchanges_per_column(cfg, ex, comm, grid, k, spans, ipiv):
+    """One panel's row interchanges, column by column (the old scheme)."""
+    b = cfg.block
+    for j in range(b):
+        col = k * b + j
+        pivot_row = ipiv[col]
+        if pivot_row == col:
+            continue
+        owner_a = cfg.row_dim.owner_of_index(col)
+        owner_b = cfg.row_dim.owner_of_index(pivot_row)
+        if owner_a == owner_b:
+            continue
+        for span_idx, (lo, hi) in enumerate(spans):
+            if ex.p_ir == owner_a:
+                mine = ex.get_row_segment(col, lo, hi)
+                peer = grid.rank_of(owner_b, ex.p_ic)
+                yield from comm.send(
+                    peer, mine, _tag(k, TAG_SWAP_COL, j) + span_idx
+                )
+                theirs = yield from comm.recv(
+                    peer, _tag(k, TAG_SWAP_COL, j) + span_idx
+                )
+                ex.set_row_segment(col, lo, hi, theirs)
+            elif ex.p_ir == owner_b:
+                mine = ex.get_row_segment(pivot_row, lo, hi)
+                peer = grid.rank_of(owner_a, ex.p_ic)
+                theirs = yield from comm.recv(
+                    peer, _tag(k, TAG_SWAP_COL, j) + span_idx
+                )
+                yield from comm.send(
+                    peer, mine, _tag(k, TAG_SWAP_COL, j) + span_idx
+                )
+                ex.set_row_segment(pivot_row, lo, hi, theirs)

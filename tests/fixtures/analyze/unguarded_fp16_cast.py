@@ -1,0 +1,17 @@
+"""Fixture: an unguarded FP16 down-cast the precision-flow checker
+must flag (finite values above 65504 silently become inf here).
+
+(Not a test module: imported as data by tests/test_analyze_precision.py.)
+"""
+
+import numpy as np
+
+
+def pack_panel(panel):
+    """Down-cast a panel with no overflow guard — the bug pattern."""
+    return panel.astype(np.float16)
+
+
+def pack_panel_buffer(panel):
+    """Same bug via array construction."""
+    return np.ascontiguousarray(panel, dtype=np.float16)

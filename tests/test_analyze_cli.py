@@ -1,0 +1,124 @@
+"""``repro lint`` CLI tests: formats, exit codes, baseline workflow."""
+
+import json
+from pathlib import Path
+
+from repro.cli import main
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+DIRTY = "try:\n    pass\nexcept:\n    pass\n"
+
+VALID_TRACE = {
+    "otherData": {"schema": 1},
+    "traceEvents": [
+        {"name": "gemm", "cat": "executor", "ph": "X",
+         "pid": 0, "tid": 0, "ts": 0.0, "dur": 5.0},
+    ],
+}
+
+
+def _write(tmp_path, name, text):
+    p = tmp_path / name
+    p.write_text(text)
+    return str(p)
+
+
+class TestExitCodes:
+    def test_clean_file_exits_zero(self, tmp_path, capsys):
+        path = _write(tmp_path, "clean.py", "x = 1\n")
+        assert main(["lint", path, "--no-baseline"]) == 0
+        assert "0 finding(s)" in capsys.readouterr().out
+
+    def test_findings_exit_one(self, tmp_path, capsys):
+        path = _write(tmp_path, "dirty.py", DIRTY)
+        assert main(["lint", path, "--no-baseline"]) == 1
+        out = capsys.readouterr().out
+        assert "[hygiene]" in out and ":3:0: error" in out
+
+    def test_unknown_checker_exits_two(self, tmp_path, capsys):
+        path = _write(tmp_path, "clean.py", "x = 1\n")
+        rc = main(["lint", path, "--select", "no-such-checker"])
+        assert rc == 2
+
+    def test_syntax_error_exits_one(self, tmp_path, capsys):
+        path = _write(tmp_path, "broken.py", "def f(:\n")
+        assert main(["lint", path, "--no-baseline"]) == 1
+        assert "[parse]" in capsys.readouterr().out
+
+    def test_list_checkers(self, capsys):
+        assert main(["lint", "--list"]) == 0
+        out = capsys.readouterr().out
+        for checker_id in ("precision-flow", "tag-space",
+                           "collective-matching", "hygiene", "trace-schema"):
+            assert checker_id in out
+
+
+class TestJsonFormat:
+    def test_json_report_shape(self, tmp_path, capsys):
+        path = _write(tmp_path, "dirty.py", DIRTY)
+        out_file = tmp_path / "report.json"
+        rc = main(["lint", path, "--no-baseline", "--format", "json",
+                   "--out", str(out_file)])
+        assert rc == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["ok"] is False
+        assert doc["files_checked"] == 1
+        assert doc["findings"][0]["checker"] == "hygiene"
+        # --out mirrors the same document to disk (the CI artifact).
+        assert json.loads(out_file.read_text()) == doc
+
+
+class TestBaselineWorkflow:
+    def test_update_then_clean(self, tmp_path, capsys):
+        path = _write(tmp_path, "dirty.py", DIRTY)
+        base = str(tmp_path / "baseline.json")
+        assert main(["lint", path, "--baseline", base,
+                     "--update-baseline"]) == 0
+        assert main(["lint", path, "--baseline", base]) == 0
+        assert "1 baselined" in capsys.readouterr().out
+
+    def test_new_finding_still_fails(self, tmp_path, capsys):
+        path = _write(tmp_path, "dirty.py", DIRTY)
+        base = str(tmp_path / "baseline.json")
+        main(["lint", path, "--baseline", base, "--update-baseline"])
+        _write(tmp_path, "dirty.py", DIRTY + "def f(xs=[]):\n    return xs\n")
+        assert main(["lint", path, "--baseline", base]) == 1
+
+    def test_select_restricts_checkers(self, tmp_path, capsys):
+        path = _write(
+            tmp_path, "dirty.py",
+            DIRTY + "import numpy as np\nH = np.float16(1.0)\n",
+        )
+        rc = main(["lint", path, "--no-baseline",
+                   "--select", "precision-flow"])
+        assert rc == 1
+        out = capsys.readouterr().out
+        assert "[precision-flow]" in out and "[hygiene]" not in out
+
+
+class TestTraceArtifacts:
+    def test_valid_trace_passes(self, tmp_path, capsys):
+        path = _write(tmp_path, "trace.json", json.dumps(VALID_TRACE))
+        assert main(["lint", path, "--no-baseline"]) == 0
+
+    def test_invalid_trace_fails(self, tmp_path, capsys):
+        doc = {"traceEvents": []}  # no spans, no otherData
+        path = _write(tmp_path, "trace.json", json.dumps(doc))
+        assert main(["lint", path, "--no-baseline"]) == 1
+        assert "[trace-schema]" in capsys.readouterr().out
+
+    def test_require_layers_flag(self, tmp_path, capsys):
+        path = _write(tmp_path, "trace.json", json.dumps(VALID_TRACE))
+        rc = main(["lint", path, "--no-baseline", "--require-layers"])
+        assert rc == 1  # only 'executor' spans present
+        assert "required layer" in capsys.readouterr().out
+
+
+class TestRepositoryIsClean:
+    def test_src_tree_clean_against_checked_in_baseline(self, monkeypatch,
+                                                        capsys):
+        """The acceptance gate: `repro lint src/` exits 0 at HEAD."""
+        monkeypatch.chdir(REPO_ROOT)
+        assert main(["lint", "src"]) == 0
+        assert "baseline: .lint-baseline.json" in capsys.readouterr().out

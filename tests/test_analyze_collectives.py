@@ -1,0 +1,147 @@
+"""``collective-matching`` checker tests: one-sided wire protocols."""
+
+from repro.analyze.checkers.collectives import CollectiveMatchingChecker
+from repro.analyze.findings import Severity
+from repro.analyze.framework import SourceModule
+
+
+def _lint(text, path="snippet.py"):
+    module = SourceModule.parse(path, text)
+    return list(CollectiveMatchingChecker().check(module))
+
+
+class TestBcastPairing:
+    def test_one_sided_bcast_start_is_an_error(self):
+        findings = _lint(
+            "def prog(comm, k):\n"
+            "    yield from comm.bcast_start(0, None, 8, tag=8 * k + 2)\n"
+        )
+        assert len(findings) == 1
+        assert findings[0].severity == Severity.ERROR
+        assert "bcast_start" in findings[0].message
+        assert "no matching comm.bcast_finish" in findings[0].message
+
+    def test_one_sided_bcast_finish_is_an_error(self):
+        findings = _lint(
+            "def prog(comm, k):\n"
+            "    panel = yield from comm.bcast_finish(0, tag=8 * k + 2)\n"
+        )
+        assert len(findings) == 1
+        assert "no matching comm.bcast_start" in findings[0].message
+
+    def test_matched_pair_is_clean(self):
+        findings = _lint(
+            "def root(comm, k, payload):\n"
+            "    yield from comm.bcast_start(0, payload, 8, tag=8 * k + 2)\n"
+            "def member(comm, k):\n"
+            "    panel = yield from comm.bcast_finish(0, tag=8 * k + 2)\n"
+        )
+        assert findings == []
+
+    def test_different_tag_spelling_is_flagged(self):
+        # Same value, different expression: the checker demands the
+        # protocol be spelled identically on both sides.
+        findings = _lint(
+            "def root(comm, k, payload):\n"
+            "    yield from comm.bcast_start(0, payload, 8, tag=8 * k + 2)\n"
+            "def member(comm, k):\n"
+            "    panel = yield from comm.bcast_finish(0, tag=2 + 8 * k)\n"
+        )
+        assert len(findings) == 2  # each side reports the other missing
+
+
+class TestSendRecvPairing:
+    def test_unmatched_send_tag_is_a_warning(self):
+        findings = _lint(
+            "def prog(comm, peer, x, k):\n"
+            "    yield from comm.send(peer, x, tag=_tag(k, 1))\n"
+            "    y = yield from comm.recv(peer, tag=_tag(k, 2))\n"
+        )
+        assert len(findings) == 2
+        assert all(f.severity == Severity.WARNING for f in findings)
+
+    def test_matched_send_recv_is_clean(self):
+        findings = _lint(
+            "def prog(comm, peer, x, k):\n"
+            "    yield from comm.send(peer, x, tag=_tag(k, 1))\n"
+            "    y = yield from comm.recv(peer, tag=_tag(k, 1))\n"
+        )
+        assert findings == []
+
+    def test_bare_name_tags_are_skipped(self):
+        # A shared `tag` variable is trivially symmetric where bound.
+        findings = _lint(
+            "def prog(comm, peer, x, tag):\n"
+            "    yield from comm.send(peer, x, tag)\n"
+        )
+        assert findings == []
+
+    def test_positional_tags_are_recorded(self):
+        findings = _lint(
+            "def prog(comm, peer, x, k):\n"
+            "    yield from comm.send(peer, x, 8 * k + 1)\n"
+            "    y = yield from comm.recv(peer, 8 * k + 1)\n"
+        )
+        assert findings == []
+
+
+class TestConditionalCollectives:
+    def test_rank_conditional_allreduce_warns(self):
+        findings = _lint(
+            "def prog(comm, ex):\n"
+            "    if ex.rank == 0:\n"
+            "        total = yield from comm.allreduce(1.0)\n"
+        )
+        assert len(findings) == 1
+        assert findings[0].severity == Severity.WARNING
+        assert "every member" in findings[0].message
+
+    def test_cfg_conditional_allreduce_is_uniform(self):
+        # cfg is shared by construction: every rank takes the branch.
+        findings = _lint(
+            "def prog(comm, cfg):\n"
+            "    if cfg.check_residual:\n"
+            "        total = yield from comm.allreduce(1.0)\n"
+        )
+        assert findings == []
+
+    def test_unconditional_barrier_is_clean(self):
+        findings = _lint(
+            "def prog(comm):\n"
+            "    yield from comm.barrier()\n"
+        )
+        assert findings == []
+
+    def test_rank_conditional_barrier_warns(self):
+        findings = _lint(
+            "def prog(comm, rank):\n"
+            "    if rank % 2 == 0:\n"
+            "        yield from comm.barrier()\n"
+        )
+        assert len(findings) == 1
+
+    def test_rank_conditional_raw_barrier_event_warns(self):
+        findings = _lint(
+            "def prog(ex, engine):\n"
+            "    if ex.p_ir == 0:\n"
+            "        yield Barrier(name='phase')\n"
+        )
+        assert len(findings) == 1
+        assert "Barrier event" in findings[0].message
+
+
+class TestReceiverHeuristic:
+    def test_non_comm_receiver_is_ignored(self):
+        findings = _lint(
+            "def prog(sock, peer, x):\n"
+            "    sock.send(peer, x, tag=9)\n"
+        )
+        assert findings == []
+
+    def test_named_comm_variants_match(self):
+        # e.g. `row_comm`, `subcomm` — anything ending in `comm`.
+        findings = _lint(
+            "def prog(row_comm, peer, x, k):\n"
+            "    yield from row_comm.send(peer, x, tag=16 * k)\n"
+        )
+        assert len(findings) == 1

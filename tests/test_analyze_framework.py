@@ -1,0 +1,167 @@
+"""Framework tests: finding model, baseline, suppression, driver."""
+
+import ast
+
+import pytest
+
+from repro.analyze.findings import Finding, Severity, sort_findings
+from repro.analyze.framework import Baseline, SourceModule, run_analysis
+from repro.analyze.checkers.hygiene import HygieneChecker
+
+
+def _finding(**kw):
+    base = dict(checker="hygiene", path="pkg/mod.py", line=3,
+                message="bad thing")
+    base.update(kw)
+    return Finding(**base)
+
+
+class TestFinding:
+    def test_fingerprint_ignores_line(self):
+        assert _finding(line=3).fingerprint == _finding(line=99).fingerprint
+
+    def test_fingerprint_distinguishes_checker_path_message(self):
+        f = _finding()
+        assert f.fingerprint != _finding(checker="tag-space").fingerprint
+        assert f.fingerprint != _finding(path="other.py").fingerprint
+        assert f.fingerprint != _finding(message="other").fingerprint
+
+    def test_format_is_clickable(self):
+        f = _finding(line=7, col=4, severity=Severity.WARNING)
+        assert f.format() == "pkg/mod.py:7:4: warning [hygiene] bad thing"
+
+    def test_path_normalized_to_posix(self):
+        # Redundant separators collapse; posix paths pass through
+        # unchanged, so baselines are stable across platforms.
+        assert _finding(path="pkg//sub/./mod.py").path == "pkg/sub/mod.py"
+        assert _finding(path="pkg/mod.py").path == "pkg/mod.py"
+
+    def test_to_dict_round_trips_fields(self):
+        d = _finding(col=2).to_dict()
+        assert d["checker"] == "hygiene"
+        assert d["line"] == 3 and d["col"] == 2
+        assert d["severity"] == "error"
+        assert "context" not in d  # omitted when empty
+
+    def test_sort_by_path_line_then_severity(self):
+        fs = [
+            _finding(path="b.py", line=1),
+            _finding(path="a.py", line=9, severity=Severity.WARNING),
+            _finding(path="a.py", line=9, severity=Severity.ERROR,
+                     message="worse"),
+            _finding(path="a.py", line=2),
+        ]
+        ordered = sort_findings(fs)
+        assert [(f.path, f.line, f.severity) for f in ordered] == [
+            ("a.py", 2, "error"), ("a.py", 9, "error"),
+            ("a.py", 9, "warning"), ("b.py", 1, "error"),
+        ]
+
+
+class TestSuppression:
+    def _mod(self, text):
+        return SourceModule.parse("mod.py", text)
+
+    def test_bare_ignore_suppresses_everything(self):
+        m = self._mod("x = 1  # lint: ignore\n")
+        assert m.suppressed(1, "hygiene")
+        assert m.suppressed(1, "tag-space")
+
+    def test_scoped_ignore_matches_only_named_checker(self):
+        m = self._mod("x = 1  # lint: ignore[hygiene]\n")
+        assert m.suppressed(1, "hygiene")
+        assert not m.suppressed(1, "tag-space")
+
+    def test_multiple_ids(self):
+        m = self._mod("x = 1  # lint: ignore[hygiene, tag-space]\n")
+        assert m.suppressed(1, "tag-space")
+
+    def test_plain_comment_is_not_a_suppression(self):
+        m = self._mod("x = 1  # just a comment\n")
+        assert not m.suppressed(1, "hygiene")
+
+    def test_out_of_range_line(self):
+        m = self._mod("x = 1\n")
+        assert not m.suppressed(99, "hygiene")
+
+
+class TestSourceModule:
+    def test_parent_and_enclosing_function(self):
+        m = SourceModule.parse(
+            "mod.py", "def f():\n    return 1 + 2\n"
+        )
+        binop = next(n for n in ast.walk(m.tree) if isinstance(n, ast.BinOp))
+        fn = m.enclosing_function(binop)
+        assert isinstance(fn, ast.FunctionDef) and fn.name == "f"
+        assert m.parent_of(m.tree) is None
+
+
+class TestBaseline:
+    def test_round_trip(self, tmp_path):
+        f = _finding()
+        path = tmp_path / "base.json"
+        Baseline.from_findings([f]).save(str(path))
+        loaded = Baseline.load(str(path))
+        assert f in loaded
+        # Line-number drift must not invalidate the baseline entry.
+        assert _finding(line=123) in loaded
+        assert _finding(message="new problem") not in loaded
+
+    def test_rejects_non_baseline_json(self, tmp_path):
+        path = tmp_path / "junk.json"
+        path.write_text('{"not": "a baseline"}')
+        with pytest.raises(ValueError):
+            Baseline.load(str(path))
+
+
+class TestRunAnalysis:
+    def _write(self, tmp_path, name, text):
+        p = tmp_path / name
+        p.write_text(text)
+        return str(p)
+
+    def test_findings_and_file_count(self, tmp_path):
+        self._write(tmp_path, "dirty.py",
+                    "try:\n    pass\nexcept:\n    pass\n")
+        self._write(tmp_path, "clean.py", "x = 1\n")
+        report = run_analysis([str(tmp_path)], checkers=[HygieneChecker()])
+        assert report.files_checked == 2
+        assert len(report.findings) == 1
+        assert report.findings[0].checker == "hygiene"
+        assert not report.ok
+
+    def test_inline_suppression_is_honoured(self, tmp_path):
+        self._write(
+            tmp_path, "dirty.py",
+            "try:\n    pass\nexcept:  # lint: ignore[hygiene]\n    pass\n",
+        )
+        report = run_analysis([str(tmp_path)], checkers=[HygieneChecker()])
+        assert report.ok and not report.findings
+
+    def test_baseline_subtracts_known_findings(self, tmp_path):
+        path = self._write(tmp_path, "dirty.py",
+                           "try:\n    pass\nexcept:\n    pass\n")
+        first = run_analysis([path], checkers=[HygieneChecker()])
+        baseline = Baseline.from_findings(first.findings)
+        second = run_analysis([path], checkers=[HygieneChecker()],
+                              baseline=baseline)
+        assert second.ok
+        assert len(second.baselined) == 1 and not second.findings
+
+    def test_parse_error_reported_not_raised(self, tmp_path):
+        path = self._write(tmp_path, "broken.py", "def f(:\n")
+        report = run_analysis([path], checkers=[HygieneChecker()])
+        assert not report.ok
+        assert report.parse_errors and report.parse_errors[0][0] == path
+
+    def test_unknown_select_raises(self, tmp_path):
+        with pytest.raises(ValueError, match="no-such-checker"):
+            run_analysis([str(tmp_path)], checkers=[HygieneChecker()],
+                         select=["no-such-checker"])
+
+    def test_pycache_is_skipped(self, tmp_path):
+        cache = tmp_path / "__pycache__"
+        cache.mkdir()
+        (cache / "stale.py").write_text("try:\n    pass\nexcept:\n    pass\n")
+        report = run_analysis([str(tmp_path)], checkers=[HygieneChecker()])
+        assert report.files_checked == 0 and report.ok

@@ -1,0 +1,91 @@
+"""``hygiene`` checker tests: small patterns, big blast radius."""
+
+from repro.analyze.checkers.hygiene import HygieneChecker
+from repro.analyze.findings import Severity
+from repro.analyze.framework import SourceModule
+
+
+def _lint(text, path="snippet.py"):
+    module = SourceModule.parse(path, text)
+    return list(HygieneChecker().check(module))
+
+
+class TestExceptHandlers:
+    def test_bare_except_is_an_error(self):
+        findings = _lint("try:\n    pass\nexcept:\n    pass\n")
+        assert len(findings) == 1
+        assert findings[0].severity == Severity.ERROR
+        assert "bare `except:`" in findings[0].message
+
+    def test_blanket_exception_is_a_warning(self):
+        findings = _lint("try:\n    pass\nexcept Exception:\n    pass\n")
+        assert len(findings) == 1
+        assert findings[0].severity == Severity.WARNING
+
+    def test_blanket_base_exception_is_a_warning(self):
+        findings = _lint("try:\n    pass\nexcept BaseException:\n    pass\n")
+        assert len(findings) == 1
+
+    def test_narrow_handler_is_clean(self):
+        findings = _lint("try:\n    pass\n"
+                         "except (ValueError, KeyError) as exc:\n"
+                         "    raise RuntimeError('x') from exc\n")
+        assert findings == []
+
+
+class TestMutableDefaults:
+    def test_list_literal_default_is_an_error(self):
+        findings = _lint("def f(xs=[]):\n    return xs\n")
+        assert len(findings) == 1
+        assert "mutable default" in findings[0].message
+        assert "'f'" in findings[0].message
+
+    def test_ctor_call_default_is_an_error(self):
+        findings = _lint("def f(cache=dict()):\n    return cache\n")
+        assert len(findings) == 1
+
+    def test_kwonly_default_checked(self):
+        findings = _lint("def f(*, xs=set()):\n    return xs\n")
+        assert len(findings) == 1
+
+    def test_none_default_is_clean(self):
+        findings = _lint("def f(xs=None):\n    return xs or []\n")
+        assert findings == []
+
+    def test_immutable_defaults_are_clean(self):
+        findings = _lint("def f(n=0, name='x', dims=(2, 3)):\n"
+                         "    return n\n")
+        assert findings == []
+
+
+class TestCommGeneratorCalls:
+    def test_call_without_yield_from_is_an_error(self):
+        # The quietest deadlock: building a generator and dropping it.
+        findings = _lint("def prog(comm, peer, x):\n"
+                         "    comm.send(peer, x, 7)\n")
+        assert len(findings) == 1
+        assert findings[0].severity == Severity.ERROR
+        assert "yield from" in findings[0].message
+
+    def test_assigned_generator_is_still_an_error(self):
+        findings = _lint("def prog(comm, peer):\n"
+                         "    msg = comm.recv(peer, 7)\n"
+                         "    return msg\n")
+        assert len(findings) == 1
+
+    def test_yield_from_is_clean(self):
+        findings = _lint("def prog(comm, peer, x):\n"
+                         "    yield from comm.send(peer, x, 7)\n"
+                         "    msg = yield from comm.recv(peer, 7)\n"
+                         "    return msg\n")
+        assert findings == []
+
+    def test_non_comm_objects_are_ignored(self):
+        findings = _lint("def prog(queue, x):\n"
+                         "    queue.send(x)\n")
+        assert findings == []
+
+    def test_suffix_comm_names_are_covered(self):
+        findings = _lint("def prog(row_comm, peer, x):\n"
+                         "    row_comm.send(peer, x, 7)\n")
+        assert len(findings) == 1

@@ -1,0 +1,117 @@
+"""``precision-flow`` checker tests: unguarded FP16 down-casts."""
+
+from pathlib import Path
+
+from repro.analyze.checkers.precision_flow import PrecisionFlowChecker
+from repro.analyze.findings import Severity
+from repro.analyze.framework import SourceModule
+
+FIXTURES = Path(__file__).parent / "fixtures" / "analyze"
+REPO_SRC = Path(__file__).resolve().parents[1] / "src"
+
+
+def _lint(text_or_path, path="snippet.py"):
+    if isinstance(text_or_path, Path):
+        module = SourceModule.parse(str(text_or_path))
+    else:
+        module = SourceModule.parse(path, text_or_path)
+    return list(PrecisionFlowChecker().check(module))
+
+
+class TestUnguardedDowncast:
+    def test_fixture_both_sites_flagged(self):
+        findings = _lint(FIXTURES / "unguarded_fp16_cast.py")
+        errors = [f for f in findings if f.severity == Severity.ERROR]
+        assert len(errors) == 2
+        assert {f.line for f in errors} == {12, 17}
+        assert all("unguarded" in f.message for f in errors)
+        assert all(f.checker == "precision-flow" for f in errors)
+
+    def test_astype_half_alias_flagged(self):
+        findings = _lint("import numpy as np\n"
+                         "def f(x):\n"
+                         "    return x.astype(np.half)\n")
+        assert len(findings) == 1 and findings[0].line == 3
+
+    def test_dtype_string_flagged(self):
+        findings = _lint("def f(x):\n"
+                         "    return x.astype('float16')\n")
+        assert len(findings) == 1
+
+    def test_np_dtype_call_flagged(self):
+        findings = _lint("import numpy as np\n"
+                         "def f(x):\n"
+                         "    return x.astype(np.dtype('float16'))\n")
+        assert len(findings) == 1
+
+    def test_direct_float16_call_flagged(self):
+        findings = _lint("import numpy as np\n"
+                         "def f(x):\n"
+                         "    return np.float16(x)\n")
+        assert len(findings) == 1
+
+    def test_module_scope_cast_flagged(self):
+        findings = _lint("import numpy as np\n"
+                         "HALF_ONE = np.float16(1.0)\n")
+        assert len(findings) == 1
+        assert "module scope" in findings[0].message
+
+
+class TestGuardedAndBenign:
+    def test_isfinite_guard_accepted(self):
+        findings = _lint(
+            "import numpy as np\n"
+            "def f(x):\n"
+            "    if not np.isfinite(x).all():\n"
+            "        raise ValueError('non-finite')\n"
+            "    return x.astype(np.float16)\n"
+        )
+        assert findings == []
+
+    def test_precision_error_guard_accepted(self):
+        findings = _lint(
+            "import numpy as np\n"
+            "from repro.errors import PrecisionError\n"
+            "def f(x):\n"
+            "    if (np.abs(x) > 65504.0).any():\n"
+            "        raise PrecisionError('overflow')\n"
+            "    return x.astype(np.float16)\n"
+        )
+        assert findings == []
+
+    def test_fp32_cast_not_flagged(self):
+        findings = _lint("import numpy as np\n"
+                         "def f(x):\n"
+                         "    return x.astype(np.float32)\n")
+        assert findings == []
+
+    def test_repo_gemm_module_is_clean(self):
+        # gemm_mixed's _to_fp16 carries the canonical guard pattern.
+        assert _lint(REPO_SRC / "repro" / "blas" / "gemm.py") == []
+
+    def test_repo_bfloat_module_is_clean(self):
+        # cast_panel gained its guard from this PR's own lint run.
+        assert _lint(REPO_SRC / "repro" / "precision" / "bfloat.py") == []
+
+
+class TestMixedDtypeArithmetic:
+    def test_one_sided_downcast_in_binop_warns(self):
+        findings = _lint(
+            "import numpy as np\n"
+            "FP16_MAX = 65504.0  # guard marker: isolate the warning\n"
+            "def f(a, b):\n"
+            "    assert FP16_MAX\n"
+            "    return a * b.astype(np.float16)\n"
+        )
+        warnings = [f for f in findings if f.severity == Severity.WARNING]
+        assert len(warnings) == 1
+        assert "mixed-dtype" in warnings[0].message
+
+    def test_both_sides_downcast_is_symmetric(self):
+        findings = _lint(
+            "import numpy as np\n"
+            "def f(a, b):\n"
+            "    assert np.isfinite(a).all() and np.isfinite(b).all()\n"
+            "    return a.astype(np.float16) * b.astype(np.float16)\n"
+        )
+        assert [f for f in findings if f.severity == Severity.WARNING] == []

@@ -1,0 +1,132 @@
+"""``tag-space`` checker tests, including the pre-PR-2 LASWP regression.
+
+The fixture ``fixtures/analyze/laswp_tag_aliasing.py`` reproduces the
+per-column row-interchange protocol that shipped before the batched
+LASWP rewrite: ``_tag(k, 7, j) + span_idx`` aliases column ``j+1``'s
+window.  The checker must flag every such site — this is the regression
+test that the aliasing class can never come back unnoticed.
+"""
+
+from pathlib import Path
+
+from repro.analyze.checkers.tag_space import TagSpaceChecker
+from repro.analyze.findings import Severity
+from repro.analyze.framework import SourceModule
+
+FIXTURES = Path(__file__).parent / "fixtures" / "analyze"
+REPO_SRC = Path(__file__).resolve().parents[1] / "src"
+
+#: the hpl_dist-shaped formula used by inline snippets below
+_FORMULA = (
+    "_TAG_BASE = 1 << 24\n"
+    "def _tag(k, phase, j=0):\n"
+    "    return _TAG_BASE + (k * 8 + phase) * 4096 + j\n"
+)
+
+
+def _lint(text_or_path, path="snippet.py"):
+    if isinstance(text_or_path, Path):
+        module = SourceModule.parse(str(text_or_path))
+    else:
+        module = SourceModule.parse(path, text_or_path)
+    return list(TagSpaceChecker().check(module))
+
+
+class TestLaswpAliasingRegression:
+    def test_every_offset_site_is_an_error(self):
+        findings = _lint(FIXTURES / "laswp_tag_aliasing.py")
+        errors = [f for f in findings if f.severity == Severity.ERROR]
+        # Four exchange sites compute `_tag(k, 7, j) + span_idx`.
+        assert len(errors) == 4
+        assert {f.line for f in errors} == {46, 49, 56, 59}
+        assert all(f.checker == "tag-space" for f in errors)
+        assert all("arithmetic applied to a _tag(...)" in f.message
+                   for f in errors)
+
+    def test_message_names_the_bug_class(self):
+        findings = _lint(FIXTURES / "laswp_tag_aliasing.py")
+        assert all("alias" in f.message for f in findings)
+
+
+class TestCurrentTreeIsClean:
+    def test_hpl_dist_proves_disjoint(self):
+        assert _lint(REPO_SRC / "repro" / "core" / "hpl_dist.py") == []
+
+    def test_hplai_proves_disjoint(self):
+        assert _lint(REPO_SRC / "repro" / "core" / "hplai.py") == []
+
+
+class TestPhaseRules:
+    def test_non_constant_phase_is_an_error(self):
+        findings = _lint(_FORMULA +
+                         "def prog(comm, k, phase):\n"
+                         "    return _tag(k, phase)\n")
+        assert len(findings) == 1
+        assert "not a compile-time constant" in findings[0].message
+
+    def test_out_of_range_phase_is_an_error(self):
+        # dk/dphase = 8, so phase 9 walks into step k+1's window.
+        findings = _lint(_FORMULA + "TAG_BAD = _tag(0, 9)\n")
+        assert len(findings) == 1
+        assert "outside the per-step window" in findings[0].message
+
+    def test_module_constant_phase_folds(self):
+        findings = _lint(_FORMULA +
+                         "TAG_SWAP = 1\n"
+                         "T = _tag(0, TAG_SWAP + 2)\n")
+        assert findings == []
+
+
+class TestColumnRules:
+    def test_loop_variable_column_accepted(self):
+        findings = _lint(_FORMULA +
+                         "def prog(k):\n"
+                         "    return [_tag(k, 7, j) for j in range(4)]\n")
+        assert findings == []
+
+    def test_out_of_range_constant_column_is_an_error(self):
+        # dphase/dj = 4096, so column 5000 aliases the next phase.
+        findings = _lint(_FORMULA + "T = _tag(0, 1, 5000)\n")
+        assert len(findings) == 1
+        assert "outside the per-phase window" in findings[0].message
+
+    def test_column_arithmetic_is_an_error(self):
+        findings = _lint(_FORMULA +
+                         "def prog(k, j):\n"
+                         "    return _tag(k, 1, j + 1)\n")
+        assert len(findings) == 1
+        assert "contains arithmetic" in findings[0].message
+
+    def test_keyword_column_checked_too(self):
+        findings = _lint(_FORMULA + "T = _tag(0, 1, j=5000)\n")
+        assert len(findings) == 1
+
+
+class TestFormulaRecovery:
+    def test_module_without_tag_func_yields_nothing(self):
+        assert _lint("def f():\n    return 1\n") == []
+
+    def test_nonlinear_formula_is_a_warning(self):
+        findings = _lint("def _tag(k, phase):\n"
+                         "    return k * k + phase\n"
+                         "T = _tag(1, 2)\n")
+        assert len(findings) == 1
+        assert findings[0].severity == Severity.WARNING
+        assert "not linear" in findings[0].message
+
+    def test_unevaluable_formula_is_a_warning(self):
+        findings = _lint("def _tag(k, phase):\n"
+                         "    return mystery_offset + k + phase\n")
+        assert len(findings) == 1
+        assert findings[0].severity == Severity.WARNING
+        assert "could not evaluate" in findings[0].message
+
+    def test_annotated_formula_still_evaluates(self):
+        # PEP-563 modules carry annotations the sandbox must strip.
+        findings = _lint("from __future__ import annotations\n" + _FORMULA
+                         .replace("def _tag(k, phase, j=0):",
+                                  "def _tag(k: int, phase: int,"
+                                  " j: int = 0) -> int:") +
+                         "T = _tag(0, 9)\n")
+        assert len(findings) == 1  # range check ran => formula evaluated
+        assert "outside the per-step window" in findings[0].message

@@ -2,7 +2,6 @@
 
 import numpy as np
 import pytest
-import scipy.linalg as sla
 from hypothesis import given, settings
 from hypothesis import strategies as st
 from hypothesis.extra import numpy as hnp

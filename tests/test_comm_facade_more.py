@@ -6,7 +6,7 @@ import pytest
 from repro.comm import BCAST_ALGORITHMS, RankComm
 from repro.errors import CommunicationError
 from repro.machine import FRONTIER, SUMMIT, CommCosts
-from repro.simulate import Engine, Now
+from repro.simulate import Engine
 
 
 @pytest.mark.parametrize("algo", sorted(BCAST_ALGORITHMS))

@@ -6,7 +6,7 @@ import pytest
 from repro.core.config import BenchmarkConfig
 from repro.core.executors import ExactExecutor, PhantomExecutor
 from repro.lcg.matrix import HplAiMatrix
-from repro.machine import FRONTIER, SUMMIT
+from repro.machine import SUMMIT
 from repro.simulate.phantom import PhantomArray
 
 

@@ -1,6 +1,5 @@
 """Unit tests for the per-iteration layout bookkeeping."""
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.core.config import BenchmarkConfig
-from repro.core.driver import run_benchmark, simulate_run, solve_hplai
+from repro.core.driver import run_benchmark, simulate_run
 from repro.machine import FRONTIER, SUMMIT
 
 

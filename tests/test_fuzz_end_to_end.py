@@ -7,7 +7,6 @@ convergence against a dense reference solve every time.
 """
 
 import numpy as np
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 

@@ -8,7 +8,6 @@ from repro.errors import ConfigurationError
 from repro.machine import FRONTIER, SUMMIT, CommCosts
 from repro.model import (
     bcast_time,
-    estimate_iteration,
     estimate_run,
     sweep_block_sizes,
     sweep_local_sizes,

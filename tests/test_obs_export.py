@@ -1,7 +1,6 @@
 """Tests for the exporters (repro.obs.export) and provenance capture."""
 
 import json
-import math
 
 import pytest
 

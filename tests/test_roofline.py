@@ -8,7 +8,6 @@ from repro.model.roofline import (
     machine_balance,
     memory_roofline,
     min_local_size_for_compute_bound,
-    network_balance,
     network_roofline,
 )
 

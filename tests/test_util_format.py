@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.errors import ConfigurationError
 from repro.util.format import (
     format_bytes,
     format_flops,
