@@ -4,12 +4,16 @@ from repro.analyze.checkers.collectives import CollectiveMatchingChecker
 from repro.analyze.checkers.hygiene import HygieneChecker
 from repro.analyze.checkers.precision_flow import PrecisionFlowChecker
 from repro.analyze.checkers.tag_space import TagSpaceChecker
-from repro.analyze.checkers.trace_schema import TraceSchemaChecker
+from repro.analyze.checkers.trace_schema import (
+    ProfileReportChecker,
+    TraceSchemaChecker,
+)
 
 __all__ = [
     "CollectiveMatchingChecker",
     "HygieneChecker",
     "PrecisionFlowChecker",
+    "ProfileReportChecker",
     "TagSpaceChecker",
     "TraceSchemaChecker",
     "all_checkers",
@@ -24,4 +28,5 @@ def all_checkers(require_layers: bool = False):
         CollectiveMatchingChecker(),
         HygieneChecker(),
         TraceSchemaChecker(require_layers=require_layers),
+        ProfileReportChecker(),
     ]

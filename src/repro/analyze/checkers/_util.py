@@ -3,6 +3,8 @@
 from __future__ import annotations
 
 import ast
+import importlib.util
+from pathlib import Path
 from typing import Dict, Optional
 
 
@@ -51,11 +53,58 @@ def const_fold_int(node: ast.AST, env: Dict[str, int]) -> Optional[int]:
     return None
 
 
-def module_int_constants(tree: ast.Module) -> Dict[str, int]:
+def _imported_int_constants(node: ast.ImportFrom) -> Dict[str, int]:
+    """``from X import NAME`` bindings that resolve to int constants.
+
+    Resolved *statically*: the imported module's source is located via
+    ``find_spec`` and const-folded the same way — the linted code is
+    never executed.  One level only (the source module's own imports
+    are not followed), which covers the constants-module idiom.
+    """
+    if node.level or not node.module:
+        return {}
+    try:
+        spec = importlib.util.find_spec(node.module)
+    except (ImportError, ValueError):
+        return {}
+    if spec is None or not spec.origin or not spec.origin.endswith(".py"):
+        return {}
+    try:
+        tree = ast.parse(Path(spec.origin).read_text())
+    except (OSError, SyntaxError):
+        return {}
+    env = _own_int_constants(tree)
+    return {
+        alias.asname or alias.name: env[alias.name]
+        for alias in node.names
+        if alias.name in env
+    }
+
+
+def _own_int_constants(tree: ast.Module) -> Dict[str, int]:
     """Module-level ``NAME = <int expr>`` bindings, resolved in order."""
     env: Dict[str, int] = {}
     for stmt in tree.body:
         if (
+            isinstance(stmt, ast.Assign)
+            and len(stmt.targets) == 1
+            and isinstance(stmt.targets[0], ast.Name)
+        ):
+            val = const_fold_int(stmt.value, env)
+            if val is not None:
+                env[stmt.targets[0].id] = val
+    return env
+
+
+def module_int_constants(tree: ast.Module) -> Dict[str, int]:
+    """Integer constants visible at module level: local ``NAME = <int
+    expr>`` assignments plus ``from X import NAME`` of constants the
+    source module defines (resolved statically)."""
+    env: Dict[str, int] = {}
+    for stmt in tree.body:
+        if isinstance(stmt, ast.ImportFrom):
+            env.update(_imported_int_constants(stmt))
+        elif (
             isinstance(stmt, ast.Assign)
             and len(stmt.targets) == 1
             and isinstance(stmt.targets[0], ast.Name)

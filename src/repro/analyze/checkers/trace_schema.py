@@ -1,10 +1,15 @@
-"""``trace-schema``: validate exported Chrome-trace JSON artifacts.
+"""``trace-schema`` / ``profile-schema``: validate exported JSON artifacts.
 
 The library-level home of what ``scripts/check_trace_schema.py`` used
 to implement standalone (the script is now a thin shim over this
 module).  :func:`check_trace` validates a parsed trace document;
 :class:`TraceSchemaChecker` adapts it to the :mod:`repro.analyze`
 framework so ``repro lint trace.json`` is the single entry point.
+:func:`check_profile_report` / :class:`ProfileReportChecker` do the
+same for ``repro profile --format json`` reports
+(:data:`~repro.obs.analysis.report.PROFILE_SCHEMA`); each checker
+recognizes and skips the other's documents, so both can run in the
+default suite over a mixed artifact set.
 
 Checks (see docs/OBSERVABILITY.md):
 
@@ -28,11 +33,16 @@ from typing import Iterable, List
 
 from repro.analyze.findings import Finding, Severity
 from repro.analyze.framework import ArtifactChecker
+from repro.obs.analysis.report import PROFILE_SCHEMA
 
 #: layers an instrumented benchmark run must emit spans from
 REQUIRED_LAYERS = ("engine", "executor", "comm")
 
 VALID_PHASES = {"X", "M", "C"}
+
+
+def _is_profile_doc(doc) -> bool:
+    return isinstance(doc, dict) and doc.get("schema") == PROFILE_SCHEMA
 
 
 def _fail_on_constant(token):
@@ -124,7 +134,131 @@ class TraceSchemaChecker(ArtifactChecker):
                 message=f"not strict JSON: {exc}",
             )
             return
+        if _is_profile_doc(doc):
+            # ProfileReportChecker's document, not a trace.
+            return
         for problem in check_trace(doc, require_layers=self.require_layers):
+            yield Finding(
+                checker=self.id, path=path, line=0,
+                severity=Severity.ERROR, message=problem,
+            )
+
+
+def check_profile_report(doc) -> List[str]:
+    """Validate a ``repro profile --format json`` document.
+
+    Returns a list of problem strings (empty = valid).
+    """
+    problems = []
+    if not isinstance(doc, dict):
+        return [f"top level must be an object, got {type(doc).__name__}"]
+    if doc.get("schema") != PROFILE_SCHEMA:
+        problems.append(
+            f"schema must be {PROFILE_SCHEMA!r}, got {doc.get('schema')!r}"
+        )
+    elapsed = doc.get("elapsed_s")
+    if not isinstance(elapsed, (int, float)) or elapsed < 0:
+        problems.append("'elapsed_s' must be a non-negative number")
+    num_ranks = doc.get("num_ranks")
+    if not isinstance(num_ranks, int) or num_ranks < 1:
+        problems.append("'num_ranks' must be a positive int")
+    if not isinstance(doc.get("num_spans"), int):
+        problems.append("'num_spans' must be an int")
+
+    path_sec = doc.get("critical_path")
+    if not isinstance(path_sec, dict):
+        problems.append("'critical_path' object is missing")
+    else:
+        cov = path_sec.get("coverage")
+        if not isinstance(cov, (int, float)) or not 0 <= cov <= 1:
+            problems.append("critical_path.coverage must be in [0, 1]")
+        if not isinstance(path_sec.get("phase_seconds"), dict):
+            problems.append("critical_path.phase_seconds object is missing")
+
+    imb = doc.get("imbalance")
+    if not isinstance(imb, dict):
+        problems.append("'imbalance' object is missing")
+    else:
+        ranks = imb.get("ranks")
+        if not isinstance(ranks, list):
+            problems.append("imbalance.ranks list is missing")
+        elif isinstance(num_ranks, int) and len(ranks) != num_ranks:
+            problems.append(
+                f"imbalance.ranks has {len(ranks)} entries for "
+                f"{num_ranks} ranks"
+            )
+        if not isinstance(imb.get("phases"), list):
+            problems.append("imbalance.phases list is missing")
+        if not isinstance(imb.get("stragglers"), list):
+            problems.append("imbalance.stragglers list is missing")
+
+    comm = doc.get("comm")
+    if not isinstance(comm, dict):
+        problems.append("'comm' object is missing")
+    else:
+        for key in ("total_bytes", "total_messages"):
+            val = comm.get(key)
+            if not isinstance(val, int) or val < 0:
+                problems.append(f"comm.{key} must be a non-negative int")
+        if not isinstance(comm.get("bytes_by_phase"), dict):
+            problems.append("comm.bytes_by_phase object is missing")
+        if not isinstance(comm.get("top_pairs"), list):
+            problems.append("comm.top_pairs list is missing")
+
+    phase_seconds = doc.get("phase_seconds")
+    if not isinstance(phase_seconds, dict):
+        problems.append("'phase_seconds' object is missing")
+    elif not all(
+        isinstance(v, (int, float)) for v in phase_seconds.values()
+    ):
+        problems.append("phase_seconds values must be numbers")
+
+    dev = doc.get("deviation")
+    if dev is not None:
+        if not isinstance(dev, dict) or not isinstance(
+            dev.get("phases"), list
+        ):
+            problems.append("deviation.phases list is missing")
+        else:
+            for i, p in enumerate(dev["phases"]):
+                if not isinstance(p, dict) or not isinstance(
+                    p.get("phase"), str
+                ):
+                    problems.append(f"deviation.phases[{i}] is malformed")
+                    break
+    return problems
+
+
+class ProfileReportChecker(ArtifactChecker):
+    id = "profile-schema"
+    description = (
+        "repro profile JSON reports match the documented schema"
+    )
+
+    def matches(self, path: str) -> bool:
+        return path.endswith(".json")
+
+    def check_file(self, path: str) -> Iterable[Finding]:
+        try:
+            doc = load_strict_json(path)
+        except (ValueError, OSError) as exc:
+            yield Finding(
+                checker=self.id, path=path, line=0,
+                severity=Severity.ERROR,
+                message=f"not strict JSON: {exc}",
+            )
+            return
+        # A document is "ours" when it claims the profile schema, or
+        # plainly wants to be one (profile sections present) but got the
+        # schema tag wrong.  Anything else (Chrome traces, bench
+        # records, run reports) belongs to other checkers.
+        looks_like_profile = isinstance(doc, dict) and (
+            _is_profile_doc(doc)
+            or ("phase_seconds" in doc and "critical_path" in doc)
+        )
+        if not looks_like_profile:
+            return
+        for problem in check_profile_report(doc):
             yield Finding(
                 checker=self.id, path=path, line=0,
                 severity=Severity.ERROR, message=problem,

@@ -28,7 +28,11 @@ from repro.machine import get_machine
 from repro.obs import context as obs_context
 
 SCHEMA = "repro.bench.hotpaths/v1"
-DEFAULT_OUT = "BENCH_hotpaths.json"
+#: records live under the (gitignored) results directory; the bare
+#: filename at the repo root is the pre-PR-5 legacy location still
+#: honoured by :func:`load_record` / :func:`_previous_record`
+DEFAULT_OUT = "benchmarks/results/BENCH_hotpaths.json"
+LEGACY_OUT = "BENCH_hotpaths.json"
 
 
 @dataclass
@@ -220,20 +224,38 @@ def run_hotpaths(
         prev = _previous_record(out)
         if prev is not None:
             record["previous"] = prev
-        Path(out).write_text(json.dumps(record, indent=2) + "\n")
+        path = Path(out)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(record, indent=2) + "\n")
     return record
+
+
+def load_record(path: str = DEFAULT_OUT) -> Optional[Dict[str, object]]:
+    """Load a hotpaths record, honouring the legacy root-level location.
+
+    Asking for the default path falls back to :data:`LEGACY_OUT` when
+    the results directory has no record yet, so baselines written by
+    older checkouts keep working as ``--against`` targets.
+    """
+    candidates = [Path(path)]
+    if path == DEFAULT_OUT:
+        candidates.append(Path(LEGACY_OUT))
+    for p in candidates:
+        if not p.exists():
+            continue
+        try:
+            rec = json.loads(p.read_text())
+        except (OSError, ValueError):
+            continue
+        if rec.get("schema") == SCHEMA:
+            return rec
+    return None
 
 
 def _previous_record(out: str) -> Optional[Dict[str, object]]:
     """Summarize an existing record so the file keeps one step of history."""
-    path = Path(out)
-    if not path.exists():
-        return None
-    try:
-        old = json.loads(path.read_text())
-    except (OSError, ValueError):
-        return None
-    if old.get("schema") != SCHEMA:
+    old = load_record(out)
+    if old is None:
         return None
     return {
         "config": old.get("config"),

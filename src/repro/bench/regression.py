@@ -1,0 +1,91 @@
+"""Per-stage regression gate over hotpaths records (``bench --against``).
+
+Compares the per-stage ``min_s`` of a freshly-run (or loaded) hotpaths
+record against a recorded baseline and fails — exit non-zero from the
+CLI — when any stage slowed down by more than the tolerated fraction.
+``min_s`` (not ``mean_s``) is the comparison basis: minimum-of-reps is
+the standard noise-resistant statistic for wall-clock microbenchmarks.
+
+The delta machinery itself is
+:func:`repro.obs.analysis.regression_deltas`, shared with ``repro
+profile --against`` so bench stages and trace phases gate the same way.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.errors import ConfigurationError
+from repro.obs.analysis.deviation import Regression, regression_deltas
+from repro.util.format import render_table
+
+#: default tolerated fractional slowdown before a stage fails the gate
+DEFAULT_MAX_REGRESS = 0.25
+
+#: stages faster than this are timer noise; never fail on them
+MIN_GATE_SECONDS = 1e-3
+
+
+def stage_seconds(record: Dict[str, object]) -> Dict[str, float]:
+    """stage → ``min_s`` map of one hotpaths record."""
+    if not isinstance(record, dict) or "results" not in record:
+        raise ConfigurationError(
+            "not a hotpaths record: missing 'results' section"
+        )
+    return {
+        str(r["stage"]): float(r.get("min_s", 0.0))
+        for r in record["results"]
+        if isinstance(r, dict) and "stage" in r
+    }
+
+
+def compare_records(
+    current: Dict[str, object],
+    baseline: Dict[str, object],
+    max_regress: float = DEFAULT_MAX_REGRESS,
+) -> List[Regression]:
+    """Per-stage regression deltas between two hotpaths records.
+
+    Refuses to compare records of different benchmark shapes — a delta
+    between different (n, block, grid) configurations is meaningless.
+    """
+    cur_cfg = {
+        k: v for k, v in (current.get("config") or {}).items()
+        if k in ("n", "block", "grid", "machine", "seed")
+    }
+    base_cfg = {
+        k: v for k, v in (baseline.get("config") or {}).items()
+        if k in ("n", "block", "grid", "machine", "seed")
+    }
+    if cur_cfg != base_cfg:
+        raise ConfigurationError(
+            f"cannot gate against a different benchmark shape: current "
+            f"{cur_cfg} vs baseline {base_cfg}"
+        )
+    return regression_deltas(
+        stage_seconds(current),
+        stage_seconds(baseline),
+        threshold=max_regress,
+        min_seconds=MIN_GATE_SECONDS,
+    )
+
+
+def render_regressions(
+    deltas: List[Regression], max_regress: float
+) -> str:
+    """ASCII table of a gate comparison."""
+    rows = [
+        [r.name, f"{r.baseline_s:.4f}", f"{r.current_s:.4f}",
+         f"{r.delta:+.1%}" if r.delta is not None else "-",
+         "FAIL" if r.regressed else ""]
+        for r in deltas
+    ]
+    failed = sum(r.regressed for r in deltas)
+    title = (
+        f"regression gate (>{max_regress:.0%} slower fails): "
+        + (f"{failed} stage(s) FAILED" if failed else "all stages within budget")
+    )
+    return render_table(
+        ["stage", "baseline_s", "current_s", "delta", "verdict"],
+        rows, title=title,
+    )

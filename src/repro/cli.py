@@ -10,8 +10,11 @@ Subcommands mirror the workflows in the paper:
 - ``figure``  — regenerate a paper table/figure by id;
 - ``trace``   — simulate with full observability and export a
   Chrome/Perfetto trace (open in https://ui.perfetto.dev);
+- ``profile`` — analyze a trace: critical path, load imbalance, comm
+  matrix, model-vs-measured deviation, regression deltas;
 - ``metrics`` — simulate with observability and print the metrics table;
-- ``bench``   — hot-path benchmark harness (writes BENCH_hotpaths.json);
+- ``bench``   — hot-path benchmark harness (writes the hotpaths record
+  under benchmarks/results/), with a ``--against`` regression gate;
 - ``lint``    — static analysis (precision-flow, tag-space,
   collective-matching, hygiene, trace-schema) with baseline support;
 - ``specs``   — print machine presets.
@@ -114,7 +117,14 @@ def cmd_run(args) -> int:
     from repro.core.driver import simulate_run
 
     cfg = _build_config(args)
-    res = simulate_run(cfg)
+    progress = None
+    if args.progress:
+        from repro.obs.analysis import LiveProgressReporter
+
+        progress = LiveProgressReporter(
+            cfg, stream=sys.stdout, every=args.progress_every
+        )
+    res = simulate_run(cfg, progress=progress)
     print("event-engine simulation:")
     _print_result(res)
     if args.json:
@@ -353,23 +363,93 @@ def _observed_run(args):
 
 
 def cmd_trace(args) -> int:
-    """Simulate a run and export its unified trace (Chrome/Perfetto)."""
+    """Simulate a run and export its unified trace (Chrome/Perfetto).
+
+    Exports are written in the canonical span order (start, end, rank,
+    cat, name) so two traces of the same run diff cleanly; --category /
+    --rank narrow the export to the lanes under study.
+    """
     cfg, obs, res = _observed_run(args)
-    path = obs.export_chrome_trace(args.out)
+    sel = dict(cats=args.category or None, ranks=args.rank or None, sort=True)
+    path = obs.export_chrome_trace(args.out, **sel)
     cats = obs.tracer.categories()
     print(f"simulated N={cfg.n} on {cfg.p_rows}x{cfg.p_cols} "
           f"({cfg.machine.name} model): {res.elapsed:.3f}s virtual")
     print(f"  {len(obs.tracer)} spans "
           f"({', '.join(f'{c}: {n}' for c, n in sorted(cats.items()))}"
           f"{f'; dropped {obs.tracer.dropped}' if obs.tracer.dropped else ''})")
+    if args.category or args.rank:
+        from repro.obs.export import filter_spans
+
+        kept = len(filter_spans(obs.tracer, **sel))
+        print(f"  exported {kept} spans after --category/--rank filters")
     print(f"  chrome trace -> {path}  (open in https://ui.perfetto.dev)")
     if args.jsonl:
-        print(f"  span log     -> {obs.export_jsonl(args.jsonl)}")
+        print(f"  span log     -> {obs.export_jsonl(args.jsonl, **sel)}")
     if args.json:
         from repro.core.report import save_report
 
         print(f"  report       -> {save_report(res, args.json, obs=obs)}")
     return 0
+
+
+def cmd_profile(args) -> int:
+    """Analyze an exported trace: critical path, imbalance, comm matrix,
+    model-vs-measured deviation, and optional regression gating."""
+    import json
+    from pathlib import Path
+
+    from repro.obs.analysis import (
+        build_profile,
+        compare_profiles,
+        load_profile_input,
+    )
+    from repro.obs.export import dumps_strict
+
+    pi = load_profile_input(args.trace)
+    rep = build_profile(
+        pi,
+        threshold=args.straggler_threshold,
+        with_model=not args.no_model,
+    )
+    doc = rep.to_dict()
+    if args.format == "json":
+        text = dumps_strict(doc, indent=2)
+    elif args.format == "csv":
+        text = "\n".join(
+            ",".join(str(c) for c in row) for row in rep.csv_rows()
+        )
+    else:
+        text = rep.render_text()
+    if args.out:
+        Path(args.out).write_text(text + "\n")
+        print(f"wrote {args.out}")
+    else:
+        print(text)
+
+    rc = 0
+    if args.against:
+        from repro.bench.regression import render_regressions
+
+        baseline = json.loads(Path(args.against).read_text())
+        deltas = compare_profiles(doc, baseline, args.max_regress)
+        print()
+        print(render_regressions(deltas, args.max_regress))
+        if any(d.regressed for d in deltas):
+            rc = 1
+    if args.max_dev is not None:
+        if rep.deviation is None:
+            print("profile: --max-dev given but no model comparison was "
+                  "possible (trace has no usable provenance)")
+            rc = 2
+        else:
+            worst = rep.deviation.worst()
+            if worst is not None and abs(worst.deviation) > args.max_dev:
+                print(f"profile: phase {worst.phase!r} deviates "
+                      f"{worst.deviation:+.1%} from the model "
+                      f"(budget ±{args.max_dev:.0%})")
+                rc = 1
+    return rc
 
 
 def cmd_metrics(args) -> int:
@@ -412,9 +492,15 @@ def cmd_report(args) -> int:
 
 
 def cmd_bench(args) -> int:
-    """Run the hot-path benchmark harness and write BENCH_hotpaths.json."""
-    from repro.bench.hotpaths import render_hotpaths, run_hotpaths
+    """Run the hot-path benchmark harness; optionally gate vs a baseline."""
+    from repro.bench.hotpaths import load_record, render_hotpaths, run_hotpaths
 
+    # Load the baseline before running: --against may name the same file
+    # --out is about to overwrite.
+    baseline = load_record(args.against) if args.against else None
+    if args.against and baseline is None:
+        print(f"bench: no usable baseline record at {args.against}")
+        return 2
     record = run_hotpaths(
         n=args.n, block=args.block, grid=args.grid, reps=args.reps,
         seed=args.seed, machine=args.machine, out=args.out,
@@ -422,7 +508,14 @@ def cmd_bench(args) -> int:
     print(render_hotpaths(record))
     if args.out:
         print(f"wrote {args.out}")
-    return 0
+    if baseline is None:
+        return 0
+
+    from repro.bench.regression import compare_records, render_regressions
+    deltas = compare_records(record, baseline, args.max_regress)
+    print()
+    print(render_regressions(deltas, args.max_regress))
+    return 1 if any(d.regressed for d in deltas) else 0
 
 
 def cmd_specs(args) -> int:
@@ -459,6 +552,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--json", default=None, help="write a JSON run report")
     p.add_argument("--trace", default=None,
                    help="write the per-iteration trace as CSV")
+    p.add_argument("--progress", action="store_true",
+                   help="print per-panel-column GF/s and projected finish "
+                        "while the run executes")
+    p.add_argument("--progress-every", type=int, default=1, metavar="K",
+                   help="report every K panel columns (default 1)")
     p.set_defaults(func=cmd_run)
 
     p = sub.add_parser("model", help="analytic estimate at any scale")
@@ -519,7 +617,42 @@ def build_parser() -> argparse.ArgumentParser:
                    help="also write the run report (with provenance)")
     p.add_argument("--max-spans", type=int, default=None,
                    help="bound tracer memory to the newest N spans")
+    p.add_argument("--category", action="append", default=None,
+                   metavar="CAT",
+                   help="export only this span category (repeatable: "
+                        "engine, executor, comm, driver, hotpath)")
+    p.add_argument("--rank", action="append", type=int, default=None,
+                   metavar="R",
+                   help="export only this rank's lane (repeatable; "
+                        "-1 = driver lane)")
     p.set_defaults(func=cmd_trace)
+
+    p = sub.add_parser(
+        "profile",
+        help="analyze a trace: critical path, imbalance, comm matrix, "
+             "model deviation",
+    )
+    p.add_argument("trace",
+                   help="exported trace (Chrome JSON or JSONL span log)")
+    p.add_argument("--format", choices=("text", "json", "csv"),
+                   default="text", help="output format (default text)")
+    p.add_argument("--out", default=None,
+                   help="write the report to a file instead of stdout")
+    p.add_argument("--against", default=None, metavar="PROFILE_JSON",
+                   help="baseline profile report (from --format json) to "
+                        "compute regression deltas against")
+    p.add_argument("--max-regress", type=float, default=0.25,
+                   help="fail (exit 1) when a phase is this fraction "
+                        "slower than the --against baseline (default 0.25)")
+    p.add_argument("--max-dev", type=float, default=None,
+                   help="fail (exit 1) when any modelled phase deviates "
+                        "more than this fraction from the analytic model")
+    p.add_argument("--straggler-threshold", type=float, default=0.02,
+                   help="flag ranks busier than the median by this "
+                        "fraction (default 0.02)")
+    p.add_argument("--no-model", action="store_true",
+                   help="skip the model-vs-measured section")
+    p.set_defaults(func=cmd_profile)
 
     p = sub.add_parser(
         "metrics", help="simulate with observability and print metrics"
@@ -553,8 +686,16 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--reps", type=int, default=3,
                    help="repetitions per stage (default 3)")
     p.add_argument("--seed", type=int, default=42)
-    p.add_argument("--out", default="BENCH_hotpaths.json",
-                   help="JSON record path ('' to skip writing)")
+    from repro.bench.hotpaths import DEFAULT_OUT as _BENCH_OUT
+
+    p.add_argument("--out", default=_BENCH_OUT,
+                   help=f"JSON record path ('' to skip writing; "
+                        f"default {_BENCH_OUT})")
+    p.add_argument("--against", default=None, metavar="RECORD_JSON",
+                   help="baseline hotpaths record to gate against")
+    p.add_argument("--max-regress", type=float, default=0.25,
+                   help="fail (exit 1) when a stage's min_s is this "
+                        "fraction slower than the baseline (default 0.25)")
     _add_machine_arg(p)
     p.set_defaults(func=cmd_bench)
 

@@ -28,6 +28,7 @@ from repro.comm.route import ROUTE_BUILDERS, RouteSend
 from repro.errors import CommunicationError
 from repro.machine.spec import MpiModel
 from repro.obs import context as obs_context
+from repro.obs.phases import phase_of_logical_tag
 from repro.simulate.phantom import nbytes_of
 from repro.simulate.events import (
     Allreduce,
@@ -95,15 +96,21 @@ class RankComm:
         self._route_cache: Dict[tuple, Any] = {}
 
     @staticmethod
-    def _count_bcast(algo_name: str, payload: Any) -> None:
-        """Root-side accounting: bytes broadcast per algorithm variant."""
+    def _count_bcast(algo_name: str, payload: Any, tag: int = -1) -> None:
+        """Root-side accounting: bytes broadcast per algorithm variant
+        and — when the logical ``tag`` is given — per benchmark phase
+        (diag_bcast / panel_bcast / ir), the byte-count labels the
+        trace-analysis layer joins against."""
         obs = obs_context.current()
         if obs.enabled and payload is not None:
             m = obs.metrics
-            m.counter("comm.bcast_bytes", algorithm=algo_name).inc(
-                nbytes_of(payload)
-            )
+            size = nbytes_of(payload)
+            m.counter("comm.bcast_bytes", algorithm=algo_name).inc(size)
             m.counter("comm.bcast_calls", algorithm=algo_name).inc()
+            if tag >= 0:
+                phase = phase_of_logical_tag(tag)
+                m.counter("comm.phase_bytes", phase=phase).inc(size)
+                m.counter("comm.phase_calls", phase=phase).inc()
 
     # -- point to point ---------------------------------------------------
 
@@ -164,7 +171,7 @@ class RankComm:
                 "speed": 1.0,
                 "segments": self._ring_segments_for(len(members)),
             }
-        self._count_bcast(algo_name, payload)
+        self._count_bcast(algo_name, payload, tag)
         result = yield from algo(
             self.rank, payload, root, list(members), tag, **kwargs
         )
@@ -221,7 +228,7 @@ class RankComm:
             )
             self._route_cache[cache_key] = spec
 
-        self._count_bcast(algo_name, payload)
+        self._count_bcast(algo_name, payload, tag)
         root_done = yield RouteSend(
             spec, payload, tag * TAG_STRIDE, speed=self._bcast_speed(algo_name)
         )

@@ -78,6 +78,7 @@ def run_benchmark(
     global_speed: float = 1.0,
     collect_trace: bool = True,
     obs: Optional["obs_context.Observability"] = None,
+    progress: Optional[List[dict]] = None,
 ) -> RunResult:
     """Execute one HPL-AI run on the event engine.
 
@@ -98,6 +99,11 @@ def run_benchmark(
         (disabled no-op by default).  When enabled, the engine/executor/
         comm layers emit spans and metrics into it, driver-level phase
         spans are added, and the handle keeps the run's provenance.
+    progress:
+        Replacement sink for rank 0's per-panel-column trace records.
+        A :class:`~repro.obs.analysis.LiveProgressReporter` here turns
+        the run chatty: each appended column is narrated as it lands.
+        Implies trace collection regardless of ``collect_trace``.
     """
     if global_speed <= 0:
         raise ConfigurationError(f"global_speed must be positive, got {global_speed}")
@@ -129,14 +135,15 @@ def run_benchmark(
         obs=obs,
     )
 
-    trace: List[dict] = []
+    trace: List[dict] = progress if progress is not None else []
     exec_cls = ExactExecutor if exact else PhantomExecutor
 
     def factory(rank: int):
         p_ir, p_ic = cfg.grid.coords_of(rank)
         ex = exec_cls(cfg, p_ir, p_ic, rank)
         return hplai_rank_program(
-            cfg, ex, rank, trace if collect_trace else None
+            cfg, ex, rank,
+            trace if (collect_trace or progress is not None) else None,
         )
 
     # Install the handle for the duration of the run so instrumentation
@@ -237,6 +244,7 @@ def simulate_run(
     rate_multipliers: Optional[Sequence[float]] = None,
     global_speed: float = 1.0,
     obs: Optional["obs_context.Observability"] = None,
+    progress: Optional[List[dict]] = None,
 ) -> RunResult:
     """Timing-only run of the full rank programs at any engine scale."""
     return run_benchmark(
@@ -245,4 +253,5 @@ def simulate_run(
         rate_multipliers=rate_multipliers,
         global_speed=global_speed,
         obs=obs,
+        progress=progress,
     )

@@ -30,17 +30,18 @@ from repro.comm.vmpi import RankComm
 from repro.core.config import BenchmarkConfig
 from repro.core.executors import ExecutorBase
 from repro.core.refine import refinement_phase
+from repro.obs.phases import (
+    STEP_STRIDE,
+    TAG_DIAG_COL,
+    TAG_DIAG_ROW,
+    TAG_L_PANEL,
+    TAG_U_PANEL,
+)
 from repro.simulate.events import Barrier, Compute, Now
 
 
 def _tag(k: int, phase: int) -> int:
-    return 8 * k + phase
-
-
-TAG_DIAG_ROW = 0
-TAG_DIAG_COL = 1
-TAG_U_PANEL = 2
-TAG_L_PANEL = 3
+    return STEP_STRIDE * k + phase
 
 
 def _diag_phase(cfg: BenchmarkConfig, ex: ExecutorBase, comm: RankComm, k: int):

@@ -26,9 +26,8 @@ from __future__ import annotations
 from repro.comm.vmpi import RankComm
 from repro.core.config import BenchmarkConfig
 from repro.core.executors import ExecutorBase
+from repro.obs.phases import IR_TAG_BASE as _REFINE_TAG_BASE
 from repro.simulate.events import Compute
-
-_REFINE_TAG_BASE = 1 << 22
 
 
 def _sweep_tag(cfg: BenchmarkConfig, iteration: int, j: int, upper: bool) -> int:

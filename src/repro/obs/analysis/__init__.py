@@ -1,0 +1,86 @@
+"""Trace analytics over the observability layer's spans and metrics.
+
+Everything here is *post-hoc* (or, for :mod:`progress`, streaming)
+analysis of what :mod:`repro.obs` recorded:
+
+- :mod:`loaders` — normalize live tracers / Chrome traces / JSONL span
+  logs into one :class:`~repro.obs.analysis.loaders.ProfileInput`, and
+  map raw span names to benchmark phases;
+- :mod:`critical_path` — which phase chain actually bounded wall time;
+- :mod:`imbalance` — per-rank utilization, per-phase max/mean spread,
+  straggler flagging;
+- :mod:`comm_matrix` — bytes/messages per rank pair and per phase;
+- :mod:`deviation` — measured vs :mod:`repro.model.perf_model`
+  predictions, plus the generic regression-delta gate;
+- :mod:`progress` — live per-panel-column GF/s + projected finish;
+- :mod:`report` — the combined ``repro profile`` report (text / JSON /
+  CSV, schema :data:`~repro.obs.analysis.report.PROFILE_SCHEMA`).
+"""
+
+from repro.obs.analysis.comm_matrix import CommMatrix, comm_matrix
+from repro.obs.analysis.critical_path import (
+    CriticalPathResult,
+    PathSegment,
+    critical_path,
+)
+from repro.obs.analysis.deviation import (
+    DeviationReport,
+    PhaseDeviation,
+    Regression,
+    measured_phase_seconds,
+    model_vs_measured,
+    regression_deltas,
+)
+from repro.obs.analysis.imbalance import (
+    ImbalanceReport,
+    PhaseImbalance,
+    RankLoad,
+    load_imbalance,
+)
+from repro.obs.analysis.loaders import (
+    ProfileInput,
+    config_from_provenance,
+    from_observability,
+    from_tracer,
+    load_profile_input,
+    phase_of_span,
+    step_of_span,
+)
+from repro.obs.analysis.progress import LiveProgressReporter, step_flops
+from repro.obs.analysis.report import (
+    PROFILE_SCHEMA,
+    ProfileReport,
+    build_profile,
+    compare_profiles,
+)
+
+__all__ = [
+    "CommMatrix",
+    "comm_matrix",
+    "CriticalPathResult",
+    "PathSegment",
+    "critical_path",
+    "DeviationReport",
+    "PhaseDeviation",
+    "Regression",
+    "measured_phase_seconds",
+    "model_vs_measured",
+    "regression_deltas",
+    "ImbalanceReport",
+    "PhaseImbalance",
+    "RankLoad",
+    "load_imbalance",
+    "ProfileInput",
+    "config_from_provenance",
+    "from_observability",
+    "from_tracer",
+    "load_profile_input",
+    "phase_of_span",
+    "step_of_span",
+    "LiveProgressReporter",
+    "step_flops",
+    "PROFILE_SCHEMA",
+    "ProfileReport",
+    "build_profile",
+    "compare_profiles",
+]

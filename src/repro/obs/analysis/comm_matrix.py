@@ -1,0 +1,76 @@
+"""Rank-pair communication matrix from engine transfer spans.
+
+Every point-to-point transfer the engine models emits an ``xfer`` span
+on the *sender's* lane with attrs ``{dst, bytes, intra, [tag]}``.
+Aggregating those gives the classic communication matrix — bytes and
+message counts per (src, dst) pair — plus a per-phase split via the
+wire tag (diag broadcast vs panel broadcast vs refinement traffic),
+and an intra/inter-node split via the ``intra`` flag.  On the paper's
+machines this is how you see the broadcast algorithm's shape: a
+binomial tree concentrates traffic on low ranks, the modified rings
+spread it along the neighbour diagonals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.obs.analysis.loaders import phase_of_span
+from repro.obs.tracer import Span
+
+
+@dataclass
+class CommMatrix:
+    """Aggregated point-to-point traffic for one trace."""
+
+    num_ranks: int
+    bytes_by_pair: Dict[Tuple[int, int], int] = field(default_factory=dict)
+    msgs_by_pair: Dict[Tuple[int, int], int] = field(default_factory=dict)
+    bytes_by_phase: Dict[str, int] = field(default_factory=dict)
+    intra_bytes: int = 0
+    inter_bytes: int = 0
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(self.bytes_by_pair.values())
+
+    @property
+    def total_messages(self) -> int:
+        return sum(self.msgs_by_pair.values())
+
+    def matrix(self) -> List[List[int]]:
+        """Dense bytes matrix, ``m[src][dst]``."""
+        m = [[0] * self.num_ranks for _ in range(self.num_ranks)]
+        for (src, dst), b in self.bytes_by_pair.items():
+            if 0 <= src < self.num_ranks and 0 <= dst < self.num_ranks:
+                m[src][dst] = b
+        return m
+
+    def top_pairs(self, n: int = 10) -> List[Tuple[int, int, int, int]]:
+        """Heaviest (src, dst, bytes, msgs) pairs, descending by bytes."""
+        pairs = sorted(self.bytes_by_pair.items(), key=lambda kv: -kv[1])
+        return [
+            (src, dst, b, self.msgs_by_pair.get((src, dst), 0))
+            for (src, dst), b in pairs[:n]
+        ]
+
+
+def comm_matrix(spans: List[Span], num_ranks: int) -> CommMatrix:
+    """Build the communication matrix from a span set."""
+    cm = CommMatrix(num_ranks=num_ranks)
+    for sp in spans:
+        if sp.cat != "comm" or sp.name != "xfer" or "dst" not in sp.attrs:
+            continue
+        src, dst = sp.rank, int(sp.attrs["dst"])
+        size = int(sp.attrs.get("bytes", 0))
+        key = (src, dst)
+        cm.bytes_by_pair[key] = cm.bytes_by_pair.get(key, 0) + size
+        cm.msgs_by_pair[key] = cm.msgs_by_pair.get(key, 0) + 1
+        phase = phase_of_span(sp)
+        cm.bytes_by_phase[phase] = cm.bytes_by_phase.get(phase, 0) + size
+        if sp.attrs.get("intra"):
+            cm.intra_bytes += size
+        else:
+            cm.inter_bytes += size
+    return cm

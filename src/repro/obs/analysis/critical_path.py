@@ -1,0 +1,159 @@
+"""Critical-path extraction over the span DAG.
+
+The simulator's spans form a DAG: within one rank, spans are totally
+ordered by time; across ranks, a ``wait_recv`` span (attrs ``src`` /
+``tag``) depends on the matching ``xfer`` span on the sender.  The
+*critical path* is the dependency chain ending at the globally latest
+span — the sequence of work/wait segments that actually bounded wall
+time.  Attribution of its segments to benchmark phases is the Fig.-10
+style answer to "what bounds this run: panel GETRF/TRSM, the
+broadcasts, the GEMM update, or refinement?".
+
+Algorithm (back-walk): start from the span with the latest end time.
+From a ``wait_recv`` span, jump to the sender's matching ``xfer`` span
+(same tag, latest end not after the wait's end); from anything else,
+step to the same-rank predecessor with the latest end at or before the
+span's start.  Stop when no predecessor exists.  Gaps between
+consecutive path segments (scheduler slack the trace doesn't explain)
+are reported as uncovered time rather than attributed to a phase.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.obs.analysis.loaders import phase_of_span, step_of_span
+from repro.obs.tracer import Span
+
+#: slack tolerated when matching predecessor end times (float noise)
+_EPS = 1e-9
+
+
+@dataclass
+class PathSegment:
+    """One span on the critical path (time-ordered)."""
+
+    span: Span
+    phase: str
+    step: Optional[int]
+
+    @property
+    def duration(self) -> float:
+        return self.span.end - self.span.start
+
+
+@dataclass
+class CriticalPathResult:
+    """The extracted path plus its phase attribution."""
+
+    segments: List[PathSegment]
+    #: seconds of path time per benchmark phase, descending order
+    phase_seconds: Dict[str, float]
+    #: total wall time of the trace window
+    elapsed: float
+    #: fraction of ``elapsed`` the path's segments explain
+    coverage: float
+    #: per-factorization-step bounding phase, for steps whose comm
+    #: segments appear on the path
+    step_bound: Dict[int, str] = field(default_factory=dict)
+
+    @property
+    def bounding_phase(self) -> Optional[str]:
+        """The phase with the most path time (None for an empty path)."""
+        if not self.phase_seconds:
+            return None
+        return max(self.phase_seconds, key=lambda p: self.phase_seconds[p])
+
+
+def _match_sender_xfer(
+    xfers: Dict[Tuple[int, int], List[Span]],
+    src: int,
+    dst: int,
+    tag: Optional[int],
+    not_after: float,
+) -> Optional[Span]:
+    """Latest xfer span src→dst ending at or before ``not_after``;
+    prefers an exact tag match when the wait recorded one."""
+    candidates = xfers.get((src, dst))
+    if not candidates:
+        return None
+    best = None
+    for sp in candidates:
+        if sp.end > not_after + _EPS:
+            break  # sorted by end
+        if tag is not None and sp.attrs.get("tag") != tag:
+            continue
+        best = sp
+    if best is None and tag is not None:
+        # Fall back to any-tag matching (e.g. staged transfers).
+        return _match_sender_xfer(xfers, src, dst, None, not_after)
+    return best
+
+
+def critical_path(spans: List[Span], elapsed: float) -> CriticalPathResult:
+    """Extract the critical path from a span set (see module docstring)."""
+    ranked = [s for s in spans if s.rank >= 0 and s.end > s.start]
+    if not ranked:
+        return CriticalPathResult([], {}, elapsed, 0.0)
+
+    by_rank: Dict[int, List[Span]] = {}
+    xfers: Dict[Tuple[int, int], List[Span]] = {}
+    for sp in ranked:
+        by_rank.setdefault(sp.rank, []).append(sp)
+        if sp.cat == "comm" and sp.name == "xfer" and "dst" in sp.attrs:
+            xfers.setdefault((sp.rank, int(sp.attrs["dst"])), []).append(sp)
+    for lst in by_rank.values():
+        lst.sort(key=lambda s: (s.end, s.start))
+    rank_ends: Dict[int, List[float]] = {
+        r: [s.end for s in lst] for r, lst in by_rank.items()
+    }
+    for lst in xfers.values():
+        lst.sort(key=lambda s: s.end)
+
+    def rank_predecessor(rank: int, not_after: float) -> Optional[Span]:
+        lst = by_rank.get(rank)
+        if not lst:
+            return None
+        i = bisect.bisect_right(rank_ends[rank], not_after + _EPS) - 1
+        return lst[i] if i >= 0 else None
+
+    cur = max(ranked, key=lambda s: s.end)
+    segments: List[PathSegment] = []
+    seen = set()
+    # Each hop moves to a span ending no later than the current one; the
+    # seen-set guards against equal-end ties looping forever.
+    while cur is not None and id(cur) not in seen:
+        seen.add(id(cur))
+        segments.append(PathSegment(cur, phase_of_span(cur), step_of_span(cur)))
+        if cur.name == "wait_recv" and "src" in cur.attrs:
+            nxt = _match_sender_xfer(
+                xfers, int(cur.attrs["src"]), cur.rank,
+                cur.attrs.get("tag"), cur.end,
+            )
+            if nxt is None or id(nxt) in seen:
+                nxt = rank_predecessor(cur.rank, cur.start)
+        else:
+            nxt = rank_predecessor(cur.rank, cur.start)
+        cur = nxt
+
+    segments.reverse()
+
+    phase_seconds: Dict[str, float] = {}
+    step_bound: Dict[int, Dict[str, float]] = {}
+    covered = 0.0
+    for seg in segments:
+        phase_seconds[seg.phase] = phase_seconds.get(seg.phase, 0.0) + seg.duration
+        covered += seg.duration
+        if seg.step is not None:
+            per = step_bound.setdefault(seg.step, {})
+            per[seg.phase] = per.get(seg.phase, 0.0) + seg.duration
+    phase_seconds = dict(
+        sorted(phase_seconds.items(), key=lambda kv: -kv[1])
+    )
+    bound = {
+        k: max(per, key=lambda p: per[p]) for k, per in sorted(step_bound.items())
+    }
+    coverage = min(1.0, covered / elapsed) if elapsed > 0 else 0.0
+    return CriticalPathResult(segments, phase_seconds, elapsed, coverage, bound)

@@ -64,11 +64,11 @@ class Observability:
 
         return write_chrome_trace(path, self, **kwargs)
 
-    def export_jsonl(self, path):
+    def export_jsonl(self, path, **kwargs):
         """Write the collected spans as JSONL (one span per line)."""
         from repro.obs.export import write_jsonl
 
-        return write_jsonl(path, self.tracer)
+        return write_jsonl(path, self.tracer, **kwargs)
 
     def metrics_text(self) -> str:
         """Prometheus-style flat text dump of the metrics registry."""

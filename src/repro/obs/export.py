@@ -23,7 +23,7 @@ from __future__ import annotations
 import json
 import math
 from pathlib import Path
-from typing import Optional, Union
+from typing import Iterable, List, Optional, Sequence, Union
 
 from repro.obs.metrics import Histogram, MetricsRegistry
 from repro.obs.tracer import SpanTracer
@@ -51,6 +51,32 @@ def dumps_strict(obj, **kwargs) -> str:
     return json.dumps(sanitize_json(obj), allow_nan=False, **kwargs)
 
 
+def filter_spans(
+    spans: Iterable,
+    cats: Optional[Sequence[str]] = None,
+    ranks: Optional[Sequence[int]] = None,
+    sort: bool = False,
+) -> List:
+    """Select and order spans for export.
+
+    ``cats`` / ``ranks`` keep only matching categories / rank lanes
+    (None = keep all).  ``sort=True`` applies the canonical ordering
+    ``(start, end, rank, cat, name)`` so two exports of the same run are
+    byte-identical regardless of buffer/merge interleaving — which is
+    what makes trace files diffable across runs.
+    """
+    cat_set = set(cats) if cats is not None else None
+    rank_set = set(ranks) if ranks is not None else None
+    out = [
+        s for s in spans
+        if (cat_set is None or s.cat in cat_set)
+        and (rank_set is None or s.rank in rank_set)
+    ]
+    if sort:
+        out.sort(key=lambda s: (s.start, s.end, s.rank, s.cat, s.name))
+    return out
+
+
 def _resolve(source: "Union[SpanTracer, object]"):
     """Accept an Observability handle or a bare tracer."""
     tracer = getattr(source, "tracer", source)
@@ -64,13 +90,19 @@ def to_chrome_trace(
     provenance: Optional[dict] = None,
     include_metrics: bool = True,
     pid: int = 0,
+    cats: Optional[Sequence[str]] = None,
+    ranks: Optional[Sequence[int]] = None,
+    sort: bool = False,
 ) -> dict:
     """Build the ``trace_event`` JSON document for a span stream.
 
     ``source`` is an :class:`~repro.obs.context.Observability` handle or
     a bare :class:`SpanTracer`.  Each rank becomes one thread lane
     (``tid = rank``); spans with ``rank < 0`` (driver-level phases) land
-    in a dedicated lane after the largest rank.
+    in a dedicated lane after the largest rank.  ``cats`` / ``ranks`` /
+    ``sort`` select and canonically order spans (:func:`filter_spans`);
+    the driver lane stays after the largest rank *seen in the full
+    stream* so filtered exports keep stable lane numbering.
     """
     tracer, metrics, auto_prov = _resolve(source)
     provenance = provenance if provenance is not None else auto_prov
@@ -79,7 +111,7 @@ def to_chrome_trace(
 
     events = []
     seen_tids = set()
-    for s in tracer:
+    for s in filter_spans(tracer, cats=cats, ranks=ranks, sort=sort):
         tid = s.rank if s.rank >= 0 else driver_tid
         seen_tids.add(tid)
         ev = {
@@ -136,11 +168,20 @@ def write_chrome_trace(path, source, **kwargs) -> Path:
     return path
 
 
-def write_jsonl(path, tracer: SpanTracer) -> Path:
-    """One JSON object per span (rank/cat/name/start/end/attrs)."""
+def write_jsonl(
+    path,
+    tracer: SpanTracer,
+    cats: Optional[Sequence[str]] = None,
+    ranks: Optional[Sequence[int]] = None,
+    sort: bool = False,
+) -> Path:
+    """One JSON object per span (rank/cat/name/start/end/attrs).
+
+    ``cats`` / ``ranks`` / ``sort`` as in :func:`filter_spans`.
+    """
     path = Path(path)
     with path.open("w") as fh:
-        for s in tracer:
+        for s in filter_spans(tracer, cats=cats, ranks=ranks, sort=sort):
             fh.write(dumps_strict({
                 "name": s.name,
                 "cat": s.cat,

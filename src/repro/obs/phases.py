@@ -1,0 +1,80 @@
+"""The wire-tag → benchmark-phase vocabulary shared by emitters and
+analysis.
+
+The factorization rank program (:mod:`repro.core.hplai`) scopes step
+``k``'s collectives with *logical* tags ``STEP_STRIDE * k + phase``
+(phase ∈ diag-row, diag-col, U-panel, L-panel) and iterative refinement
+uses a disjoint high window starting at :data:`IR_TAG_BASE`.  Each
+logical tag owns the wire window ``[tag * TAG_STRIDE, (tag+1) *
+TAG_STRIDE)`` (:data:`repro.comm.bcast.TAG_STRIDE`).
+
+This module is the single source of truth for that layout: the rank
+program builds tags from these constants, the comm facade labels its
+byte counters with :func:`phase_of_logical_tag`, and the trace-analysis
+layer (:mod:`repro.obs.analysis`) decodes exported span attrs back into
+phases with :func:`decode_wire_tag` — which is what makes a Fig.-10
+style "which phase bounds this step" attribution possible from a trace
+file alone.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+#: logical tags per factorization step
+STEP_STRIDE = 8
+
+#: phase offsets within one step's tag window
+TAG_DIAG_ROW = 0
+TAG_DIAG_COL = 1
+TAG_U_PANEL = 2
+TAG_L_PANEL = 3
+
+#: first logical tag of the GMRES sweep window (disjoint from the
+#: factorization steps; see :mod:`repro.core.gmres`)
+GMRES_TAG_BASE = 1 << 16
+
+#: first logical tag of the iterative-refinement window (disjoint from
+#: every factorization step's window)
+IR_TAG_BASE = 1 << 22
+
+#: phase offset → human-readable comm-phase name
+_OFFSET_PHASE = {
+    TAG_DIAG_ROW: "diag_bcast",
+    TAG_DIAG_COL: "diag_bcast",
+    TAG_U_PANEL: "panel_bcast",
+    TAG_L_PANEL: "panel_bcast",
+}
+
+
+def phase_of_logical_tag(tag: int) -> str:
+    """Comm-phase name for a logical tag (``ir``, ``diag_bcast``,
+    ``panel_bcast``, or ``comm`` for anything outside the layout)."""
+    return decode_logical_tag(tag)[0]
+
+
+def decode_logical_tag(tag: int) -> Tuple[str, Optional[int]]:
+    """``(phase name, factorization step k)``; ``k`` is None outside
+    the factorization window.
+
+    Everything at or above :data:`GMRES_TAG_BASE` is solver traffic
+    (GMRES sweeps, classical IR, the distributed-HPL window) and maps
+    to ``"ir"``.
+    """
+    if tag >= GMRES_TAG_BASE:
+        return "ir", None
+    phase = _OFFSET_PHASE.get(tag % STEP_STRIDE)
+    if phase is None:
+        return "comm", None
+    return phase, tag // STEP_STRIDE
+
+
+def decode_wire_tag(wire_tag: int) -> Tuple[str, Optional[int]]:
+    """Decode a *wire* tag (what engine transfer spans record in their
+    ``tag`` attr) into ``(phase name, step k or None)``."""
+    # Imported here, not at module level: this module sits below the
+    # comm package (vmpi labels its counters with phase_of_logical_tag)
+    # and a top-level import would be circular.
+    from repro.comm.bcast import TAG_STRIDE
+
+    return decode_logical_tag(wire_tag // TAG_STRIDE)

@@ -342,7 +342,8 @@ class Engine:
         self._resume(rank)
 
     def _transfer(
-        self, src: int, dst: int, size: float, ready: float, speed: float
+        self, src: int, dst: int, size: float, ready: float, speed: float,
+        tag: Optional[int] = None,
     ) -> Tuple[float, float]:
         """Charge one point-to-point transfer; returns (departure, arrival).
 
@@ -375,21 +376,24 @@ class Engine:
         self.stats[src].bytes_sent += int(size)
         self.stats[src].messages_sent += 1
         if self._emit:
-            self._span_add(
-                "xfer", "comm", start, done, src,
-                attrs={"dst": dst, "bytes": int(size), "intra": intra},
-            )
+            attrs = {"dst": dst, "bytes": int(size), "intra": intra}
+            if tag is not None:
+                attrs["tag"] = tag
+            self._span_add("xfer", "comm", start, done, src, attrs=attrs)
             self._ctr_bytes[intra].inc(size)
             self._ctr_msgs[intra].inc()
         return done, arrival
 
     def _schedule_transfer(
-        self, rank: int, st: _RankState, dst: int, payload, speed: float
+        self, rank: int, st: _RankState, dst: int, payload, speed: float,
+        tag: Optional[int] = None,
     ) -> Tuple[float, float]:
         """Returns (sender_completion, arrival)."""
         if not 0 <= dst < self.num_ranks:
             raise SimulationError(f"rank {rank} sent to invalid rank {dst}")
-        return self._transfer(rank, dst, nbytes_of(payload), st.clock, speed)
+        return self._transfer(
+            rank, dst, nbytes_of(payload), st.clock, speed, tag=tag
+        )
 
     def _op_isend(self, rank: int, st: _RankState, op, blocking: bool) -> None:
         if op.speed <= 0:
@@ -397,7 +401,9 @@ class Engine:
         payload = op.payload
         if isinstance(payload, np.ndarray):
             payload = payload.copy()  # MPI semantics: buffer reusable after post
-        done, arrival = self._schedule_transfer(rank, st, op.dst, payload, op.speed)
+        done, arrival = self._schedule_transfer(
+            rank, st, op.dst, payload, op.speed, tag=op.tag
+        )
         key = (rank, op.dst, op.tag)
         msg = Message(rank, op.dst, op.tag, payload, arrival)
         self._deliver(key, msg)
@@ -441,7 +447,9 @@ class Engine:
             avail = seg_at[src]
             arrivals: List[float] = []
             for s in range(nseg):
-                done, arr = self._transfer(src, dst, seg_size, avail[s], op.speed)
+                done, arr = self._transfer(
+                    src, dst, seg_size, avail[s], op.speed, tag=op.tag
+                )
                 arrivals.append(arr)
                 if src == spec.root:
                     root_done = max(root_done, done)
@@ -472,7 +480,7 @@ class Engine:
         if self._emit and waited > 0:
             self._span_add(
                 "wait_recv", "engine", st.clock, msg.arrival, rank,
-                attrs={"src": msg.src},
+                attrs={"src": msg.src, "tag": msg.tag},
             )
         self.stats[rank].add("wait_recv", waited)
         st.clock = max(st.clock, msg.arrival)

@@ -26,6 +26,23 @@ from repro.util import flops as fl
 from repro.util.format import render_table
 
 
+def flag_outliers(times, threshold: float):
+    """Flag entries slower than the fleet median by more than ``threshold``.
+
+    Returns ``(slow_ids, median, cutoff)``.  Shared between the GCD
+    scan below and the trace-analysis straggler ranking
+    (:mod:`repro.obs.analysis.imbalance`) so both flag "slow" the same
+    way the paper's mini-benchmark aggregator does.
+    """
+    if not 0 < threshold < 1:
+        raise ConfigurationError(f"threshold must be in (0, 1), got {threshold}")
+    times = np.asarray(times, dtype=float)
+    median = float(np.median(times)) if times.size else 0.0
+    cutoff = median * (1.0 + threshold)
+    slow = [int(g) for g in np.nonzero(times > cutoff)[0]]
+    return slow, median, cutoff
+
+
 @dataclass(frozen=True)
 class MiniBenchmark:
     """The single-GCD LU probe: a fixed-size unpivoted factorization.
@@ -122,14 +139,10 @@ def scan_fleet(
     containing a flagged GCD are excluded, mirroring the paper's
     node-granularity scheduling.
     """
-    if not 0 < threshold < 1:
-        raise ConfigurationError(f"threshold must be in (0, 1), got {threshold}")
     probe = probe or MiniBenchmark(machine)
     nominal = probe.nominal_seconds()
     times = nominal / fleet.multipliers
-    median = float(np.median(times))
-    cutoff = median * (1.0 + threshold)
-    slow = [int(g) for g in np.nonzero(times > cutoff)[0]]
+    slow, median, cutoff = flag_outliers(times, threshold)
     q = machine.node.gcds_per_node
     slow_nodes = sorted({g // q for g in slow})
     # Excluding a node removes all its GCDs.

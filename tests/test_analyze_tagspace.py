@@ -56,6 +56,37 @@ class TestCurrentTreeIsClean:
         assert _lint(REPO_SRC / "repro" / "core" / "hplai.py") == []
 
 
+class TestImportedConstants:
+    """Tag formulas built from constants imported from another module
+    (the repro.obs.phases idiom) must still resolve statically."""
+
+    def test_import_from_resolves(self):
+        snippet = (
+            "from repro.obs.phases import STEP_STRIDE\n"
+            "def _tag(k, phase):\n"
+            "    return STEP_STRIDE * k + phase\n"
+        )
+        assert _lint(snippet) == []
+
+    def test_import_asname_resolves(self):
+        snippet = (
+            "from repro.obs.phases import STEP_STRIDE as _STRIDE\n"
+            "def _tag(k, phase):\n"
+            "    return _STRIDE * k + phase\n"
+        )
+        assert _lint(snippet) == []
+
+    def test_unresolvable_import_still_warns(self):
+        snippet = (
+            "from no_such_module_xyz import STRIDE\n"
+            "def _tag(k, phase):\n"
+            "    return STRIDE * k + phase\n"
+        )
+        findings = _lint(snippet)
+        assert len(findings) == 1
+        assert "could not evaluate" in findings[0].message
+
+
 class TestPhaseRules:
     def test_non_constant_phase_is_an_error(self):
         findings = _lint(_FORMULA +

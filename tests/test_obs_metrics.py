@@ -42,6 +42,29 @@ class TestInstruments:
         with pytest.raises(ConfigurationError):
             Histogram(boundaries=[1.0, 1.0])
 
+    def test_histogram_merge_mismatched_edges_rejected(self):
+        h = Histogram(boundaries=[1.0, 2.0, 4.0])
+        for snap_bounds in ([1.0, 2.0], [1.0, 2.0, 5.0], [0.5, 2.0, 4.0]):
+            other = Histogram(boundaries=snap_bounds)
+            other.observe(1.5)
+            with pytest.raises(ConfigurationError, match="boundaries"):
+                h.merge(other.snapshot())
+        # the failed merges left the target untouched
+        assert h.count == 0
+
+    def test_histogram_merge_matching_edges_is_exact(self):
+        a = Histogram(boundaries=[1.0, 2.0])
+        b = Histogram(boundaries=[1.0, 2.0])
+        for v in (0.5, 1.5):
+            a.observe(v)
+        for v in (1.5, 9.0):
+            b.observe(v)
+        a.merge(b.snapshot())
+        assert a.count == 4
+        assert a.bucket_counts == [1, 2, 1]
+        assert a.min == 0.5 and a.max == 9.0
+        assert a.sum == pytest.approx(12.5)
+
     def test_histogram_quantile(self):
         h = Histogram(boundaries=[1.0, 2.0, 4.0])
         for v in (0.5, 1.5, 1.5, 3.0):

@@ -103,6 +103,44 @@ class TestRing:
         assert a.dropped == 2
 
 
+class TestMerge:
+    def test_merge_keeps_overlapping_rank_spans(self):
+        """Per-rank tracers merged into one keep every overlapping span."""
+        a, b = SpanTracer(), SpanTracer()
+        a.add("gemm", "executor", 0.0, 2.0, rank=0)
+        b.add("gemm", "executor", 1.0, 3.0, rank=1)  # overlaps rank 0's
+        b.add("wait_recv", "engine", 3.0, 4.0, rank=1)
+        a.merge(b)
+        assert len(a) == 3
+        assert a.categories() == {"executor": 2, "engine": 1}
+        assert a.total_by_name()["gemm"] == pytest.approx(4.0)
+
+    def test_merge_accepts_plain_iterable(self):
+        tr = SpanTracer()
+        tr.merge([
+            Span("gemm", "executor", 0.0, 1.0, rank=0),
+            Span("gemm", "executor", 0.5, 1.5, rank=1),
+        ])
+        assert len(tr) == 2
+
+    def test_merged_timeline_interleaves_ranks(self):
+        """as_timeline on a merged tracer exposes the concurrency: both
+        ranks' tuples survive even where their intervals overlap."""
+        merged = SpanTracer()
+        for rank in range(3):
+            per_rank = SpanTracer()
+            per_rank.add("gemm", "executor", 0.25 * rank, 2.0, rank=rank)
+            per_rank.add("fill", "executor", 2.0, 2.5 + 0.25 * rank,
+                         rank=rank)
+            merged.merge(per_rank)
+        tl = merged.as_timeline()
+        assert len(tl) == 6
+        assert {t[0] for t in tl} == {0, 1, 2}
+        # every rank's gemm overlaps t=1.0
+        covering = [t for t in tl if t[1] <= 1.0 <= t[2] and t[3] == "gemm"]
+        assert len(covering) == 3
+
+
 class TestTimelineAdapter:
     def test_as_timeline_tuples(self):
         tr = SpanTracer()
