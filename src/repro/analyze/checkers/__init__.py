@@ -1,6 +1,7 @@
 """Checker registry: the suite ``repro lint`` runs by default."""
 
 from repro.analyze.checkers.collectives import CollectiveMatchingChecker
+from repro.analyze.checkers.health_schema import HealthReportChecker
 from repro.analyze.checkers.hygiene import HygieneChecker
 from repro.analyze.checkers.precision_flow import PrecisionFlowChecker
 from repro.analyze.checkers.tag_space import TagSpaceChecker
@@ -11,6 +12,7 @@ from repro.analyze.checkers.trace_schema import (
 
 __all__ = [
     "CollectiveMatchingChecker",
+    "HealthReportChecker",
     "HygieneChecker",
     "PrecisionFlowChecker",
     "ProfileReportChecker",
@@ -29,4 +31,5 @@ def all_checkers(require_layers: bool = False):
         HygieneChecker(),
         TraceSchemaChecker(require_layers=require_layers),
         ProfileReportChecker(),
+        HealthReportChecker(),
     ]

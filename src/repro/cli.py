@@ -13,6 +13,10 @@ Subcommands mirror the workflows in the paper:
 - ``profile`` — analyze a trace: critical path, load imbalance, comm
   matrix, model-vs-measured deviation, regression deltas;
 - ``metrics`` — simulate with observability and print the metrics table;
+- ``health``  — simulate under the online health monitor (straggler /
+  collapse / limplock detectors + run watchdog) and report findings;
+- ``dashboard`` — render trace + time series + health findings into one
+  self-contained HTML file;
 - ``bench``   — hot-path benchmark harness (writes the hotpaths record
   under benchmarks/results/), with a ``--against`` regression gate;
 - ``lint``    — static analysis (precision-flow, tag-space,
@@ -52,6 +56,22 @@ def _add_run_args(p: argparse.ArgumentParser) -> None:
     p.add_argument("--no-lookahead", action="store_true")
     p.add_argument("--no-gpu-aware", action="store_true")
     p.add_argument("--no-port-binding", action="store_true")
+
+
+def _add_health_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--slow-rank", type=int, default=None, metavar="R",
+                   help="inject a slow GCD at rank R (degraded-node demo)")
+    p.add_argument("--slow-factor", type=float, default=1.5,
+                   help="slowdown factor for --slow-rank (default 1.5)")
+    p.add_argument("--cadence", type=float, default=None,
+                   help="sampling cadence in virtual seconds "
+                        "(default: auto from the analytic model)")
+    p.add_argument("--straggler-threshold", type=float, default=0.3,
+                   help="busy-rate drift fraction over the fleet median "
+                        "that flags a straggler (default 0.3)")
+    p.add_argument("--watchdog-margin", type=float, default=None,
+                   help="deadline inflation over the analytic model "
+                        "(default 25)")
 
 
 def _build_config(args, n_override: Optional[int] = None):
@@ -452,12 +472,113 @@ def cmd_profile(args) -> int:
     return rc
 
 
+def _monitored_run(args):
+    """Simulate with a health monitor attached (optional slow rank)."""
+    from repro.core.driver import simulate_run
+    from repro.obs import Observability
+    from repro.obs.health import HealthMonitor, RunWatchdog
+
+    cfg = _build_config(args)
+    monitor = HealthMonitor(
+        cadence=getattr(args, "cadence", None),
+        straggler_threshold=getattr(args, "straggler_threshold", 0.3),
+        watchdog=RunWatchdog(
+            margin=getattr(args, "watchdog_margin", None) or 25.0
+        ),
+    )
+    obs = Observability(health=monitor)
+    mult = None
+    slow_rank = getattr(args, "slow_rank", None)
+    if slow_rank is not None:
+        if not 0 <= slow_rank < cfg.num_ranks:
+            raise SystemExit(
+                f"--slow-rank {slow_rank} outside the "
+                f"{cfg.num_ranks}-rank grid"
+            )
+        factor = getattr(args, "slow_factor", 1.5)
+        # rate multipliers scale rank speed; a 1.5x-slower GCD runs at
+        # 1/1.5 of nominal
+        mult = [1.0] * cfg.num_ranks
+        mult[slow_rank] = 1.0 / factor
+    res = simulate_run(cfg, rate_multipliers=mult, obs=obs)
+    return cfg, obs, res
+
+
+def cmd_health(args) -> int:
+    """Run under the health monitor and print/save the health report.
+
+    Exit code 1 with --fail-on-findings when any detector fired (CI
+    uses this as the run-health gate).
+    """
+    from pathlib import Path
+
+    from repro.obs.export import dumps_strict
+
+    cfg, obs, res = _monitored_run(args)
+    rep = res.health
+    if args.json or args.out:
+        text = dumps_strict(rep.to_dict(), indent=2)
+    else:
+        text = rep.render_text()
+    if args.out:
+        Path(args.out).write_text(text + "\n")
+        print(f"wrote {args.out}")
+    else:
+        print(text)
+    if args.fail_on_findings and not rep.healthy:
+        return 1
+    return 0
+
+
+def cmd_dashboard(args) -> int:
+    """Render the self-contained HTML dashboard for a run.
+
+    Either simulates fresh (run args, optional --slow-rank) or renders
+    from previously exported artifacts (--trace plus optional
+    --health).
+    """
+    import json
+    from pathlib import Path
+
+    from repro.obs.health import render_dashboard, validate_self_contained
+
+    if args.trace:
+        from repro.obs.analysis import load_profile_input
+
+        pi = load_profile_input(args.trace)
+        health_doc = (
+            json.loads(Path(args.health).read_text())
+            if args.health else None
+        )
+        title = f"repro dashboard: {args.trace}"
+    else:
+        from repro.obs.analysis import from_observability
+
+        cfg, obs, res = _monitored_run(args)
+        pi = from_observability(obs)
+        health_doc = res.health.to_dict()
+        title = (
+            f"repro dashboard: N={cfg.n} {cfg.p_rows}x{cfg.p_cols} "
+            f"on {cfg.machine.name}"
+        )
+    html = render_dashboard(pi, health_doc, title=title)
+    problems = validate_self_contained(html)
+    Path(args.out).write_text(html)
+    print(f"wrote {args.out} ({len(html)} bytes, "
+          f"{len(pi.spans)} spans, "
+          f"{len((health_doc or {}).get('findings') or [])} finding(s))")
+    for prob in problems:
+        print(f"dashboard: {prob}")
+    return 1 if problems else 0
+
+
 def cmd_metrics(args) -> int:
     """Simulate a run and print its metrics registry."""
     from repro.util.format import render_table
 
     cfg, obs, res = _observed_run(args)
-    if args.prom:
+    fmt = "prometheus" if args.prom else args.format
+    if fmt == "prometheus":
         print(obs.metrics_text(), end="")
         return 0
     rows = obs.metrics.rows()
@@ -658,11 +779,46 @@ def build_parser() -> argparse.ArgumentParser:
         "metrics", help="simulate with observability and print metrics"
     )
     _add_run_args(p)
+    p.add_argument("--format", choices=("table", "prometheus"),
+                   default="table",
+                   help="output format (default table; prometheus adds "
+                        "histogram quantile summaries)")
     p.add_argument("--prom", action="store_true",
-                   help="Prometheus-style text dump instead of a table")
+                   help="alias for --format prometheus")
     p.add_argument("--max-spans", type=int, default=None,
                    help="bound tracer memory to the newest N spans")
     p.set_defaults(func=cmd_metrics)
+
+    p = sub.add_parser(
+        "health",
+        help="simulate under the health monitor and report findings",
+    )
+    _add_run_args(p)
+    _add_health_args(p)
+    p.add_argument("--json", action="store_true",
+                   help="emit the health report as JSON")
+    p.add_argument("--out", default=None,
+                   help="write the report to a file instead of stdout")
+    p.add_argument("--fail-on-findings", action="store_true",
+                   help="exit 1 when any detector fired (CI gate)")
+    p.set_defaults(func=cmd_health)
+
+    p = sub.add_parser(
+        "dashboard",
+        help="render a self-contained HTML dashboard "
+             "(trace + time series + health findings)",
+    )
+    _add_run_args(p)
+    _add_health_args(p)
+    p.add_argument("--trace", default=None,
+                   help="render from an exported trace instead of "
+                        "simulating (Chrome JSON or JSONL)")
+    p.add_argument("--health", default=None, metavar="HEALTH_JSON",
+                   help="health report (from `repro health --json`) to "
+                        "annotate a --trace rendering with")
+    p.add_argument("--out", default="dashboard.html",
+                   help="output HTML path (default dashboard.html)")
+    p.set_defaults(func=cmd_dashboard)
 
     p = sub.add_parser("gantt", help="per-rank Gantt of a small simulation")
     _add_run_args(p)

@@ -111,6 +111,9 @@ class RankComm:
                 phase = phase_of_logical_tag(tag)
                 m.counter("comm.phase_bytes", phase=phase).inc(size)
                 m.counter("comm.phase_calls", phase=phase).inc()
+            health = getattr(obs, "health", None)
+            if health is not None:
+                health.note_collective(tag, algo_name, size)
 
     # -- point to point ---------------------------------------------------
 

@@ -55,6 +55,9 @@ class RunResult:
     #: run-provenance block (:func:`repro.obs.run_provenance`) so
     #: recorded runs are comparable across campaigns
     provenance: Optional[dict] = None
+    #: :class:`~repro.obs.health.HealthReport` when the run was
+    #: monitored (an enabled handle with ``obs.health`` set)
+    health: Optional[object] = None
 
     def summary(self) -> Dict[str, object]:
         """Headline metrics merged with the configuration facts."""
@@ -126,6 +129,10 @@ def run_benchmark(
         cfg.machine, port_binding=cfg.port_binding, gpu_aware=cfg.gpu_aware
     )
     obs = obs if obs is not None else obs_context.current()
+    health = getattr(obs, "health", None) if obs.enabled else None
+    if health is not None:
+        health.attach(obs)
+        health.bind_run(cfg)
     engine = Engine(
         cfg.num_ranks,
         costs,
@@ -180,6 +187,8 @@ def run_benchmark(
         result.x = r0["x"]
     if obs.enabled:
         _record_run_telemetry(obs, cfg, result, r0["t_start"])
+    if health is not None:
+        result.health = health.finalize(result)
     return result
 
 

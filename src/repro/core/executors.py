@@ -69,6 +69,16 @@ class ExecutorBase:
             )
             self._kernel_calls = obs.metrics.counter
             self._tracer = obs.tracer
+        # Health telemetry: per-rank step-progress reporting (the
+        # trailing update is the once-per-column landmark).
+        self._health = (
+            getattr(obs, "health", None) if self._obs_on else None
+        )
+
+    def _note_step(self, k: int) -> None:
+        """Report column ``k``'s trailing update to the health monitor."""
+        if self._health is not None:
+            self._health.note_step(self.rank, k)
 
     def _hotpath_span(self, name: str):
         """Wall-clock span around an optimized hot region (obs-enabled
@@ -205,6 +215,7 @@ class PhantomExecutor(ExecutorBase):
 
     def gemm_trailing(self, k: int, l16, u16t, skip_row: bool, skip_col: bool) -> float:
         """Modelled trailing-update GEMM time."""
+        self._note_step(k)
         p = self.plan(k)
         m = p.trail_rows - (self.b if skip_row else 0)
         n = p.trail_cols - (self.b if skip_col else 0)
@@ -424,6 +435,7 @@ class ExactExecutor(ExecutorBase):
 
     def gemm_trailing(self, k: int, l16, u16t, skip_row: bool, skip_col: bool) -> float:
         """Apply the trailing update on the local tile."""
+        self._note_step(k)
         p = self.plan(k)
         roff = self.b if skip_row else 0
         coff = self.b if skip_col else 0

@@ -67,6 +67,33 @@ class DeadlockError(CommunicationError):
     """The SPMD scheduler detected that no rank can make progress."""
 
 
+class StallError(DeadlockError):
+    """A run stalled: blocked ranks were diagnosed instead of hanging.
+
+    Raised by the engine when ranks remain blocked at the end of a run,
+    and by the health watchdog (:mod:`repro.obs.health`) when the
+    virtual clock blows past the modelled deadline.  Unlike the bare
+    :class:`DeadlockError` message, the exception carries *structured*
+    diagnosis: one dict per blocked rank naming the operation it is
+    stuck in (decoded wire tag and phase for receives, member rank set
+    and collective key for collectives).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        blocked: "list[dict] | None" = None,
+        elapsed: float | None = None,
+    ) -> None:
+        super().__init__(message)
+        #: per-rank block diagnosis dicts (``rank``, ``state``, and the
+        #: op-specific fields: ``src``/``dst``/``tag``/``phase``/``step``
+        #: for receives, ``members``/``key``/``op`` for collectives)
+        self.blocked = list(blocked or [])
+        #: virtual clock at diagnosis time, if known
+        self.elapsed = elapsed
+
+
 class SimulationError(ReproError, RuntimeError):
     """Base class for discrete-event simulator faults."""
 

@@ -33,12 +33,27 @@ from typing import Dict, Optional, Tuple
 import numpy as np
 
 from repro.errors import ConfigurationError
+from repro.obs import context as obs_context
 
 #: default byte budget — holds the full FP64 matrix up to N=4096 (the
 #: FP16-safe exact-run ceiling) in b-row bands with room to spare
 DEFAULT_MAX_BYTES = 256 * 1024 * 1024
 
 Key = Tuple[int, int, int, int, int, int, int, int]
+
+
+def _count(event: str) -> None:
+    """Mirror a cache event into the observability metrics registry.
+
+    The cache keeps its own integer counters regardless (they are free
+    and the bench report reads them); this adds the same events as
+    ``lcg.tile_cache{event=...}`` counters when a handle is enabled so
+    cache behaviour lands next to the comm/executor metrics in
+    ``repro metrics`` exports.
+    """
+    obs = obs_context.current()
+    if obs.enabled:
+        obs.metrics.counter("lcg.tile_cache", event=event).inc()
 
 
 class TileCache:
@@ -65,9 +80,11 @@ class TileCache:
             arr = self._entries.get(key)
             if arr is None:
                 self.misses += 1
+                _count("miss")
                 return None
             self._entries.move_to_end(key)
             self.hits += 1
+            _count("hit")
             return arr
 
     def put(self, key: Key, value: np.ndarray) -> None:
@@ -87,6 +104,7 @@ class TileCache:
                 _, evicted = self._entries.popitem(last=False)
                 self._bytes -= evicted.nbytes
                 self.evictions += 1
+                _count("eviction")
 
     # -- management ------------------------------------------------------
 

@@ -15,7 +15,11 @@ This package is the single telemetry path for the whole reproduction:
   are comparable across campaigns;
 - :mod:`repro.obs.context` — the process-wide :class:`Observability`
   handle with a no-op default, so instrumentation costs ~nothing when
-  disabled.
+  disabled;
+- :mod:`repro.obs.health` — online health telemetry: time-series
+  sampler, straggler/collapse/limplock detectors, run watchdog, and a
+  self-contained HTML dashboard (attach a
+  :class:`~repro.obs.health.HealthMonitor` via ``Observability(health=...)``).
 
 Quick start::
 

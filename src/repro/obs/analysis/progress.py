@@ -18,6 +18,9 @@ from typing import List, Optional, TextIO
 
 from repro.util import flops as fl
 
+#: modelled-time sums below this give no stable calibration ratio
+_EPS_S = 1e-12
+
 
 def step_flops(n: int, block: int, num_ranks: int, k: int) -> int:
     """Global useful flops of factorization step ``k``.
@@ -50,13 +53,18 @@ class LiveProgressReporter(list):
         cfg,
         stream: Optional[TextIO] = None,
         every: int = 1,
+        warmup: int = 2,
     ) -> None:
         super().__init__()
         self.cfg = cfg
         self.stream = stream or sys.stderr
         self.every = max(1, int(every))
+        #: leading columns excluded from the calibration window once
+        #: later measurements exist (cold caches skew the ratio)
+        self.warmup = max(0, int(warmup))
         self._elapsed = 0.0
         self._flops = 0
+        self._measured: List[float] = []
         self._expected = self._expected_step_times(cfg)
 
     @staticmethod
@@ -93,6 +101,7 @@ class LiveProgressReporter(list):
             + float(record.get("recv", 0.0))
         )
         self._elapsed += step_s
+        self._measured.append(step_s)
         f = step_flops(cfg.n, cfg.block, cfg.num_ranks, k)
         self._flops += f
         if (k + 1) % self.every and (k + 1) != cfg.num_blocks:
@@ -113,13 +122,22 @@ class LiveProgressReporter(list):
         print(line, file=self.stream)
 
     def projected_total(self) -> Optional[float]:
-        """Projected factorization seconds (measured-calibrated model)."""
-        done = len(self)
+        """Projected factorization seconds (measured-calibrated model).
+
+        The measured/modelled ratio is taken over the *post-warm-up*
+        columns once any exist — the first panel columns run with cold
+        caches and near-zero modelled times, and calibrating on them
+        made early projections swing wildly.  A near-zero modelled
+        divisor yields ``None`` instead of a nonsense extrapolation.
+        """
+        done = len(self._measured)
         if not self._expected or done == 0 or done > len(self._expected):
             return None
-        expected_done = sum(self._expected[:done])
-        if expected_done <= 0:
+        start = self.warmup if done > self.warmup else 0
+        expected_done = sum(self._expected[start:done])
+        if expected_done <= _EPS_S:
             return None
-        ratio = self._elapsed / expected_done
+        measured_done = sum(self._measured[start:done])
+        ratio = measured_done / expected_done
         remaining = sum(self._expected[done:])
         return self._elapsed + ratio * remaining

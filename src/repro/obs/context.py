@@ -37,6 +37,11 @@ class Observability:
         module-default handle is how instrumentation stays ~free.
     capacity:
         Optional span-ring bound forwarded to :class:`SpanTracer`.
+    health:
+        Optional :class:`~repro.obs.health.HealthMonitor`; when set,
+        the engine samples itself into the monitor's time series and
+        the driver arms its watchdog and attaches the final
+        :class:`~repro.obs.health.HealthReport` to the run result.
     """
 
     def __init__(
@@ -45,12 +50,15 @@ class Observability:
         capacity: Optional[int] = None,
         tracer: Optional[SpanTracer] = None,
         metrics: Optional[MetricsRegistry] = None,
+        health=None,
     ) -> None:
         self.enabled = enabled
         self.tracer = tracer if tracer is not None else SpanTracer(capacity)
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         #: provenance of the most recent observed run (set by the driver)
         self.provenance: Optional[dict] = None
+        #: optional run health monitor (sampler + detectors + watchdog)
+        self.health = health
 
     @classmethod
     def disabled(cls) -> "Observability":

@@ -236,6 +236,13 @@ def to_prometheus_text(registry: MetricsRegistry) -> str:
             lines.append(f"{prom}_bucket{le} {inst.count}")
             lines.append(f"{prom}_sum{_prom_labels(labels)} {inst.sum:g}")
             lines.append(f"{prom}_count{_prom_labels(labels)} {inst.count}")
+            # Summary-style quantiles alongside the raw buckets, so a
+            # scrape (or a human) gets p50/p90/p99 without re-deriving
+            # them from the cumulative bucket counts.
+            if inst.count:
+                for q in (0.5, 0.9, 0.99):
+                    ql = _prom_labels(labels + (("quantile", f"{q:g}"),))
+                    lines.append(f"{prom}{ql} {inst.quantile(q):g}")
         else:
             lines.append(f"{prom}{_prom_labels(labels)} {inst.value:g}")
     return "\n".join(lines) + ("\n" if lines else "")

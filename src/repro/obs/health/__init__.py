@@ -1,0 +1,62 @@
+"""Online health telemetry: sampler, detectors, watchdog, dashboard.
+
+The health layer watches a run *while it executes*: the driver arms a
+:class:`HealthMonitor` on the observability handle, the engine samples
+itself into bounded time series at a virtual-time cadence, the online
+detectors turn those series into structured ``health.*`` findings in
+the trace stream, and the watchdog converts a would-be hang into a
+diagnosable :class:`~repro.errors.StallError`.  After the run,
+:class:`HealthReport` is the JSON artifact and
+:func:`render_dashboard` the self-contained HTML view.
+
+Quick start::
+
+    from repro.obs import Observability
+    from repro.obs.health import HealthMonitor
+    from repro.core.driver import simulate_run
+
+    obs = Observability(health=HealthMonitor())
+    res = simulate_run(cfg, obs=obs)
+    print(res.health.render_text())
+"""
+
+from repro.obs.health.dashboard import render_dashboard, validate_self_contained
+from repro.obs.health.detectors import (
+    CommStallDetector,
+    Detector,
+    HealthEvent,
+    LimplockDetector,
+    StragglerDriftDetector,
+    ThroughputCollapseDetector,
+    default_detectors,
+)
+from repro.obs.health.report import (
+    HEALTH_SCHEMA,
+    HealthReport,
+    build_health_report,
+)
+from repro.obs.health.sampler import HealthMonitor, TelemetrySampler
+from repro.obs.health.series import DEFAULT_CAPACITY, RingSeries, SeriesBank
+from repro.obs.health.watchdog import DEFAULT_MARGIN, RunWatchdog
+
+__all__ = [
+    "CommStallDetector",
+    "DEFAULT_CAPACITY",
+    "DEFAULT_MARGIN",
+    "Detector",
+    "HealthEvent",
+    "HealthMonitor",
+    "HealthReport",
+    "HEALTH_SCHEMA",
+    "LimplockDetector",
+    "RingSeries",
+    "RunWatchdog",
+    "SeriesBank",
+    "StragglerDriftDetector",
+    "TelemetrySampler",
+    "ThroughputCollapseDetector",
+    "build_health_report",
+    "default_detectors",
+    "render_dashboard",
+    "validate_self_contained",
+]

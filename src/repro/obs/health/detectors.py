@@ -1,0 +1,401 @@
+"""Online anomaly detectors over the health sampler's time series.
+
+Each detector is fed the :class:`~repro.obs.health.series.SeriesBank`
+after every sampling tick and returns zero or more
+:class:`HealthEvent` findings.  All detectors share three design rules
+that keep them usable *online*:
+
+- **rolling-median baselines** — a rank is anomalous relative to its
+  peers *right now*, not relative to an absolute threshold, which is
+  exactly the paper's slow-GCD methodology (the mini-benchmark
+  aggregator flags probes above the fleet median;
+  :func:`repro.tools.slownode.flag_outliers` is the shared math);
+- **patience** — a finding must persist for ``patience`` consecutive
+  samples before an event is emitted, so single-sample transients
+  (barrier waves, warm-up columns) do not page anyone;
+- **dedupe** — one event per (kind, rank set) while the condition
+  holds; the event stream records onsets, not a siren.
+
+The four signatures:
+
+=================== =====================================================
+straggler_drift     one rank's busy-seconds-per-virtual-second rises
+                    above the fleet median (a slow GCD computes *longer*
+                    for the same work while its peers wait)
+throughput_collapse the global progress-rate series falls to a small
+                    fraction of its rolling median (warm-up collapse,
+                    Fig. 12's bad runs)
+comm_stall          bytes are in flight but no step completes and no
+                    compute lands for several samples
+limplock            a rank's completed-step count falls ever further
+                    behind the fleet median while the rank still
+                    computes — degraded, not dead (the limplock
+                    literature's defining signature)
+=================== =====================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ConfigurationError
+from repro.obs.health.series import SeriesBank
+from repro.tools.slownode import flag_outliers
+
+#: ignore rate medians below this (idle phases have no meaningful peers)
+_MIN_RATE = 1e-12
+
+
+@dataclass(frozen=True)
+class HealthEvent:
+    """One structured health finding (also emitted as a trace span)."""
+
+    kind: str
+    #: virtual time of the onset (the sample that confirmed the finding)
+    t: float
+    severity: str
+    #: ranks implicated (empty tuple = run-global finding)
+    ranks: Tuple[int, ...]
+    message: str
+    attrs: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        """JSON-able finding (the health report's ``findings`` entry)."""
+        return {
+            "kind": self.kind,
+            "t_s": self.t,
+            "severity": self.severity,
+            "ranks": list(self.ranks),
+            "message": self.message,
+            "attrs": dict(self.attrs),
+        }
+
+
+class Detector:
+    """Base class: subclasses implement :meth:`update`."""
+
+    kind = "health"
+
+    def update(self, bank: SeriesBank, t: float) -> List[HealthEvent]:
+        """Inspect the bank after a sampling tick; return new events."""
+        raise NotImplementedError
+
+
+def _check_patience(patience: int) -> int:
+    if patience < 1:
+        raise ConfigurationError(
+            f"patience must be >= 1 sample, got {patience}"
+        )
+    return patience
+
+
+class StragglerDriftDetector(Detector):
+    """Rolling-median busy-rate outlier detection (slow-GCD drift).
+
+    In a bulk-synchronous run a slow rank shows up as the rank whose
+    *busy* seconds accumulate fastest per virtual second — its kernels
+    take longer for the same work while everyone else converts the gap
+    into wait time.  Per sample, each rank's busy-rate over the last
+    ``window`` samples is compared to the fleet median with the same
+    ``median * (1 + threshold)`` cutoff as the slow-node scan
+    (:func:`~repro.tools.slownode.flag_outliers`).
+    """
+
+    kind = "straggler_drift"
+
+    def __init__(
+        self,
+        threshold: float = 0.3,
+        window: int = 8,
+        patience: int = 3,
+    ) -> None:
+        if not 0 < threshold < 1:
+            raise ConfigurationError(
+                f"threshold must be in (0, 1), got {threshold}"
+            )
+        self.threshold = threshold
+        self.window = max(1, int(window))
+        self.patience = _check_patience(patience)
+        self._streak: Dict[int, int] = {}
+        self._clear_streak: Dict[int, int] = {}
+        self._flagged: set = set()
+
+    def update(self, bank: SeriesBank, t: float) -> List[HealthEvent]:
+        per_rank = bank.rank_series("busy_s")
+        if len(per_rank) < 2:
+            return []
+        ranks = sorted(per_rank)
+        rates = [per_rank[r].rate(self.window) for r in ranks]
+        if any(r is None for r in rates):
+            return []
+        slow_idx, median, _cutoff = flag_outliers(rates, self.threshold)
+        if median <= _MIN_RATE:
+            # Idle window (barrier, drained queue): no meaningful peers.
+            return []
+        slow_ranks = {ranks[i] for i in slow_idx}
+        events: List[HealthEvent] = []
+        for i, rank in enumerate(ranks):
+            if rank in slow_ranks:
+                self._streak[rank] = self._streak.get(rank, 0) + 1
+                self._clear_streak[rank] = 0
+                if (
+                    self._streak[rank] >= self.patience
+                    and rank not in self._flagged
+                ):
+                    self._flagged.add(rank)
+                    drift = rates[i] / median
+                    events.append(HealthEvent(
+                        kind=self.kind,
+                        t=t,
+                        severity="warning",
+                        ranks=(rank,),
+                        message=(
+                            f"rank {rank} busy-rate drifted to "
+                            f"{drift:.2f}x the fleet median over "
+                            f"{self.patience} samples "
+                            f"(threshold {1 + self.threshold:.2f}x)"
+                        ),
+                        attrs={
+                            "drift": round(drift, 4),
+                            "rate": rates[i],
+                            "median_rate": median,
+                            "window": self.window,
+                        },
+                    ))
+            else:
+                self._streak[rank] = 0
+                # Exit hysteresis: the busy-rate of a genuinely slow
+                # rank dips under the cutoff during bulk-sync waits;
+                # only unflag after a sustained clean stretch so one
+                # fault is one onset event, not a siren.
+                if rank in self._flagged:
+                    clear = self._clear_streak.get(rank, 0) + 1
+                    self._clear_streak[rank] = clear
+                    if clear >= 4 * self.patience:
+                        self._flagged.discard(rank)
+                        self._clear_streak[rank] = 0
+        return events
+
+
+class ThroughputCollapseDetector(Detector):
+    """Global progress-rate collapse against its own rolling median.
+
+    Watches one run-global series (simulated GF/s by default) and fires
+    when the recent value drops below ``fraction`` of the rolling
+    median of the earlier samples for ``patience`` consecutive ticks.
+    """
+
+    kind = "throughput_collapse"
+
+    def __init__(
+        self,
+        series: str = "gflops",
+        fraction: float = 0.25,
+        min_history: int = 8,
+        patience: int = 3,
+    ) -> None:
+        if not 0 < fraction < 1:
+            raise ConfigurationError(
+                f"fraction must be in (0, 1), got {fraction}"
+            )
+        self.series = series
+        self.fraction = fraction
+        self.min_history = max(2, int(min_history))
+        self.patience = _check_patience(patience)
+        self._streak = 0
+        self._active = False
+
+    def update(self, bank: SeriesBank, t: float) -> List[HealthEvent]:
+        s = bank.series(self.series)
+        if len(s) < self.min_history + 1:
+            return []
+        values = s.values()
+        history = sorted(values[:-1])
+        median = history[len(history) // 2]
+        current = values[-1]
+        if median <= _MIN_RATE:
+            return []
+        if current < self.fraction * median:
+            self._streak += 1
+        else:
+            self._streak = 0
+            self._active = False
+            return []
+        if self._streak >= self.patience and not self._active:
+            self._active = True
+            return [HealthEvent(
+                kind=self.kind,
+                t=t,
+                severity="critical",
+                ranks=(),
+                message=(
+                    f"{self.series} collapsed to {current:.3g} "
+                    f"(< {self.fraction:.0%} of rolling median "
+                    f"{median:.3g}) for {self.patience} samples"
+                ),
+                attrs={
+                    "series": self.series,
+                    "current": current,
+                    "median": median,
+                    "fraction": self.fraction,
+                },
+            )]
+        return []
+
+
+class CommStallDetector(Detector):
+    """Messages in flight, nobody computing, no step completing.
+
+    The difference from a straggler: *every* rank is stuck.  The
+    difference from end-of-run deadlock diagnosis: this fires online,
+    while the run is still (virtually) ticking — e.g. a fabric
+    degradation that slows transfers by orders of magnitude rather
+    than dropping them.
+    """
+
+    kind = "comm_stall"
+
+    def __init__(self, patience: int = 4) -> None:
+        self.patience = _check_patience(patience)
+        self._streak = 0
+        self._active = False
+
+    def update(self, bank: SeriesBank, t: float) -> List[HealthEvent]:
+        inflight = bank.series("bytes_in_flight")
+        steps = bank.series("steps_min")
+        if len(inflight) < 2 or len(steps) < 2:
+            return []
+        stalled = (
+            inflight.last[1] > 0
+            and steps[-1][1] <= steps[-2][1]
+            and _total_busy_rate(bank) <= _MIN_RATE
+        )
+        if not stalled:
+            self._streak = 0
+            self._active = False
+            return []
+        self._streak += 1
+        if self._streak >= self.patience and not self._active:
+            self._active = True
+            return [HealthEvent(
+                kind=self.kind,
+                t=t,
+                severity="critical",
+                ranks=(),
+                message=(
+                    f"{int(inflight.last[1])} bytes in flight with no "
+                    f"compute and no step completion for "
+                    f"{self.patience} samples"
+                ),
+                attrs={
+                    "bytes_in_flight": inflight.last[1],
+                    "steps_done": steps.last[1],
+                },
+            )]
+        return []
+
+
+class LimplockDetector(Detector):
+    """A degraded-but-not-dead rank: behind the fleet, still computing.
+
+    A crashed rank stops accumulating busy time; a *limplocked* rank
+    keeps computing yet falls ever further behind the fleet's completed
+    step count — the signature that cascades in bulk-synchronous codes
+    because every collective waits for the limper.
+    """
+
+    kind = "limplock"
+
+    def __init__(
+        self,
+        lag_steps: int = 2,
+        window: int = 4,
+        patience: int = 3,
+    ) -> None:
+        if lag_steps < 1:
+            raise ConfigurationError(
+                f"lag_steps must be >= 1, got {lag_steps}"
+            )
+        self.lag_steps = lag_steps
+        self.window = max(1, int(window))
+        self.patience = _check_patience(patience)
+        self._streak: Dict[int, int] = {}
+        self._clear_streak: Dict[int, int] = {}
+        self._flagged: set = set()
+
+    def update(self, bank: SeriesBank, t: float) -> List[HealthEvent]:
+        per_rank_steps = bank.rank_series("steps")
+        per_rank_busy = bank.rank_series("busy_s")
+        if len(per_rank_steps) < 2:
+            return []
+        ranks = sorted(per_rank_steps)
+        steps_now = [per_rank_steps[r].last[1] for r in ranks]
+        ordered = sorted(steps_now)
+        median = ordered[len(ordered) // 2]
+        events: List[HealthEvent] = []
+        for i, rank in enumerate(ranks):
+            busy = per_rank_busy.get(rank)
+            lag = median - steps_now[i]
+            limping = (
+                lag >= self.lag_steps
+                and busy is not None
+                and (busy.rate(self.window) or 0.0) > _MIN_RATE
+            )
+            if limping:
+                self._streak[rank] = self._streak.get(rank, 0) + 1
+                self._clear_streak[rank] = 0
+                if (
+                    self._streak[rank] >= self.patience
+                    and rank not in self._flagged
+                ):
+                    self._flagged.add(rank)
+                    events.append(HealthEvent(
+                        kind=self.kind,
+                        t=t,
+                        severity="critical",
+                        ranks=(rank,),
+                        message=(
+                            f"rank {rank} limping: {int(lag)} step(s) "
+                            f"behind the fleet median while still "
+                            f"computing ({self.patience} samples)"
+                        ),
+                        attrs={
+                            "lag_steps": int(lag),
+                            "steps_done": int(steps_now[i]),
+                            "median_steps": int(median),
+                        },
+                    ))
+            else:
+                self._streak[rank] = 0
+                if rank in self._flagged:
+                    clear = self._clear_streak.get(rank, 0) + 1
+                    self._clear_streak[rank] = clear
+                    if clear >= 4 * self.patience:
+                        self._flagged.discard(rank)
+                        self._clear_streak[rank] = 0
+        return events
+
+
+def _total_busy_rate(bank: SeriesBank) -> float:
+    """Sum of all ranks' recent busy-rates (0.0 when unknown)."""
+    total = 0.0
+    for s in bank.rank_series("busy_s").values():
+        total += s.rate(1) or 0.0
+    return total
+
+
+def default_detectors(
+    straggler_threshold: float = 0.3,
+    window: int = 8,
+    patience: int = 3,
+) -> List[Detector]:
+    """The standard online suite (see module docstring)."""
+    return [
+        StragglerDriftDetector(
+            threshold=straggler_threshold, window=window, patience=patience
+        ),
+        ThroughputCollapseDetector(patience=patience),
+        CommStallDetector(patience=patience + 1),
+        LimplockDetector(patience=patience),
+    ]

@@ -27,7 +27,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.errors import DeadlockError, SimulationError
+from repro.errors import SimulationError, StallError
 from repro.machine.spec import MpiModel
 from repro.machine.topology import CommCosts
 from repro.obs import context as obs_context
@@ -233,6 +233,14 @@ class Engine:
                 False: m.counter("comm.messages", scope="inter"),
             }
 
+        # health telemetry: when a HealthMonitor rides on the handle the
+        # run loop samples the engine at the monitor's cadence and the
+        # mailbox tracks bytes posted but not yet received
+        self._inflight_bytes = 0
+        self._health = getattr(self.obs, "health", None) if self._emit else None
+        if self._health is not None:
+            self._health.attach(self.obs)
+
     # -- public API -----------------------------------------------------------
 
     def run(self, program_factory: Callable[[int], Any]) -> EngineResult:
@@ -243,6 +251,7 @@ class Engine:
         ]
         heapq.heapify(self._heap)
 
+        health = self._health
         while self._heap:
             clock, rank = heapq.heappop(self._heap)
             st = self._ranks[rank]
@@ -255,6 +264,8 @@ class Engine:
                     f"exceeded max_events={self.max_events}; suspected "
                     "runaway rank program"
                 )
+            if health is not None and clock >= health.next_due:
+                health.sample_engine(self, clock)  # may raise StallError
 
         not_done = [r for r, st in enumerate(self._ranks) if st.status != _DONE]
         if not_done:
@@ -262,9 +273,11 @@ class Engine:
                 f"rank {r}: {self._describe_block(self._ranks[r])}"
                 for r in not_done[:8]
             )
-            raise DeadlockError(
+            raise StallError(
                 f"{len(not_done)} rank(s) blocked with no progress possible "
-                f"({details})"
+                f"({details})",
+                blocked=self.blocked_ranks(),
+                elapsed=max(st.clock for st in self._ranks),
             )
         elapsed = max(st.clock for st in self._ranks)
         return EngineResult(
@@ -469,6 +482,8 @@ class Engine:
             self._complete_recv(waiting_rank, msg)
         else:
             self._mailbox[key].append(msg)
+            if self._health is not None:
+                self._inflight_bytes += int(nbytes_of(msg.payload))
 
     def _complete_recv(self, rank: int, msg: Message) -> None:
         st = self._ranks[rank]
@@ -493,6 +508,8 @@ class Engine:
         box = self._mailbox.get(key)
         if box:
             msg = box.popleft()
+            if self._health is not None:
+                self._inflight_bytes -= int(nbytes_of(msg.payload))
             self._complete_recv(rank, msg)
         else:
             st.status = _BLOCKED_RECV
@@ -631,3 +648,53 @@ class Engine:
             _READY: "ready (scheduler bug)",
         }
         return names.get(st.status, "unknown")
+
+    def _block_info(self, rank: int, st: _RankState) -> dict:
+        """Structured diagnosis of one blocked rank (for StallError)."""
+        info: dict = {"rank": rank, "clock": st.clock}
+        if st.status == _BLOCKED_RECV and st.block_key is not None:
+            src, dst, wire = st.block_key
+            info["state"] = "recv"
+            info["src"] = src
+            info["dst"] = dst
+            info["tag"] = wire
+            try:
+                from repro.obs.phases import decode_wire_tag
+
+                phase, step = decode_wire_tag(wire)
+                info["phase"] = phase
+                info["step"] = step
+            except Exception:  # lint: ignore[hygiene] - diagnosis best-effort
+                info["phase"] = "unknown"
+                info["step"] = None
+        elif st.status == _BLOCKED_COLL and st.block_key is not None:
+            members, key, seq, op_name = st.block_key  # type: ignore[misc]
+            pend = self._pending_coll.get(st.block_key)
+            info["state"] = "collective"
+            info["op"] = op_name
+            info["key"] = key
+            info["seq"] = seq
+            info["members"] = list(members)
+            info["arrived"] = (
+                sorted(pend.arrived) if pend is not None else []
+            )
+        elif st.status == _BLOCKED_WAIT:
+            info["state"] = "wait"
+            info["handle"] = st.block_handle
+        else:
+            info["state"] = "unknown"
+        return info
+
+    def blocked_ranks(self) -> List[dict]:
+        """One diagnosis dict per currently-blocked rank.
+
+        The health watchdog calls this mid-run to name the operations a
+        stalled run is stuck in; the engine itself calls it at the end
+        of :meth:`run` when ranks never finished.
+        """
+        blocked_states = (_BLOCKED_RECV, _BLOCKED_WAIT, _BLOCKED_COLL)
+        return [
+            self._block_info(r, st)
+            for r, st in enumerate(getattr(self, "_ranks", []))
+            if st.status in blocked_states
+        ]

@@ -1,0 +1,277 @@
+"""Tests for the online health detectors (synthetic series + end-to-end)."""
+
+import pytest
+
+from repro.core.config import BenchmarkConfig
+from repro.core.driver import simulate_run
+from repro.errors import ConfigurationError
+from repro.machine import get_machine
+from repro.obs import Observability
+from repro.obs.health import (
+    CommStallDetector,
+    HealthEvent,
+    HealthMonitor,
+    LimplockDetector,
+    StragglerDriftDetector,
+    ThroughputCollapseDetector,
+    default_detectors,
+)
+from repro.obs.health.series import SeriesBank
+
+
+def _cfg(**kwargs):
+    defaults = dict(
+        n=512, block=64, machine=get_machine("frontier"), p_rows=2, p_cols=2
+    )
+    defaults.update(kwargs)
+    return BenchmarkConfig(**defaults)
+
+
+def _feed_busy(bank, t, rates):
+    """Append one cumulative-busy sample per rank at time t."""
+    for r, rate in enumerate(rates):
+        s = bank.series("busy_s", rank=r)
+        prev = s.last[1] if s.last else 0.0
+        prev_t = s.last[0] if s.last else t - 1.0
+        s.append(t, prev + rate * (t - prev_t))
+
+
+class TestHealthEvent:
+    def test_to_dict_shape(self):
+        ev = HealthEvent(
+            kind="straggler_drift", t=1.5, severity="warning",
+            ranks=(3,), message="m", attrs={"drift": 1.4},
+        )
+        d = ev.to_dict()
+        assert d["kind"] == "straggler_drift"
+        assert d["t_s"] == 1.5
+        assert d["ranks"] == [3]
+        assert d["attrs"]["drift"] == 1.4
+
+
+class TestStragglerDriftDetector:
+    def test_flags_sustained_straggler_within_patience(self):
+        det = StragglerDriftDetector(threshold=0.3, window=2, patience=3)
+        bank = SeriesBank()
+        events = []
+        # rank 1 runs 1.5x busier per virtual second than its peers
+        for i in range(8):
+            _feed_busy(bank, float(i), [1.0, 1.5, 1.0, 1.0])
+            events += det.update(bank, float(i))
+        assert len(events) == 1
+        ev = events[0]
+        assert ev.kind == "straggler_drift"
+        assert ev.ranks == (1,)
+        assert ev.severity == "warning"
+        assert ev.attrs["drift"] == pytest.approx(1.5, rel=0.01)
+        # the onset fired as soon as patience allowed: window + patience
+        assert ev.t <= 5.0
+
+    def test_one_onset_event_despite_oscillation(self):
+        det = StragglerDriftDetector(threshold=0.3, window=1, patience=2)
+        bank = SeriesBank()
+        events = []
+        for i in range(20):
+            # the slow rank dips below the cutoff every 4th sample (a
+            # bulk-sync wait) — exit hysteresis must keep it flagged
+            slow = 1.0 if i % 4 == 3 else 1.6
+            _feed_busy(bank, float(i), [1.0, slow, 1.0])
+            events += det.update(bank, float(i))
+        assert len(events) == 1
+
+    def test_clean_fleet_stays_silent(self):
+        det = StragglerDriftDetector(threshold=0.3)
+        bank = SeriesBank()
+        for i in range(20):
+            _feed_busy(bank, float(i), [1.0, 1.01, 0.99, 1.0])
+            assert det.update(bank, float(i)) == []
+
+    def test_requires_two_ranks_and_full_window(self):
+        det = StragglerDriftDetector(window=4)
+        bank = SeriesBank()
+        _feed_busy(bank, 0.0, [1.0])
+        assert det.update(bank, 0.0) == []  # one rank: no peers
+        bank2 = SeriesBank()
+        _feed_busy(bank2, 0.0, [1.0, 2.0])
+        assert det.update(bank2, 0.0) == []  # window not filled yet
+
+    def test_idle_window_not_flagged(self):
+        det = StragglerDriftDetector(window=1, patience=1)
+        bank = SeriesBank()
+        for i in range(4):
+            _feed_busy(bank, float(i), [0.0, 0.0])
+        assert det.update(bank, 3.0) == []
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            StragglerDriftDetector(threshold=0.0)
+        with pytest.raises(ConfigurationError):
+            StragglerDriftDetector(threshold=1.5)
+        with pytest.raises(ConfigurationError):
+            StragglerDriftDetector(patience=0)
+
+
+class TestThroughputCollapseDetector:
+    def test_fires_on_sustained_collapse(self):
+        det = ThroughputCollapseDetector(
+            series="gflops", fraction=0.25, min_history=4, patience=2
+        )
+        bank = SeriesBank()
+        s = bank.series("gflops")
+        events = []
+        for i in range(6):
+            s.append(float(i), 100.0)
+            events += det.update(bank, float(i))
+        assert events == []
+        for i in range(6, 9):
+            s.append(float(i), 5.0)  # 5% of the median
+            events += det.update(bank, float(i))
+        assert len(events) == 1
+        assert events[0].kind == "throughput_collapse"
+        assert events[0].severity == "critical"
+        assert events[0].ranks == ()
+
+    def test_single_dip_is_ignored(self):
+        det = ThroughputCollapseDetector(min_history=4, patience=2)
+        bank = SeriesBank()
+        s = bank.series("gflops")
+        for i in range(6):
+            s.append(float(i), 100.0)
+            det.update(bank, float(i))
+        s.append(6.0, 1.0)
+        assert det.update(bank, 6.0) == []  # patience not met
+        s.append(7.0, 100.0)
+        assert det.update(bank, 7.0) == []  # recovered
+
+
+class TestCommStallDetector:
+    def test_fires_when_bytes_stuck_and_nobody_computes(self):
+        det = CommStallDetector(patience=2)
+        bank = SeriesBank()
+        # progress phase
+        for i in range(2):
+            t = float(i)
+            bank.series("bytes_in_flight").append(t, 0.0)
+            bank.series("steps_min").append(t, float(i))
+            _feed_busy(bank, t, [1.0, 1.0])
+        # stall: bytes pending, steps frozen, busy flat
+        events = []
+        for i in range(2, 6):
+            t = float(i)
+            bank.series("bytes_in_flight").append(t, 4096.0)
+            bank.series("steps_min").append(t, 1.0)
+            _feed_busy(bank, t, [0.0, 0.0])
+            events += det.update(bank, t)
+        assert len(events) == 1
+        assert events[0].kind == "comm_stall"
+        assert events[0].attrs["bytes_in_flight"] == 4096.0
+
+    def test_quiet_when_compute_continues(self):
+        det = CommStallDetector(patience=2)
+        bank = SeriesBank()
+        for i in range(6):
+            t = float(i)
+            bank.series("bytes_in_flight").append(t, 4096.0)
+            bank.series("steps_min").append(t, 1.0)
+            _feed_busy(bank, t, [1.0, 1.0])  # still busy: overlap, not stall
+            assert det.update(bank, t) == []
+
+
+class TestLimplockDetector:
+    def test_flags_lagging_but_computing_rank(self):
+        det = LimplockDetector(lag_steps=2, window=1, patience=2)
+        bank = SeriesBank()
+        events = []
+        for i in range(8):
+            t = float(i)
+            _feed_busy(bank, t, [1.0, 1.0, 0.4])
+            # rank 2 falls ever further behind the fleet's step count
+            bank.series("steps", rank=0).append(t, float(i))
+            bank.series("steps", rank=1).append(t, float(i))
+            bank.series("steps", rank=2).append(t, float(i) / 4)
+            events += det.update(bank, t)
+        assert len(events) == 1
+        assert events[0].kind == "limplock"
+        assert events[0].ranks == (2,)
+        assert events[0].severity == "critical"
+        assert events[0].attrs["lag_steps"] >= 2
+
+    def test_dead_rank_is_not_limplock(self):
+        # a rank that stopped computing entirely is a deadlock/stall
+        # case, not a limper
+        det = LimplockDetector(lag_steps=2, window=1, patience=2)
+        bank = SeriesBank()
+        for i in range(8):
+            t = float(i)
+            _feed_busy(bank, t, [1.0, 1.0, 0.0])
+            bank.series("steps", rank=0).append(t, float(i))
+            bank.series("steps", rank=1).append(t, float(i))
+            bank.series("steps", rank=2).append(t, 0.0)
+            assert det.update(bank, t) == []
+
+
+class TestDefaultSuite:
+    def test_default_detectors_cover_all_kinds(self):
+        kinds = {d.kind for d in default_detectors()}
+        assert kinds == {
+            "straggler_drift", "throughput_collapse", "comm_stall",
+            "limplock",
+        }
+
+
+class TestEndToEnd:
+    """The ISSUE acceptance scenarios on real simulated runs."""
+
+    def test_injected_straggler_is_flagged(self):
+        cfg = _cfg()
+        obs = Observability(health=HealthMonitor())
+        mult = [1.0] * cfg.num_ranks
+        mult[1] = 1.0 / 1.5  # tools/slownode-style 1.5x slow GCD
+        res = simulate_run(cfg, rate_multipliers=mult, obs=obs)
+        rep = res.health
+        assert rep is not None
+        kinds = {f["kind"] for f in rep.findings}
+        assert "straggler_drift" in kinds
+        assert rep.degraded_ranks == [1]
+        # flagged online, well before the run ended
+        onset = min(
+            f["t_s"] for f in rep.findings
+            if f["kind"] == "straggler_drift"
+        )
+        assert onset < res.elapsed
+        # findings also landed in the trace stream as health spans
+        health_spans = [s for s in obs.tracer.spans if s.cat == "health"]
+        assert health_spans
+        assert health_spans[0].name.startswith("health.")
+
+    def test_clean_run_has_zero_findings(self):
+        cfg = _cfg()
+        obs = Observability(health=HealthMonitor())
+        res = simulate_run(cfg, obs=obs)
+        rep = res.health
+        assert rep.findings == []
+        assert rep.degraded_ranks == []
+        assert rep.healthy
+        assert rep.num_samples > 10
+        assert rep.num_ranks == cfg.num_ranks
+
+    def test_unmonitored_run_has_no_health_report(self):
+        cfg = _cfg()
+        obs = Observability()
+        res = simulate_run(cfg, obs=obs)
+        assert res.health is None
+
+    def test_monitor_collects_collectives_and_series(self):
+        cfg = _cfg()
+        monitor = HealthMonitor()
+        obs = Observability(health=monitor)
+        simulate_run(cfg, obs=obs)
+        assert monitor.collectives_seen > 0
+        bank = monitor.bank
+        for name in ("queue_depth", "events", "bytes_in_flight",
+                     "steps_min", "cache_hit_ratio"):
+            assert name in bank, name
+        assert set(bank.rank_series("busy_s")) == set(range(cfg.num_ranks))
+        # steps advanced to completion on every rank
+        for s in bank.rank_series("steps").values():
+            assert s.last[1] == cfg.num_blocks

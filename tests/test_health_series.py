@@ -1,0 +1,104 @@
+"""Tests for the health layer's bounded time-series storage."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs.health.series import DEFAULT_CAPACITY, RingSeries, SeriesBank
+
+
+class TestRingSeries:
+    def test_append_and_access(self):
+        s = RingSeries(capacity=4)
+        assert len(s) == 0
+        assert s.last is None
+        s.append(0.0, 1.0)
+        s.append(1.0, 2.0)
+        assert len(s) == 2
+        assert s[0] == (0.0, 1.0)
+        assert s[-1] == (1.0, 2.0)
+        assert s.last == (1.0, 2.0)
+        assert s.times() == [0.0, 1.0]
+        assert s.values() == [1.0, 2.0]
+        assert list(s) == [(0.0, 1.0), (1.0, 2.0)]
+
+    def test_bounded_capacity_drops_oldest(self):
+        s = RingSeries(capacity=3)
+        for i in range(5):
+            s.append(float(i), float(i * 10))
+        assert len(s) == 3
+        assert s.dropped == 2
+        assert s.times() == [2.0, 3.0, 4.0]
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ConfigurationError):
+            RingSeries(capacity=0)
+        with pytest.raises(ConfigurationError):
+            RingSeries(capacity=-3)
+
+    def test_rate_backward_difference(self):
+        s = RingSeries()
+        s.append(0.0, 0.0)
+        s.append(2.0, 10.0)
+        s.append(4.0, 30.0)
+        assert s.rate(1) == pytest.approx(10.0)  # (30-10)/(4-2)
+        assert s.rate(2) == pytest.approx(7.5)  # (30-0)/(4-0)
+
+    def test_rate_too_short_or_stalled_time(self):
+        s = RingSeries()
+        assert s.rate() is None
+        s.append(1.0, 5.0)
+        assert s.rate() is None
+        s.append(1.0, 9.0)  # time did not advance
+        assert s.rate() is None
+        assert s.rate(0) is None
+
+    def test_to_dict_downsamples(self):
+        s = RingSeries(capacity=100)
+        for i in range(50):
+            s.append(float(i), float(i))
+        d = s.to_dict(max_points=10)
+        assert len(d["t"]) == 10
+        assert len(d["v"]) == 10
+        assert d["dropped"] == 0
+        full = s.to_dict()
+        assert len(full["t"]) == 50
+
+    def test_default_capacity(self):
+        assert RingSeries().capacity == DEFAULT_CAPACITY
+
+
+class TestSeriesBank:
+    def test_get_or_create_and_contains(self):
+        bank = SeriesBank()
+        s = bank.series("gflops")
+        assert bank.series("gflops") is s
+        assert "gflops" in bank
+        assert "missing" not in bank
+        assert len(bank) == 1
+
+    def test_per_rank_series_are_distinct(self):
+        bank = SeriesBank()
+        s0 = bank.series("busy_s", rank=0)
+        s1 = bank.series("busy_s", rank=1)
+        sg = bank.series("busy_s")
+        assert s0 is not s1
+        assert s0 is not sg
+        per_rank = bank.rank_series("busy_s")
+        assert set(per_rank) == {0, 1}
+        assert per_rank[0] is s0
+
+    def test_names_and_to_dict_keys(self):
+        bank = SeriesBank()
+        bank.series("queue_depth").append(0.0, 3.0)
+        bank.series("busy_s", rank=1).append(0.0, 0.5)
+        assert bank.names() == ["busy_s", "queue_depth"]
+        d = bank.to_dict()
+        assert set(d) == {"queue_depth", "busy_s/rank1"}
+        assert d["queue_depth"]["v"] == [3.0]
+
+    def test_capacity_propagates(self):
+        bank = SeriesBank(capacity=2)
+        s = bank.series("x")
+        for i in range(4):
+            s.append(float(i), 0.0)
+        assert len(s) == 2

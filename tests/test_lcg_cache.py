@@ -146,3 +146,41 @@ class TestMatrixCacheIntegration:
             from repro.lcg.cache import DEFAULT_MAX_BYTES
 
             configure_tile_cache(DEFAULT_MAX_BYTES)
+
+
+class TestCacheObservability:
+    """Cache events mirror into the obs metrics registry when enabled."""
+
+    def test_hits_misses_evictions_counted(self):
+        from repro.obs import Observability, use
+
+        obs = Observability()
+        with use(obs):
+            row = np.zeros((1, 128))
+            c = TileCache(max_bytes=2 * row.nbytes)
+            k1 = (1, 1, 1, 1, 0, 1, 0, 128)
+            k2 = (2, 2, 2, 2, 0, 1, 0, 128)
+            k3 = (3, 3, 3, 3, 0, 1, 0, 128)
+            c.get(k1)            # miss
+            c.put(k1, row)
+            c.get(k1)            # hit
+            c.put(k2, row)
+            c.put(k3, row)       # evicts k1
+
+        def val(event):
+            return obs.metrics.counter("lcg.tile_cache", event=event).value
+
+        assert val("miss") == 1
+        assert val("hit") == 1
+        assert val("eviction") == 1
+        # the cache's own counters agree
+        assert c.stats()["hits"] == 1
+        assert c.stats()["evictions"] == 1
+
+    def test_disabled_handle_records_nothing(self):
+        from repro.obs import context as obs_context
+
+        assert not obs_context.current().enabled  # module default
+        c = TileCache()
+        c.get((9, 9, 9, 9, 0, 1, 0, 1))
+        assert c.stats()["misses"] == 1  # plain counters still work

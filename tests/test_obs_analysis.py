@@ -384,6 +384,47 @@ class TestLiveProgress:
         rep.append({"k": "garbage", "panel": None})
         assert len(rep) == 1
 
+    def test_warmup_columns_excluded_from_calibration(self):
+        cfg = _cfg()
+        rep = LiveProgressReporter(cfg, stream=io.StringIO(), warmup=2)
+        expected = rep._expected_step_times(cfg)
+        # Two pathological warm-up columns (10x the model), then
+        # model-perfect columns: once past the warm-up window the
+        # projection must calibrate on the clean steps only.
+        for k in range(4):
+            factor = 10.0 if k < 2 else 1.0
+            rep.append({"k": k, "panel": factor * expected[k],
+                        "gemm": 0.0, "recv": 0.0})
+        measured_so_far = (
+            10.0 * (expected[0] + expected[1]) + expected[2] + expected[3]
+        )
+        # ratio over steps 2..3 is exactly 1.0, so the projection is
+        # elapsed + remaining model time — the warm-up spike does not
+        # multiply the remaining-time estimate
+        assert rep.projected_total() == pytest.approx(
+            measured_so_far + sum(expected[4:])
+        )
+
+    def test_near_zero_model_divisor_yields_none(self):
+        cfg = _cfg()
+        rep = LiveProgressReporter(cfg, stream=io.StringIO())
+        rep._expected = [0.0] * cfg.num_blocks  # degenerate model
+        rep.append({"k": 0, "panel": 0.01, "gemm": 0.0, "recv": 0.0})
+        assert rep.projected_total() is None
+
+    def test_first_column_projection_is_stable(self):
+        # Regression: the projection on the very first panel column used
+        # to divide by a near-zero modelled prefix and swing wildly; it
+        # must stay within an order of magnitude of the model total.
+        cfg = _cfg()
+        rep = LiveProgressReporter(cfg, stream=io.StringIO())
+        expected = rep._expected_step_times(cfg)
+        rep.append({"k": 0, "panel": 3.0 * expected[0],
+                    "gemm": 0.0, "recv": 0.0})
+        proj = rep.projected_total()
+        assert proj is not None
+        assert proj <= 10 * sum(expected)
+
     def test_step_flops_positive_and_decreasing(self):
         cfg = _cfg()
         series = [

@@ -152,3 +152,24 @@ class TestPrometheusText:
 
     def test_empty_registry(self):
         assert to_prometheus_text(MetricsRegistry()) == ""
+
+    def test_histogram_quantile_summary_lines(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat", boundaries=[1.0, 2.0, 4.0])
+        for v in (0.5, 1.5, 1.6, 3.0):
+            h.observe(v)
+        text = to_prometheus_text(reg)
+        assert f'lat{{quantile="0.5"}} {h.quantile(0.5):g}' in text
+        assert f'lat{{quantile="0.9"}} {h.quantile(0.9):g}' in text
+        assert f'lat{{quantile="0.99"}} {h.quantile(0.99):g}' in text
+
+    def test_quantiles_keep_existing_labels(self):
+        reg = MetricsRegistry()
+        reg.histogram("lat", boundaries=[1.0], stage="gemm").observe(0.5)
+        text = to_prometheus_text(reg)
+        assert 'lat{stage="gemm",quantile="0.5"}' in text
+
+    def test_empty_histogram_emits_no_quantiles(self):
+        reg = MetricsRegistry()
+        reg.histogram("lat", boundaries=[1.0])
+        assert "quantile" not in to_prometheus_text(reg)
