@@ -4,6 +4,7 @@ from repro.analyze.checkers.collectives import CollectiveMatchingChecker
 from repro.analyze.checkers.health_schema import HealthReportChecker
 from repro.analyze.checkers.hygiene import HygieneChecker
 from repro.analyze.checkers.precision_flow import PrecisionFlowChecker
+from repro.analyze.checkers.scenario_schema import ScenarioChecker
 from repro.analyze.checkers.tag_space import TagSpaceChecker
 from repro.analyze.checkers.trace_schema import (
     ProfileReportChecker,
@@ -16,6 +17,7 @@ __all__ = [
     "HygieneChecker",
     "PrecisionFlowChecker",
     "ProfileReportChecker",
+    "ScenarioChecker",
     "TagSpaceChecker",
     "TraceSchemaChecker",
     "all_checkers",
@@ -32,4 +34,5 @@ def all_checkers(require_layers: bool = False):
         TraceSchemaChecker(require_layers=require_layers),
         ProfileReportChecker(),
         HealthReportChecker(),
+        ScenarioChecker(),
     ]

@@ -1,0 +1,106 @@
+"""``scenario-schema``: validate ``repro.scenario/v1`` documents.
+
+Same pattern as the health/profile schema checkers: a pure
+:func:`check_scenario` over a parsed document, adapted to the
+:mod:`repro.analyze` framework by :class:`ScenarioChecker` so
+``repro lint examples/scenarios --select scenario-schema`` is the CI
+entry point for scenario files
+(:data:`~repro.scenario.spec.SCENARIO_SCHEMA`).
+
+The validation itself is delegated to the scenario layer's own
+constructors — :func:`repro.scenario.injection_from_dict` rejects
+unknown kinds, unknown fields, and malformed parameters — so the
+checker can never drift from what the engines actually accept.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from repro.analyze.findings import Finding, Severity
+from repro.analyze.framework import ArtifactChecker
+from repro.scenario.spec import SCENARIO_SCHEMA
+
+
+def _is_scenario_doc(doc) -> bool:
+    return isinstance(doc, dict) and doc.get("schema") == SCENARIO_SCHEMA
+
+
+def check_scenario(doc) -> List[str]:
+    """Return a list of problem strings (empty = valid)."""
+    from repro.errors import ConfigurationError
+    from repro.scenario.spec import Scenario, injection_from_dict
+
+    problems = []
+    if not isinstance(doc, dict):
+        return [f"top level must be an object, got {type(doc).__name__}"]
+    if doc.get("schema") != SCENARIO_SCHEMA:
+        problems.append(
+            f"schema must be {SCENARIO_SCHEMA!r}, got {doc.get('schema')!r}"
+        )
+    name = doc.get("name")
+    if name is not None and not isinstance(name, str):
+        problems.append("'name' must be a string")
+    desc = doc.get("description")
+    if desc is not None and not isinstance(desc, str):
+        problems.append("'description' must be a string")
+
+    injections = doc.get("injections")
+    if not isinstance(injections, list):
+        problems.append("'injections' list is missing")
+        return problems
+    if not injections:
+        problems.append("'injections' is empty — the scenario does nothing")
+    for i, inj in enumerate(injections):
+        try:
+            injection_from_dict(inj)
+        except ConfigurationError as exc:
+            problems.append(f"injections[{i}]: {exc}")
+
+    if not problems:
+        # The parts validated; confirm the whole document round-trips
+        # through the DSL (catches cross-field problems the per-
+        # injection pass cannot see).
+        try:
+            Scenario.from_dict(doc)
+        except ConfigurationError as exc:
+            problems.append(str(exc))
+    return problems
+
+
+class ScenarioChecker(ArtifactChecker):
+    id = "scenario-schema"
+    description = "scenario JSON documents parse under the repro.scenario DSL"
+
+    def matches(self, path: str) -> bool:
+        return path.endswith(".json")
+
+    def check_file(self, path: str) -> Iterable[Finding]:
+        from repro.analyze.checkers.trace_schema import load_strict_json
+
+        try:
+            doc = load_strict_json(path)
+        except (ValueError, OSError) as exc:
+            yield Finding(
+                checker=self.id, path=path, line=0,
+                severity=Severity.ERROR,
+                message=f"not strict JSON: {exc}",
+            )
+            return
+        # Ours when it claims the scenario schema, or plainly wants to
+        # be one (an injections list with kind-tagged entries) with a
+        # wrong tag.  Traces/profiles/health reports belong elsewhere.
+        looks_like_scenario = isinstance(doc, dict) and (
+            _is_scenario_doc(doc)
+            or (
+                isinstance(doc.get("injections"), list)
+                and "traceEvents" not in doc
+            )
+        )
+        if not looks_like_scenario:
+            return
+        for problem in check_scenario(doc):
+            yield Finding(
+                checker=self.id, path=path, line=0,
+                severity=Severity.ERROR, message=problem,
+            )

@@ -142,6 +142,11 @@ class TraceSchemaChecker(ArtifactChecker):
         if _is_health_doc(doc):
             # HealthReportChecker's document, not a trace.
             return
+        from repro.analyze.checkers.scenario_schema import _is_scenario_doc
+
+        if _is_scenario_doc(doc):
+            # ScenarioChecker's document, not a trace.
+            return
         for problem in check_trace(doc, require_layers=self.require_layers):
             yield Finding(
                 checker=self.id, path=path, line=0,

@@ -58,9 +58,17 @@ def _add_run_args(p: argparse.ArgumentParser) -> None:
     p.add_argument("--no-port-binding", action="store_true")
 
 
+def _add_scenario_arg(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--scenario", default=None, metavar="FILE",
+                   help="declarative fault/variability scenario JSON "
+                        "(repro.scenario/v1; see docs/SCENARIOS.md)")
+
+
 def _add_health_args(p: argparse.ArgumentParser) -> None:
+    _add_scenario_arg(p)
     p.add_argument("--slow-rank", type=int, default=None, metavar="R",
-                   help="inject a slow GCD at rank R (degraded-node demo)")
+                   help="inject a slow GCD at rank R (sugar for a "
+                        "one-injection scenario; composes with --scenario)")
     p.add_argument("--slow-factor", type=float, default=1.5,
                    help="slowdown factor for --slow-rank (default 1.5)")
     p.add_argument("--cadence", type=float, default=None,
@@ -103,6 +111,44 @@ def _build_config(args, n_override: Optional[int] = None):
     return BenchmarkConfig(**kwargs)
 
 
+def _scenario_from_args(args, cfg):
+    """The run's :class:`~repro.scenario.Scenario` from the CLI flags.
+
+    ``--scenario FILE`` loads a declarative scenario document;
+    ``--slow-rank R --slow-factor F`` is sugar for a one-injection
+    scenario and composes with a loaded file.  All validation lives in
+    the scenario layer; configuration problems surface as a clean
+    ``SystemExit`` instead of a traceback.  Returns ``None`` when
+    neither flag is present.
+    """
+    from repro.errors import ConfigurationError
+    from repro.scenario import Scenario
+
+    try:
+        scenario = None
+        path = getattr(args, "scenario", None)
+        if path:
+            scenario = Scenario.load(path)
+        slow_rank = getattr(args, "slow_rank", None)
+        if slow_rank is not None:
+            sugar = Scenario.single_slow_rank(
+                slow_rank, getattr(args, "slow_factor", 1.5)
+            )
+            if scenario is None:
+                scenario = sugar
+            else:
+                scenario = Scenario(
+                    name=scenario.name,
+                    description=scenario.description,
+                    injections=scenario.injections + sugar.injections,
+                )
+        if scenario is not None:
+            scenario.validate_for(cfg.num_ranks)
+        return scenario
+    except ConfigurationError as exc:
+        raise SystemExit(f"scenario: {exc}")
+
+
 def _print_result(res, out=None) -> None:
     from repro.util.format import format_flops, format_seconds
 
@@ -133,10 +179,17 @@ def cmd_solve(args) -> int:
 
 
 def cmd_run(args) -> int:
-    """Simulate a configuration on the discrete-event engine."""
+    """Simulate a configuration on the discrete-event engine.
+
+    With ``--scenario`` the run executes under the scenario's composed
+    injections *with the health monitor attached*, so the same command
+    demonstrates both the fault and its detection; ``--health-json``
+    saves the resulting health report for CI assertions.
+    """
     from repro.core.driver import simulate_run
 
     cfg = _build_config(args)
+    scenario = _scenario_from_args(args, cfg)
     progress = None
     if args.progress:
         from repro.obs.analysis import LiveProgressReporter
@@ -144,9 +197,36 @@ def cmd_run(args) -> int:
         progress = LiveProgressReporter(
             cfg, stream=sys.stdout, every=args.progress_every
         )
-    res = simulate_run(cfg, progress=progress)
+    if scenario is not None:
+        from repro.obs import Observability
+        from repro.obs.health import HealthMonitor
+
+        print(f"scenario: {scenario.describe()}")
+        obs = Observability(health=HealthMonitor())
+        res = simulate_run(cfg, scenario=scenario, obs=obs,
+                           progress=progress)
+    else:
+        res = simulate_run(cfg, progress=progress)
     print("event-engine simulation:")
     _print_result(res)
+    if res.health is not None:
+        rep = res.health
+        if rep.findings:
+            print(f"  health: {len(rep.findings)} finding(s), degraded "
+                  f"rank(s) {rep.degraded_ranks}")
+            kinds = sorted({f.get("kind", "?") for f in rep.findings})
+            print(f"    kinds: {', '.join(kinds)}")
+        else:
+            print("  health: no findings")
+        if getattr(args, "health_json", None):
+            from pathlib import Path
+
+            from repro.obs.export import dumps_strict
+
+            Path(args.health_json).write_text(
+                dumps_strict(rep.to_dict(), indent=2) + "\n"
+            )
+            print(f"  health report -> {args.health_json}")
     if args.json:
         from repro.core.report import save_report
 
@@ -163,7 +243,10 @@ def cmd_model(args) -> int:
     from repro.model.perf_model import estimate_run
 
     cfg = _build_config(args)
-    res = estimate_run(cfg)
+    scenario = _scenario_from_args(args, cfg)
+    if scenario is not None:
+        print(f"scenario: {scenario.describe()}")
+    res = estimate_run(cfg, scenario=scenario)
     print("analytic model estimate:")
     _print_result(res)
     print("  breakdown (s):")
@@ -274,6 +357,9 @@ def cmd_campaign(args) -> int:
     from repro.tools.campaign import run_campaign
 
     cfg = _build_config(args)
+    scenario = _scenario_from_args(args, cfg)
+    if scenario is not None:
+        print(f"scenario: {scenario.describe()}")
     fleet = GcdFleet(
         cfg.num_ranks + args.spare_nodes * cfg.machine.node.gcds_per_node,
         seed=args.seed,
@@ -282,6 +368,7 @@ def cmd_campaign(args) -> int:
         cfg, fleet=fleet, num_runs=args.runs,
         exclude_slow_nodes=not args.no_scan,
         do_warmup=not args.no_warmup,
+        scenario=scenario,
     )
     print(res.render())
     from repro.util.format import format_flops
@@ -473,12 +560,14 @@ def cmd_profile(args) -> int:
 
 
 def _monitored_run(args):
-    """Simulate with a health monitor attached (optional slow rank)."""
+    """Simulate with a health monitor attached (optional --scenario
+    file and/or --slow-rank sugar)."""
     from repro.core.driver import simulate_run
     from repro.obs import Observability
     from repro.obs.health import HealthMonitor, RunWatchdog
 
     cfg = _build_config(args)
+    scenario = _scenario_from_args(args, cfg)
     monitor = HealthMonitor(
         cadence=getattr(args, "cadence", None),
         straggler_threshold=getattr(args, "straggler_threshold", 0.3),
@@ -487,20 +576,7 @@ def _monitored_run(args):
         ),
     )
     obs = Observability(health=monitor)
-    mult = None
-    slow_rank = getattr(args, "slow_rank", None)
-    if slow_rank is not None:
-        if not 0 <= slow_rank < cfg.num_ranks:
-            raise SystemExit(
-                f"--slow-rank {slow_rank} outside the "
-                f"{cfg.num_ranks}-rank grid"
-            )
-        factor = getattr(args, "slow_factor", 1.5)
-        # rate multipliers scale rank speed; a 1.5x-slower GCD runs at
-        # 1/1.5 of nominal
-        mult = [1.0] * cfg.num_ranks
-        mult[slow_rank] = 1.0 / factor
-    res = simulate_run(cfg, rate_multipliers=mult, obs=obs)
+    res = simulate_run(cfg, scenario=scenario, obs=obs)
     return cfg, obs, res
 
 
@@ -670,6 +746,10 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("run", help="event-engine timing simulation")
     _add_run_args(p)
+    _add_scenario_arg(p)
+    p.add_argument("--health-json", default=None, metavar="FILE",
+                   help="with --scenario: write the monitored run's "
+                        "health report as JSON")
     p.add_argument("--json", default=None, help="write a JSON run report")
     p.add_argument("--trace", default=None,
                    help="write the per-iteration trace as CSV")
@@ -682,6 +762,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("model", help="analytic estimate at any scale")
     _add_run_args(p)
+    _add_scenario_arg(p)
     p.add_argument("--json", default=None, help="write a JSON run report")
     p.set_defaults(func=cmd_model)
 
@@ -712,6 +793,7 @@ def build_parser() -> argparse.ArgumentParser:
         "campaign", help="record-run campaign: scan, warm up, run, report"
     )
     _add_run_args(p)
+    _add_scenario_arg(p)
     p.add_argument("--runs", type=int, default=3)
     p.add_argument("--spare-nodes", type=int, default=4,
                    help="extra nodes in the pool for slow-node exclusion")

@@ -27,6 +27,7 @@ from repro.machine.spec import MachineSpec
 from repro.machine.topology import CommCosts
 from repro.obs import context as obs_context
 from repro.obs.provenance import run_provenance
+from repro.scenario import Scenario, compile_scenario
 from repro.simulate.engine import Engine, RankStats
 from repro.util import flops as fl
 
@@ -82,6 +83,7 @@ def run_benchmark(
     collect_trace: bool = True,
     obs: Optional["obs_context.Observability"] = None,
     progress: Optional[List[dict]] = None,
+    scenario: Optional[Scenario] = None,
 ) -> RunResult:
     """Execute one HPL-AI run on the event engine.
 
@@ -92,11 +94,13 @@ def run_benchmark(
     exact:
         Real data (numerically exact) vs phantom (timing only).
     rate_multipliers:
-        Optional per-GCD speed multipliers (manufacturing variability /
-        slow nodes).
+        Deprecated adapter for ``scenario=``: per-GCD speed multipliers
+        (manufacturing variability / slow nodes), internally wrapped
+        into a :class:`~repro.scenario.RateMultipliers` injection.
     global_speed:
-        Uniform speed multiplier (warm-up effects, Fig 12); applied on
-        top of ``rate_multipliers``.
+        Deprecated adapter for ``scenario=``: uniform speed multiplier
+        (warm-up effects, Fig 12); applied on top of
+        ``rate_multipliers``.
     obs:
         Observability handle; ``None`` uses the process-wide one
         (disabled no-op by default).  When enabled, the engine/executor/
@@ -107,23 +111,31 @@ def run_benchmark(
         A :class:`~repro.obs.analysis.LiveProgressReporter` here turns
         the run chatty: each appended column is narrated as it lands.
         Implies trace collection regardless of ``collect_trace``.
+    scenario:
+        A :class:`~repro.scenario.Scenario` of composed injections
+        (slow ranks, limplock, crash/restart, link jitter, ...).  The
+        scenario is compiled against ``cfg`` — all validation (rank
+        bounds, multiplier positivity) happens in that shared path —
+        and drives the engine's rate schedules and link perturbations.
+        Mutually exclusive with the deprecated raw parameters.
     """
     if global_speed <= 0:
         raise ConfigurationError(f"global_speed must be positive, got {global_speed}")
+    if scenario is None:
+        scenario = Scenario.from_legacy(
+            rate_multipliers=rate_multipliers, global_speed=global_speed
+        )
+    elif rate_multipliers is not None or global_speed != 1.0:
+        raise ConfigurationError(
+            "pass scenario= or the legacy rate_multipliers/global_speed "
+            "parameters, not both"
+        )
+    compiled = compile_scenario(scenario, cfg)
     if exact and cfg.panel_precision == "fp16":
         # bf16 panels have FP32's exponent range: no underflow cap.
         from repro.lcg.matrix import HplAiMatrix
 
         HplAiMatrix(cfg.n, cfg.seed).check_fp16_safe()
-    mult = np.ones(cfg.num_ranks) * global_speed
-    if rate_multipliers is not None:
-        rates = np.asarray(rate_multipliers, dtype=float)
-        if rates.shape != (cfg.num_ranks,):
-            raise ConfigurationError(
-                f"rate_multipliers must have shape ({cfg.num_ranks},), "
-                f"got {rates.shape}"
-            )
-        mult = mult * rates
 
     costs = CommCosts(
         cfg.machine, port_binding=cfg.port_binding, gpu_aware=cfg.gpu_aware
@@ -138,7 +150,9 @@ def run_benchmark(
         costs,
         node_of_rank=cfg.node_grid.node_of_rank,
         mpi=cfg.machine.mpi,
-        rate_multipliers=mult,
+        rate_multipliers=compiled.static_multipliers,
+        rate_plan=compiled.rate_plan,
+        link_plan=compiled.link_plan,
         obs=obs,
     )
 
@@ -254,6 +268,7 @@ def simulate_run(
     global_speed: float = 1.0,
     obs: Optional["obs_context.Observability"] = None,
     progress: Optional[List[dict]] = None,
+    scenario: Optional[Scenario] = None,
 ) -> RunResult:
     """Timing-only run of the full rank programs at any engine scale."""
     return run_benchmark(
@@ -263,4 +278,5 @@ def simulate_run(
         global_speed=global_speed,
         obs=obs,
         progress=progress,
+        scenario=scenario,
     )

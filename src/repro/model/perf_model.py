@@ -172,6 +172,7 @@ def estimate_run(
     pipeline_multiplier: float = 1.0,
     global_speed: float = 1.0,
     keep_iterations: bool = False,
+    scenario=None,
 ) -> AnalyticResult:
     """Model the full benchmark at any scale in O(N/B).
 
@@ -179,7 +180,21 @@ def estimate_run(
     synchronous factorization the slowest GCD gates every iteration
     (see :meth:`repro.machine.GcdFleet.pipeline_multiplier`).
     ``global_speed`` models warm-up effects (Fig 12).
+
+    ``scenario`` accepts the same :class:`~repro.scenario.Scenario`
+    the event engine runs: the composed rate schedule collapses to its
+    effective pipeline multiplier (the slowest participant gates every
+    iteration), multiplied into ``pipeline_multiplier``, so analytic
+    and event-engine results of one scenario file stay comparable.
+    Link-level injections are below the model's resolution.
     """
+    if scenario is not None:
+        # Lazy import: repro.scenario.compile prices horizons with this
+        # very function.
+        from repro.scenario.compile import compile_scenario
+
+        compiled = compile_scenario(scenario, cfg)
+        pipeline_multiplier *= compiled.pipeline_multiplier
     costs = CommCosts(
         cfg.machine, port_binding=cfg.port_binding, gpu_aware=cfg.gpu_aware
     )

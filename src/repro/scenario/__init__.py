@@ -1,0 +1,62 @@
+"""Declarative fault & variability scenarios (``repro.scenario/v1``).
+
+One :class:`Scenario` object composes slow-GCD populations, limplocked
+ranks, mid-run crash + restart-from-regeneration, link jitter and
+contention, thermal throttling, and warm-up — and drives the event
+engine, the analytic model, and the campaign runner identically::
+
+    from repro.scenario import Scenario, Limplock, LinkJitter
+
+    sc = Scenario(name="demo", injections=(
+        Limplock(rank=3, factor=3.0, onset_frac=0.25),
+        LinkJitter(amplitude_s=2e-5),
+    ))
+    res = simulate_run(cfg, scenario=sc)        # event engine
+    est = scenario_estimate(cfg, sc)            # analytic model
+"""
+
+from repro.scenario.compile import (
+    CompiledScenario,
+    LinkPlan,
+    RatePlan,
+    compile_scenario,
+    scenario_estimate,
+)
+from repro.scenario.spec import (
+    SCENARIO_SCHEMA,
+    ContentionWindow,
+    GlobalSpeed,
+    Injection,
+    Limplock,
+    LinkJitter,
+    RankCrash,
+    RateMultipliers,
+    Scenario,
+    SlowGcds,
+    SlowRank,
+    ThermalThrottle,
+    Warmup,
+    injection_from_dict,
+)
+
+__all__ = [
+    "SCENARIO_SCHEMA",
+    "Scenario",
+    "Injection",
+    "SlowGcds",
+    "SlowRank",
+    "Limplock",
+    "RankCrash",
+    "LinkJitter",
+    "ContentionWindow",
+    "ThermalThrottle",
+    "Warmup",
+    "GlobalSpeed",
+    "RateMultipliers",
+    "injection_from_dict",
+    "CompiledScenario",
+    "RatePlan",
+    "LinkPlan",
+    "compile_scenario",
+    "scenario_estimate",
+]

@@ -1,0 +1,494 @@
+"""Compile a :class:`~repro.scenario.Scenario` against a configuration.
+
+A scenario is declarative; the engines need schedules.  The compiler
+lowers the injection list into three executable artifacts:
+
+- a **static multiplier vector** — the time-invariant product of every
+  static injection (slow-GCD fleet draw, warm-up, global speed, legacy
+  per-rank multipliers, onset-0 slow ranks).  When nothing in the
+  scenario varies with time this is the *only* artifact, and the engine
+  keeps its original single-vector fast path;
+- a :class:`RatePlan` — per-rank piecewise-constant rate schedules
+  ``m_r(t)`` (onset-delayed limplock, crash blackouts where ``m = 0``,
+  thermal-throttle staircases).  The engine integrates compute ops
+  through the schedule: a Compute of ``w`` nominal seconds started at
+  ``t`` finishes at the earliest ``T`` with ``∫_t^T m_r(u) du = w``;
+- a :class:`LinkPlan` — deterministic per-transfer perturbations for
+  inter-node messages (seeded latency jitter, bandwidth brown-out
+  windows).
+
+The same compilation also yields the scenario's **effective pipeline
+multiplier** for the analytic model: in a bulk-synchronous
+factorization the slowest participant gates every iteration, so the
+fleet progresses at ``m_min(t) = min_r m_r(t)``.  Solving
+``∫_0^T m_min = T_nominal`` for ``T`` gives the degraded wall-clock
+and ``eff = T_nominal / T`` the single multiplier that reproduces it
+through :func:`repro.model.perf_model.estimate_run` — keeping
+analytic-vs-event deviation comparable under any scenario.
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_right
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.scenario.spec import (
+    ContentionWindow,
+    GlobalSpeed,
+    Limplock,
+    LinkJitter,
+    RankCrash,
+    RateMultipliers,
+    Scenario,
+    SlowGcds,
+    SlowRank,
+    ThermalThrottle,
+    Warmup,
+    _resolve_time,
+)
+
+#: a thermal staircase ramps over this many time constants before
+#: clamping to the floor
+_THROTTLE_RAMP_TAUS = 3.0
+
+
+class RatePlan:
+    """Per-rank piecewise-constant rate schedules ``m_r(t)``.
+
+    ``times[r]`` is the ascending breakpoint list (first entry 0.0) and
+    ``rates[r][i]`` the multiplier on ``[times[r][i], times[r][i+1])``
+    (the last segment extends to infinity).  A rate of exactly 0 is a
+    blackout: no progress, and the engine accounts the span as
+    ``wait_outage`` rather than compute.
+    """
+
+    def __init__(
+        self,
+        times: Dict[int, List[float]],
+        rates: Dict[int, List[float]],
+        num_ranks: int,
+    ) -> None:
+        self._times = times
+        self._rates = rates
+        self.num_ranks = num_ranks
+        for r, rs in rates.items():
+            if rs and rs[-1] <= 0:
+                raise ConfigurationError(
+                    f"rank {r}'s schedule ends in a permanent blackout — "
+                    "the run could never finish"
+                )
+
+    def rate_at(self, rank: int, t: float) -> float:
+        """The multiplier in effect for ``rank`` at virtual time ``t``."""
+        times = self._times.get(rank)
+        if not times:
+            return 1.0
+        i = bisect_right(times, t) - 1
+        return self._rates[rank][max(i, 0)]
+
+    def advance(self, rank: int, start: float, work: float) -> Tuple[float, float]:
+        """Integrate ``work`` nominal seconds of compute from ``start``.
+
+        Returns ``(end_time, outage_seconds)``: the virtual time the op
+        completes and how much of the span was spent in blackout
+        segments (rate 0).
+        """
+        times = self._times.get(rank)
+        if not times:
+            return start + work, 0.0
+        rates = self._rates[rank]
+        t = start
+        outage = 0.0
+        i = max(bisect_right(times, t) - 1, 0)
+        remaining = work
+        while True:
+            m = rates[i]
+            seg_end = times[i + 1] if i + 1 < len(times) else math.inf
+            if m <= 0.0:
+                outage += seg_end - t
+                t = seg_end
+                i += 1
+                continue
+            span = seg_end - t
+            capacity = span * m
+            if capacity >= remaining or seg_end == math.inf:
+                return t + remaining / m, outage
+            remaining -= capacity
+            t = seg_end
+            i += 1
+
+    def min_rate_schedule(self) -> Tuple[List[float], List[float]]:
+        """The fleet-gating schedule ``m_min(t)`` (times, rates)."""
+        cuts = {0.0}
+        for ts in self._times.values():
+            cuts.update(ts)
+        times = sorted(cuts)
+        mins = []
+        for t in times:
+            mins.append(
+                min(self.rate_at(r, t) for r in range(self.num_ranks))
+            )
+        return times, mins
+
+    def blackouts(self, rank: int) -> List[Tuple[float, float]]:
+        """``[t0, t1)`` blackout windows of one rank."""
+        times = self._times.get(rank)
+        if not times:
+            return []
+        rates = self._rates[rank]
+        out = []
+        for i, m in enumerate(rates):
+            if m <= 0.0:
+                t1 = times[i + 1] if i + 1 < len(times) else math.inf
+                out.append((times[i], t1))
+        return out
+
+
+def _mix64(x: int) -> int:
+    """SplitMix64 finalizer: deterministic across processes and runs."""
+    x = (x + 0x9E3779B97F4A7C15) & 0xFFFFFFFFFFFFFFFF
+    x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & 0xFFFFFFFFFFFFFFFF
+    x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & 0xFFFFFFFFFFFFFFFF
+    return x ^ (x >> 31)
+
+
+class LinkPlan:
+    """Deterministic inter-node transfer perturbations.
+
+    Jitter draws a uniform extra latency in ``[0, amplitude)`` per
+    transfer from a counter-mode SplitMix64 stream keyed by
+    ``(seed, src_node, dst_node, per-pair counter)`` — no global RNG
+    state, so two runs of the same scenario see identical jitter and
+    the draw order cannot depend on dict iteration.  Contention windows
+    multiply the transfer time of any message *starting* inside them.
+    """
+
+    def __init__(
+        self,
+        jitter_amplitude: float = 0.0,
+        jitter_seed: int = 0,
+        windows: Optional[List[Tuple[float, float, float]]] = None,
+    ) -> None:
+        self.jitter_amplitude = jitter_amplitude
+        self.jitter_seed = jitter_seed
+        #: (t0, t1, bw_factor) brown-out windows
+        self.windows = sorted(windows or [])
+        self._counters: Dict[Tuple[int, int], int] = {}
+
+    def perturb(
+        self, src_node: int, dst_node: int, start: float, size: float,
+    ) -> Tuple[float, float]:
+        """Returns ``(xfer_scale, extra_latency_s)`` for one transfer."""
+        scale = 1.0
+        for t0, t1, factor in self.windows:
+            if t0 <= start < t1:
+                scale *= factor
+        extra = 0.0
+        if self.jitter_amplitude > 0.0:
+            key = (src_node, dst_node)
+            n = self._counters.get(key, 0)
+            self._counters[key] = n + 1
+            h = _mix64(
+                _mix64(self.jitter_seed ^ (src_node << 20) ^ dst_node) ^ n
+            )
+            extra = (h / 2.0**64) * self.jitter_amplitude
+        return scale, extra
+
+
+@dataclass
+class CompiledScenario:
+    """A scenario lowered against one configuration."""
+
+    scenario: Scenario
+    #: time-invariant per-rank multipliers (always valid; the whole
+    #: story when :attr:`rate_plan` is None)
+    static_multipliers: np.ndarray
+    #: piecewise-in-time schedules, or None when the scenario is static
+    rate_plan: Optional[RatePlan] = None
+    #: inter-node transfer perturbations, or None when links are clean
+    link_plan: Optional[LinkPlan] = None
+    #: the analytic model's nominal elapsed for the configuration —
+    #: the horizon ``*_frac`` times were resolved against
+    horizon: float = 0.0
+    #: single multiplier reproducing the composed schedule's gating
+    #: effect through the analytic model
+    pipeline_multiplier: float = 1.0
+    #: rank -> [t0, t1) crash blackout windows (diagnostics/tests)
+    blackout_windows: Dict[int, List[Tuple[float, float]]] = field(
+        default_factory=dict
+    )
+
+    @property
+    def is_static(self) -> bool:
+        return self.rate_plan is None
+
+
+def _regen_seconds(cfg) -> float:
+    """Price a restart-from-regeneration: refill the rank's local tiles
+    from the LCG and re-stage them to the device.
+
+    The matrix is a pure function of ``(n, seed)`` so this is the
+    *entire* recovery cost — no checkpoint I/O term exists.
+    """
+    entries = cfg.col_dim.blocks_per_proc * cfg.local_rows * cfg.block
+    regen = cfg.machine.cpu_kernels.regen_time(entries)
+    h2d = cfg.machine.gpu_kernels.h2d_time(cfg.local_fp32_bytes)
+    return regen + h2d
+
+
+def _throttle_staircase(
+    inj: ThermalThrottle, horizon: float
+) -> Tuple[List[float], List[float]]:
+    """Lower an exponential throttle curve to (times, values)."""
+    onset = _resolve_time(inj.onset_s, inj.onset_frac, horizon, default=0.0)
+    ramp = _THROTTLE_RAMP_TAUS * inj.tau_s
+    times = [0.0]
+    values = [1.0]
+    for i in range(inj.steps):
+        t = onset + i * ramp / inj.steps
+        # midpoint value of the exponential over this tread
+        mid = (i + 0.5) * _THROTTLE_RAMP_TAUS / inj.steps
+        v = inj.floor + (1.0 - inj.floor) * math.exp(-mid)
+        times.append(t)
+        values.append(v)
+    times.append(onset + ramp)
+    values.append(inj.floor)
+    return times, values
+
+
+class _Modifier:
+    """One piecewise-constant multiplicative factor on a rank's rate."""
+
+    __slots__ = ("times", "values")
+
+    def __init__(self, times: List[float], values: List[float]) -> None:
+        self.times = times
+        self.values = values
+
+    def value_at(self, t: float) -> float:
+        i = bisect_right(self.times, t) - 1
+        return self.values[max(i, 0)]
+
+
+def compile_scenario(scenario: Scenario, cfg) -> CompiledScenario:
+    """Lower ``scenario`` against ``cfg`` into engine-ready schedules.
+
+    All validation of the shared injection path happens here — rank
+    indices against the world size, multiplier positivity, crash
+    windows — raising :class:`~repro.errors.ConfigurationError` before
+    anything reaches an engine.
+    """
+    scenario.validate_for(cfg.num_ranks)
+    horizon = _nominal_elapsed(cfg, scenario)
+
+    static = np.ones(cfg.num_ranks)
+    # rank -> list of time-varying modifiers; None key = global
+    modifiers: Dict[int, List[_Modifier]] = {}
+    global_modifiers: List[_Modifier] = []
+    link_jitter: Optional[LinkJitter] = None
+    windows: List[Tuple[float, float, float]] = []
+    blackout_windows: Dict[int, List[Tuple[float, float]]] = {}
+
+    for inj in scenario.injections:
+        if isinstance(inj, GlobalSpeed):
+            static *= inj.factor
+        elif isinstance(inj, RateMultipliers):
+            static *= np.asarray(inj.values, dtype=float)
+        elif isinstance(inj, SlowGcds):
+            from repro.machine.variability import GcdFleet
+
+            fleet = GcdFleet(
+                cfg.num_ranks,
+                seed=inj.seed,
+                sigma=inj.sigma,
+                slow_fraction=inj.slow_fraction,
+                slow_penalty=inj.slow_penalty,
+            )
+            static *= fleet.multipliers
+        elif isinstance(inj, Warmup):
+            static *= inj.multiplier()
+        elif isinstance(inj, SlowRank):  # covers Limplock
+            onset = _resolve_time(
+                inj.onset_s, inj.onset_frac, horizon, default=0.0
+            )
+            if onset <= 0.0:
+                static[inj.rank] *= 1.0 / inj.factor
+            else:
+                modifiers.setdefault(inj.rank, []).append(
+                    _Modifier([0.0, onset], [1.0, 1.0 / inj.factor])
+                )
+        elif isinstance(inj, RankCrash):
+            at = _resolve_time(inj.at_s, inj.at_frac, horizon)
+            regen = (
+                inj.regen_s if inj.regen_s is not None else _regen_seconds(cfg)
+            )
+            down_until = at + inj.restart_delay_s + regen
+            modifiers.setdefault(inj.rank, []).append(
+                _Modifier([0.0, at, down_until], [1.0, 0.0, 1.0])
+            )
+            blackout_windows.setdefault(inj.rank, []).append(
+                (at, down_until)
+            )
+        elif isinstance(inj, ThermalThrottle):
+            times, values = _throttle_staircase(inj, horizon)
+            global_modifiers.append(_Modifier(times, values))
+        elif isinstance(inj, LinkJitter):
+            if link_jitter is not None:
+                raise ConfigurationError(
+                    "at most one link_jitter injection per scenario"
+                )
+            link_jitter = inj
+        elif isinstance(inj, ContentionWindow):
+            t0 = _resolve_time(inj.t0_s, inj.t0_frac, horizon)
+            t1 = _resolve_time(inj.t1_s, inj.t1_frac, horizon)
+            if t1 <= t0:
+                raise ConfigurationError(
+                    f"contention window must have t1 > t0, resolved to "
+                    f"[{t0:.6g}, {t1:.6g}]"
+                )
+            windows.append((t0, t1, inj.bw_factor))
+        else:  # pragma: no cover - registry and compiler kept in sync
+            raise ConfigurationError(
+                f"compiler has no lowering for injection kind {inj.kind!r}"
+            )
+
+    bad = np.flatnonzero(static <= 0)
+    if bad.size:
+        raise ConfigurationError(
+            f"composed rate multipliers must be positive; rank(s) "
+            f"{bad[:4].tolist()} got {static[bad[:4]].tolist()}"
+        )
+
+    rate_plan = None
+    if modifiers or global_modifiers:
+        rate_plan = _build_rate_plan(
+            cfg.num_ranks, static, modifiers, global_modifiers
+        )
+
+    link_plan = None
+    if link_jitter is not None or windows:
+        link_plan = LinkPlan(
+            jitter_amplitude=(
+                link_jitter.amplitude_s if link_jitter else 0.0
+            ),
+            jitter_seed=link_jitter.seed if link_jitter else 0,
+            windows=windows,
+        )
+
+    eff = _effective_pipeline_multiplier(static, rate_plan, horizon)
+    return CompiledScenario(
+        scenario=scenario,
+        static_multipliers=static,
+        rate_plan=rate_plan,
+        link_plan=link_plan,
+        horizon=horizon,
+        pipeline_multiplier=eff,
+        blackout_windows=blackout_windows,
+    )
+
+
+def _nominal_elapsed(cfg, scenario: Scenario) -> float:
+    """The analytic model's clean elapsed (the ``*_frac`` horizon)."""
+    try:
+        from repro.model.perf_model import estimate_run
+
+        return estimate_run(cfg).elapsed
+    except Exception as exc:  # lint: ignore[hygiene] - re-raised as config error below
+        # Exotic configurations the model cannot price can still run
+        # scenarios — as long as every time is absolute.
+        for inj in scenario.injections:
+            for f in ("onset_frac", "at_frac", "t0_frac", "t1_frac"):
+                if getattr(inj, f, None) is not None:
+                    raise ConfigurationError(
+                        f"{inj.kind} uses {f} but the analytic model "
+                        f"cannot price this configuration ({exc}); use "
+                        "absolute *_s times"
+                    )
+        return 0.0
+
+
+def _build_rate_plan(
+    num_ranks: int,
+    static: np.ndarray,
+    modifiers: Dict[int, List[_Modifier]],
+    global_modifiers: List[_Modifier],
+) -> RatePlan:
+    """Merge static values and modifiers into per-rank schedules."""
+    times: Dict[int, List[float]] = {}
+    rates: Dict[int, List[float]] = {}
+    for r in range(num_ranks):
+        mods = list(global_modifiers) + modifiers.get(r, [])
+        cuts = {0.0}
+        for m in mods:
+            cuts.update(m.times)
+        ts = sorted(cuts)
+        rs = []
+        for t in ts:
+            v = float(static[r])
+            for m in mods:
+                v *= m.value_at(t)
+            rs.append(v)
+        times[r] = ts
+        rates[r] = rs
+    return RatePlan(times, rates, num_ranks)
+
+
+def _effective_pipeline_multiplier(
+    static: np.ndarray,
+    rate_plan: Optional[RatePlan],
+    horizon: float,
+) -> float:
+    """Single multiplier reproducing the composed schedule's gating.
+
+    Solves ``∫_0^T m_min(t) dt = horizon`` for the degraded wall-clock
+    ``T`` and returns ``horizon / T``.  With no time variation this is
+    just ``min(static)`` — exactly
+    :meth:`repro.machine.GcdFleet.pipeline_multiplier`'s rule.
+    """
+    if rate_plan is None:
+        return float(static.min())
+    if horizon <= 0.0:
+        # no model pricing available: fall back to the worst
+        # instantaneous gating rate ever in effect
+        times, mins = rate_plan.min_rate_schedule()
+        positive = [m for m in mins if m > 0]
+        return min(positive) if positive else 1.0
+    times, mins = rate_plan.min_rate_schedule()
+    target = horizon
+    t = 0.0
+    done = 0.0
+    for i, m in enumerate(mins):
+        seg_end = times[i + 1] if i + 1 < len(times) else math.inf
+        if m <= 0.0:
+            t = seg_end
+            continue
+        span = seg_end - t
+        capacity = span * m
+        if capacity >= target - done or seg_end == math.inf:
+            t += (target - done) / m
+            return horizon / t
+        done += capacity
+        t = seg_end
+    return 1.0  # pragma: no cover - last segment always extends to inf
+
+
+def scenario_estimate(cfg, scenario: Scenario, keep_iterations: bool = False):
+    """Analytic estimate of ``cfg`` under ``scenario``.
+
+    The composed schedule collapses to one effective pipeline
+    multiplier (see :func:`_effective_pipeline_multiplier`); link
+    perturbations are below the model's resolution and are ignored.
+    """
+    from repro.model.perf_model import estimate_run
+
+    compiled = compile_scenario(scenario, cfg)
+    return estimate_run(
+        cfg,
+        pipeline_multiplier=compiled.pipeline_multiplier,
+        keep_iterations=keep_iterations,
+    )

@@ -1,0 +1,568 @@
+"""Declarative fault & variability scenarios (schema ``repro.scenario/v1``).
+
+The paper treats slow nodes, warm-up, and run-to-run variability as
+first-class operational concerns (Section VI-B, Fig 12); the Aurora
+follow-up tells the same story on a third machine.  A
+:class:`Scenario` composes those effects — plus faults the paper does
+*not* attempt, like a mid-run rank crash healed by regenerating the
+LCG matrix — into one declarative object that drives the event engine,
+the analytic model, and the campaign runner identically.
+
+Injection kinds
+---------------
+
+=================== ====================================================
+``slow_gcds``       a whole-fleet population of slow GCDs drawn from the
+                    Fig-12-calibrated :class:`repro.machine.GcdFleet`
+                    distribution (static per-rank multipliers)
+``slow_rank``       one rank at ``1/factor`` speed from ``onset`` on
+                    (onset 0 = the classic static straggler)
+``limplock``        a degraded-not-dead rank: same mechanics as
+                    ``slow_rank`` but named for what the health layer
+                    should call it — the run *completes*, slowly
+``rank_crash``      rank dies at ``at``, is down for ``restart_delay``,
+                    then pays the regeneration cost of refilling its
+                    local matrix from the LCG (restart-from-regeneration:
+                    the matrix is a pure function of ``(n, seed)``, so
+                    the replay is bitwise exact)
+``link_jitter``     deterministic per-transfer extra latency on
+                    inter-node messages, uniform in ``[0, amplitude]``
+``contention``      an inter-node bandwidth brown-out: NIC bandwidth is
+                    divided by ``bw_factor`` inside the ``[t0, t1)``
+                    window (a neighbour job hammering the fabric)
+``thermal_throttle``a staircase approximation of a thermal-throttle
+                    curve: global compute speed decays from 1.0 toward
+                    ``floor`` with time constant ``tau`` after ``onset``
+``warmup``          the Fig-12 warm-up multiplier for run ``run_index``
+                    of a batch job (:class:`repro.machine.WarmupModel`)
+``global_speed``    a uniform static speed multiplier (also the adapter
+                    for the deprecated ``global_speed=`` driver
+                    parameter)
+``rate_multipliers``an explicit per-rank multiplier vector (the adapter
+                    for the deprecated ``rate_multipliers=`` parameter)
+=================== ====================================================
+
+Times may be given absolutely (``*_s``, virtual seconds) or as a
+fraction of the analytic model's estimated elapsed time (``*_frac`` in
+``[0, 1]``), which keeps scenario files portable across problem sizes.
+
+The JSON document round-trips losslessly::
+
+    sc = Scenario.from_json(path.read_text())
+    assert Scenario.from_dict(sc.to_dict()) == sc
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field, fields
+from typing import Dict, List, Optional, Sequence, Tuple, Type
+
+from repro.errors import ConfigurationError
+
+#: schema tag stamped into every scenario document
+SCENARIO_SCHEMA = "repro.scenario/v1"
+
+
+def _check_time_pair(
+    name: str, abs_v: Optional[float], frac_v: Optional[float],
+    required: bool = True,
+) -> None:
+    """Validate an absolute/fractional time-field pair."""
+    if abs_v is not None and frac_v is not None:
+        raise ConfigurationError(
+            f"give {name}_s or {name}_frac, not both"
+        )
+    if required and abs_v is None and frac_v is None:
+        raise ConfigurationError(f"one of {name}_s / {name}_frac is required")
+    if abs_v is not None and abs_v < 0:
+        raise ConfigurationError(f"{name}_s must be >= 0, got {abs_v}")
+    if frac_v is not None and not 0.0 <= frac_v <= 1.0:
+        raise ConfigurationError(
+            f"{name}_frac must be in [0, 1], got {frac_v}"
+        )
+
+
+def _resolve_time(
+    abs_v: Optional[float], frac_v: Optional[float], horizon: float,
+    default: float = 0.0,
+) -> float:
+    """Absolute seconds for an (abs, frac) pair against ``horizon``."""
+    if abs_v is not None:
+        return float(abs_v)
+    if frac_v is not None:
+        return float(frac_v) * horizon
+    return default
+
+
+@dataclass(frozen=True)
+class Injection:
+    """Base class: one composable effect inside a :class:`Scenario`."""
+
+    #: stable kind string used in the JSON document
+    kind = ""
+
+    def validate(self) -> None:
+        """Raise :class:`ConfigurationError` on malformed parameters."""
+
+    def validate_for(self, num_ranks: int) -> None:
+        """Config-aware validation (rank indices vs the world size)."""
+
+    def to_dict(self) -> dict:
+        """JSON-ready object (``None`` fields dropped, tuples listed)."""
+        d = {"kind": self.kind}
+        for f in fields(self):
+            v = getattr(self, f.name)
+            if v is None:
+                continue
+            d[f.name] = list(v) if isinstance(v, tuple) else v
+        return d
+
+
+def _check_rank(rank: int) -> None:
+    if not isinstance(rank, int) or rank < 0:
+        raise ConfigurationError(f"rank must be a non-negative int, got {rank}")
+
+
+def _check_rank_in(rank: int, num_ranks: int, kind: str) -> None:
+    if not 0 <= rank < num_ranks:
+        raise ConfigurationError(
+            f"{kind}: rank {rank} outside the {num_ranks}-rank run"
+        )
+
+
+def _check_factor(factor: float, name: str = "factor") -> None:
+    if not factor > 0:
+        raise ConfigurationError(f"{name} must be positive, got {factor}")
+
+
+@dataclass(frozen=True)
+class SlowGcds(Injection):
+    """Fleet-wide slow-GCD population (Fig-12-calibrated distribution)."""
+
+    kind = "slow_gcds"
+
+    seed: int = 2022
+    sigma: float = 0.006
+    slow_fraction: float = 0.02
+    slow_penalty: float = 0.05
+
+    def validate(self) -> None:
+        if not 0.0 <= self.slow_fraction < 1.0:
+            raise ConfigurationError(
+                f"slow_fraction must be in [0, 1), got {self.slow_fraction}"
+            )
+        if not 0.0 <= self.slow_penalty < 1.0:
+            raise ConfigurationError(
+                f"slow_penalty must be in [0, 1), got {self.slow_penalty}"
+            )
+
+
+@dataclass(frozen=True)
+class SlowRank(Injection):
+    """One rank at ``1/factor`` speed from ``onset`` on."""
+
+    kind = "slow_rank"
+
+    rank: int = 0
+    factor: float = 1.5
+    onset_s: Optional[float] = None
+    onset_frac: Optional[float] = None
+
+    def validate(self) -> None:
+        _check_rank(self.rank)
+        _check_factor(self.factor)
+        _check_time_pair("onset", self.onset_s, self.onset_frac,
+                         required=False)
+
+    def validate_for(self, num_ranks: int) -> None:
+        _check_rank_in(self.rank, num_ranks, self.kind)
+
+
+@dataclass(frozen=True)
+class Limplock(SlowRank):
+    """Degraded-not-dead: a :class:`SlowRank` the health layer should
+    diagnose as limplock (typically a harsher factor with a mid-run
+    onset)."""
+
+    kind = "limplock"
+
+    factor: float = 3.0
+
+
+@dataclass(frozen=True)
+class RankCrash(Injection):
+    """Mid-run rank crash + restart-from-regeneration.
+
+    The rank makes no progress during ``[at, at + restart_delay)``,
+    then pays the LCG refill cost of its local tiles (priced from the
+    machine model at compile time unless ``regen_s`` overrides it)
+    before resuming.  Because the matrix is a pure function of
+    ``(n, seed)``, the regenerated blocks are bitwise identical to the
+    lost ones — no checkpoint needed.
+    """
+
+    kind = "rank_crash"
+
+    rank: int = 0
+    at_s: Optional[float] = None
+    at_frac: Optional[float] = None
+    restart_delay_s: float = 0.0
+    #: regeneration cost override; None = price the LCG refill from the
+    #: machine model
+    regen_s: Optional[float] = None
+
+    def validate(self) -> None:
+        _check_rank(self.rank)
+        _check_time_pair("at", self.at_s, self.at_frac)
+        if self.restart_delay_s < 0:
+            raise ConfigurationError(
+                f"restart_delay_s must be >= 0, got {self.restart_delay_s}"
+            )
+        if self.regen_s is not None and self.regen_s < 0:
+            raise ConfigurationError(
+                f"regen_s must be >= 0, got {self.regen_s}"
+            )
+
+    def validate_for(self, num_ranks: int) -> None:
+        _check_rank_in(self.rank, num_ranks, self.kind)
+
+
+@dataclass(frozen=True)
+class LinkJitter(Injection):
+    """Deterministic per-transfer latency jitter on inter-node links."""
+
+    kind = "link_jitter"
+
+    amplitude_s: float = 1e-5
+    seed: int = 2022
+
+    def validate(self) -> None:
+        if self.amplitude_s < 0:
+            raise ConfigurationError(
+                f"amplitude_s must be >= 0, got {self.amplitude_s}"
+            )
+
+
+@dataclass(frozen=True)
+class ContentionWindow(Injection):
+    """Inter-node bandwidth divided by ``bw_factor`` during a window."""
+
+    kind = "contention"
+
+    bw_factor: float = 2.0
+    t0_s: Optional[float] = None
+    t0_frac: Optional[float] = None
+    t1_s: Optional[float] = None
+    t1_frac: Optional[float] = None
+
+    def validate(self) -> None:
+        _check_factor(self.bw_factor, "bw_factor")
+        if self.bw_factor < 1.0:
+            raise ConfigurationError(
+                f"bw_factor must be >= 1 (a slowdown), got {self.bw_factor}"
+            )
+        _check_time_pair("t0", self.t0_s, self.t0_frac)
+        _check_time_pair("t1", self.t1_s, self.t1_frac)
+        if (
+            self.t0_s is not None and self.t1_s is not None
+            and self.t1_s <= self.t0_s
+        ):
+            raise ConfigurationError(
+                f"contention window must have t1 > t0, got "
+                f"[{self.t0_s}, {self.t1_s}]"
+            )
+        if (
+            self.t0_frac is not None and self.t1_frac is not None
+            and self.t1_frac <= self.t0_frac
+        ):
+            raise ConfigurationError(
+                f"contention window must have t1 > t0, got fractions "
+                f"[{self.t0_frac}, {self.t1_frac}]"
+            )
+
+
+@dataclass(frozen=True)
+class ThermalThrottle(Injection):
+    """Global compute-speed decay toward ``floor`` after ``onset``.
+
+    Compiled into a piecewise-constant staircase of ``steps`` levels of
+    ``exp(-(t - onset) / tau)`` so the engine's rate schedules stay
+    closed-form.
+    """
+
+    kind = "thermal_throttle"
+
+    floor: float = 0.9
+    tau_s: float = 10.0
+    onset_s: Optional[float] = None
+    onset_frac: Optional[float] = None
+    steps: int = 8
+
+    def validate(self) -> None:
+        if not 0 < self.floor <= 1.0:
+            raise ConfigurationError(
+                f"floor must be in (0, 1], got {self.floor}"
+            )
+        _check_factor(self.tau_s, "tau_s")
+        _check_time_pair("onset", self.onset_s, self.onset_frac,
+                         required=False)
+        if self.steps < 1:
+            raise ConfigurationError(f"steps must be >= 1, got {self.steps}")
+
+
+@dataclass(frozen=True)
+class Warmup(Injection):
+    """Fig-12 warm-up multiplier for one run of a batch job."""
+
+    kind = "warmup"
+
+    style: str = "generic"
+    run_index: int = 0
+    warmed_up: bool = False
+
+    def validate(self) -> None:
+        if self.style not in ("summit", "frontier", "generic"):
+            raise ConfigurationError(
+                f"style must be 'summit', 'frontier' or 'generic', got "
+                f"{self.style!r}"
+            )
+        if self.run_index < 0:
+            raise ConfigurationError(
+                f"run_index must be >= 0, got {self.run_index}"
+            )
+
+    def multiplier(self) -> float:
+        """The warm-up speed multiplier for this run of the batch."""
+        from repro.machine.variability import WarmupModel
+
+        return WarmupModel(self.style).run_multiplier(
+            self.run_index, warmed_up=self.warmed_up
+        )
+
+
+@dataclass(frozen=True)
+class GlobalSpeed(Injection):
+    """Uniform static speed multiplier (deprecated ``global_speed=``)."""
+
+    kind = "global_speed"
+
+    factor: float = 1.0
+
+    def validate(self) -> None:
+        _check_factor(self.factor)
+
+
+@dataclass(frozen=True)
+class RateMultipliers(Injection):
+    """Explicit per-rank multipliers (deprecated ``rate_multipliers=``)."""
+
+    kind = "rate_multipliers"
+
+    values: Tuple[float, ...] = ()
+
+    def validate(self) -> None:
+        if not self.values:
+            raise ConfigurationError("values must be a non-empty sequence")
+        bad = [v for v in self.values if not v > 0]
+        if bad:
+            raise ConfigurationError(
+                f"rate multipliers must be positive, got {bad[:4]}"
+            )
+
+    def validate_for(self, num_ranks: int) -> None:
+        if len(self.values) != num_ranks:
+            raise ConfigurationError(
+                f"rate_multipliers has {len(self.values)} entries for a "
+                f"{num_ranks}-rank run"
+            )
+
+
+#: kind string -> injection class (the from_dict dispatch table)
+INJECTION_KINDS: Dict[str, Type[Injection]] = {
+    cls.kind: cls
+    for cls in (
+        SlowGcds, SlowRank, Limplock, RankCrash, LinkJitter,
+        ContentionWindow, ThermalThrottle, Warmup, GlobalSpeed,
+        RateMultipliers,
+    )
+}
+
+
+def injection_from_dict(d: dict) -> Injection:
+    """Rebuild one injection from its JSON object."""
+    if not isinstance(d, dict):
+        raise ConfigurationError(
+            f"injection must be an object, got {type(d).__name__}"
+        )
+    kind = d.get("kind")
+    cls = INJECTION_KINDS.get(kind)
+    if cls is None:
+        raise ConfigurationError(
+            f"unknown injection kind {kind!r} "
+            f"(known: {', '.join(sorted(INJECTION_KINDS))})"
+        )
+    known = {f.name for f in fields(cls)}
+    extra = set(d) - known - {"kind"}
+    if extra:
+        raise ConfigurationError(
+            f"{kind}: unknown field(s) {', '.join(sorted(extra))}"
+        )
+    kwargs = {k: v for k, v in d.items() if k != "kind"}
+    if cls is RateMultipliers and "values" in kwargs:
+        kwargs["values"] = tuple(kwargs["values"])
+    try:
+        inj = cls(**kwargs)
+    except TypeError as exc:
+        raise ConfigurationError(f"{kind}: {exc}") from exc
+    inj.validate()
+    return inj
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A named, composable set of injections (the declarative DSL).
+
+    >>> sc = Scenario(name="demo", injections=(
+    ...     Limplock(rank=3, factor=3.0, onset_frac=0.25),
+    ...     LinkJitter(amplitude_s=2e-5),
+    ... ))
+    >>> Scenario.from_json(sc.to_json()) == sc
+    True
+    """
+
+    name: str = "scenario"
+    description: str = ""
+    injections: Tuple[Injection, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "injections", tuple(self.injections))
+        for inj in self.injections:
+            inj.validate()
+
+    # -- construction sugar ------------------------------------------------
+
+    @classmethod
+    def single_slow_rank(cls, rank: int, factor: float = 1.5) -> "Scenario":
+        """The ``--slow-rank R --slow-factor F`` one-liner."""
+        return cls(
+            name=f"slow-rank-{rank}",
+            description=f"rank {rank} degraded to 1/{factor:g} speed",
+            injections=(SlowRank(rank=rank, factor=factor),),
+        )
+
+    @classmethod
+    def from_legacy(
+        cls,
+        rate_multipliers: Optional[Sequence[float]] = None,
+        global_speed: float = 1.0,
+    ) -> "Scenario":
+        """Adapter for the deprecated raw driver parameters.
+
+        Validation (shape, positivity) happens in the injections, so
+        the legacy path gets the same :class:`ConfigurationError`
+        diagnostics as first-class scenarios.
+        """
+        inj: List[Injection] = []
+        if global_speed != 1.0:
+            inj.append(GlobalSpeed(factor=global_speed))
+        if rate_multipliers is not None:
+            inj.append(
+                RateMultipliers(values=tuple(float(v) for v in rate_multipliers))
+            )
+        return cls(name="legacy-parameters", injections=tuple(inj))
+
+    # -- serialization -----------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """The ``repro.scenario/v1`` JSON document."""
+        return {
+            "schema": SCENARIO_SCHEMA,
+            "name": self.name,
+            "description": self.description,
+            "injections": [inj.to_dict() for inj in self.injections],
+        }
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "Scenario":
+        if not isinstance(doc, dict):
+            raise ConfigurationError(
+                f"scenario must be an object, got {type(doc).__name__}"
+            )
+        schema = doc.get("schema", SCENARIO_SCHEMA)
+        if schema != SCENARIO_SCHEMA:
+            raise ConfigurationError(
+                f"unsupported scenario schema {schema!r} "
+                f"(expected {SCENARIO_SCHEMA!r})"
+            )
+        raw = doc.get("injections", [])
+        if not isinstance(raw, list):
+            raise ConfigurationError("'injections' must be a list")
+        return cls(
+            name=str(doc.get("name", "scenario")),
+            description=str(doc.get("description", "")),
+            injections=tuple(injection_from_dict(d) for d in raw),
+        )
+
+    def to_json(self, indent: int = 2) -> str:
+        """Serialized ``repro.scenario/v1`` document text."""
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "Scenario":
+        try:
+            doc = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ConfigurationError(f"scenario is not valid JSON: {exc}")
+        return cls.from_dict(doc)
+
+    @classmethod
+    def load(cls, path) -> "Scenario":
+        """Read a scenario file (the CLI ``--scenario FILE`` entry)."""
+        from pathlib import Path
+
+        try:
+            text = Path(path).read_text()
+        except OSError as exc:
+            raise ConfigurationError(f"cannot read scenario {path}: {exc}")
+        return cls.from_json(text)
+
+    def save(self, path) -> str:
+        """Write the scenario file; returns the path written."""
+        from pathlib import Path
+
+        Path(path).write_text(self.to_json() + "\n")
+        return str(path)
+
+    # -- introspection -----------------------------------------------------
+
+    def validate_for(self, num_ranks: int) -> None:
+        """Config-aware validation of every injection."""
+        for inj in self.injections:
+            inj.validate_for(num_ranks)
+
+    def of_kind(self, kind: str) -> List[Injection]:
+        """All injections of one kind, in declaration order."""
+        return [inj for inj in self.injections if inj.kind == kind]
+
+    @property
+    def degraded_ranks(self) -> List[int]:
+        """Ranks explicitly targeted by per-rank injections, ascending."""
+        return sorted({
+            inj.rank for inj in self.injections
+            if isinstance(inj, (SlowRank, RankCrash))
+        })
+
+    def describe(self) -> str:
+        """One-line human summary for CLI output."""
+        if not self.injections:
+            return f"{self.name}: no injections"
+        parts = []
+        for inj in self.injections:
+            if isinstance(inj, RankCrash):
+                parts.append(f"crash rank {inj.rank}")
+            elif isinstance(inj, SlowRank):
+                parts.append(f"{inj.kind} rank {inj.rank} x{inj.factor:g}")
+            else:
+                parts.append(inj.kind)
+        return f"{self.name}: " + ", ".join(parts)

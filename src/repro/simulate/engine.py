@@ -23,7 +23,16 @@ import heapq
 from collections import defaultdict, deque
 from dataclasses import dataclass, field
 from math import ceil, log2
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 import numpy as np
 
@@ -48,6 +57,9 @@ from repro.simulate.events import (
     Wait,
 )
 from repro.simulate.phantom import PhantomArray, nbytes_of
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.scenario.compile import LinkPlan, RatePlan
 
 _READY = 0
 _BLOCKED_RECV = 1
@@ -135,6 +147,19 @@ class Engine:
         Optional per-rank GCD speed multipliers (from
         :class:`repro.machine.GcdFleet`); Compute durations divide by
         these.
+    rate_plan:
+        Optional piecewise-in-time per-rank rate schedules
+        (:class:`repro.scenario.RatePlan`).  When given it supersedes
+        ``rate_multipliers`` for Compute ops: the op finishes at the
+        earliest ``T`` with ``∫ m_r(t) dt`` equal to the nominal
+        seconds, and time spent in blackout segments (rate 0, e.g. a
+        crashed rank) is accounted as ``wait_outage`` instead of
+        compute.
+    link_plan:
+        Optional inter-node transfer perturbations
+        (:class:`repro.scenario.LinkPlan`): per-message latency jitter
+        and bandwidth brown-out windows.  Intra-node transfers are
+        untouched.
     max_events:
         Safety valve against runaway programs.
     record_timeline:
@@ -157,6 +182,8 @@ class Engine:
         node_of_rank: Optional[Callable[[int], int]] = None,
         mpi: Optional[MpiModel] = None,
         rate_multipliers: Optional[Sequence[float]] = None,
+        rate_plan: Optional["RatePlan"] = None,
+        link_plan: Optional["LinkPlan"] = None,
         max_events: int = 200_000_000,
         record_timeline: bool = False,
         obs: Optional["obs_context.Observability"] = None,
@@ -191,6 +218,8 @@ class Engine:
                 )
             if self._mult.min() <= 0:
                 raise SimulationError("rate multipliers must be positive")
+        self._rate_plan = rate_plan
+        self._link_plan = link_plan
         self.max_events = max_events
 
         # resources: per-node NIC next-free times (egress / ingress) and
@@ -345,13 +374,23 @@ class Engine:
             raise SimulationError(
                 f"negative compute time {op.seconds} from rank {rank}"
             )
-        scaled = op.seconds / float(self._mult[rank])
+        outage = 0.0
+        if self._rate_plan is not None:
+            end, outage = self._rate_plan.advance(rank, st.clock, op.seconds)
+            scaled = end - st.clock
+        else:
+            scaled = op.seconds / float(self._mult[rank])
         if self.record_timeline and scaled > 0:
             self.timeline.append((rank, st.clock, st.clock + scaled, op.kind))
         if self._emit and scaled > 0:
             self._span_add(op.kind, "executor", st.clock, st.clock + scaled, rank)
         st.clock += scaled
-        self.stats[rank].add(op.kind, scaled)
+        # Blackout spans (a crashed rank's outage window) are downtime,
+        # not work: the wait_ prefix keeps them out of total_compute so
+        # busy-rate detectors see the rank as stopped, not slow.
+        self.stats[rank].add(op.kind, scaled - outage)
+        if outage > 0:
+            self.stats[rank].add("wait_outage", outage)
         self._resume(rank)
 
     def _transfer(
@@ -377,12 +416,20 @@ class Engine:
             bw = self._nic_bw * speed
             start = max(ready, self._nic_out[src_node], self._nic_in[dst_node])
             xfer = size / bw
+            jitter = 0.0
+            if self._link_plan is not None:
+                xfer_scale, jitter = self._link_plan.perturb(
+                    src_node, dst_node, start, size
+                )
+                # A brown-out stretches the transfer itself (and thus
+                # holds the NICs longer); jitter delays arrival only.
+                xfer *= xfer_scale
             lat = self._lat_memo.get((src_node, dst_node))
             if lat is None:
                 lat = self.costs.latency_between(src_node, dst_node)
                 self._lat_memo[(src_node, dst_node)] = lat
             staging = self.costs.staging_time(size) if self._staged else 0.0
-            arrival = start + lat + xfer + staging
+            arrival = start + lat + jitter + xfer + staging
             done = start + xfer
             self._nic_out[src_node] = done
             self._nic_in[dst_node] = done

@@ -86,6 +86,7 @@ def run_campaign(
     num_runs: int = 3,
     exclude_slow_nodes: bool = True,
     do_warmup: bool = True,
+    scenario=None,
 ) -> CampaignResult:
     """Execute a record-run campaign against the analytic model.
 
@@ -103,9 +104,20 @@ def run_campaign(
         Fig 12).
     exclude_slow_nodes / do_warmup:
         Toggle the two Section VI-B best practices (for ablation).
+    scenario:
+        Optional :class:`~repro.scenario.Scenario`: its effective
+        pipeline multiplier (the composed schedule's gating rate)
+        degrades every run of the campaign on top of the fleet draw and
+        warm-up — "what does the record attempt look like if rank 12
+        limps mid-run?" is one flag.
     """
     if num_runs < 1:
         raise ConfigurationError(f"num_runs must be >= 1, got {num_runs}")
+    scenario_mult = 1.0
+    if scenario is not None:
+        from repro.scenario.compile import compile_scenario
+
+        scenario_mult = compile_scenario(scenario, cfg).pipeline_multiplier
     if fleet is None:
         fleet = GcdFleet(cfg.num_ranks + 4 * cfg.machine.node.gcds_per_node)
     if fleet.num_gcds < cfg.num_ranks:
@@ -138,7 +150,9 @@ def run_campaign(
 
     runs: List[CampaignRun] = []
     for i in range(num_runs):
-        speed = pipeline * wm.run_multiplier(i, warmed_up=do_warmup)
+        speed = (
+            pipeline * scenario_mult * wm.run_multiplier(i, warmed_up=do_warmup)
+        )
         res: AnalyticResult = estimate_run(cfg, pipeline_multiplier=speed)
         runs.append(
             CampaignRun(

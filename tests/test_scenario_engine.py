@@ -1,0 +1,367 @@
+"""Tests for scenario compilation and the engine's rate/link schedules."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import BenchmarkConfig
+from repro.core.driver import run_benchmark, simulate_run
+from repro.errors import ConfigurationError
+from repro.machine import FRONTIER, SUMMIT, CommCosts
+from repro.scenario import (
+    ContentionWindow,
+    LinkJitter,
+    LinkPlan,
+    Limplock,
+    RankCrash,
+    RatePlan,
+    RateMultipliers,
+    Scenario,
+    SlowRank,
+    ThermalThrottle,
+    compile_scenario,
+    scenario_estimate,
+)
+from repro.simulate import Compute, Engine, Recv, Send
+
+
+def _engine(n, machine=SUMMIT, node_of=None, **kw):
+    return Engine(n, CommCosts(machine), node_of_rank=node_of, **kw)
+
+
+def _cfg(p=2, nb=256, block=64, machine=FRONTIER):
+    return BenchmarkConfig(n=nb * p, block=block, machine=machine,
+                           p_rows=p, p_cols=p)
+
+
+class TestRatePlan:
+    def test_piecewise_integration(self):
+        # rate 1 on [0, 10), then 0.5: 15 nominal seconds started at 0
+        # take 10s (10 work) + 5/0.5 = 10s more.
+        plan = RatePlan({0: [0.0, 10.0]}, {0: [1.0, 0.5]}, 1)
+        end, outage = plan.advance(0, 0.0, 15.0)
+        assert end == pytest.approx(20.0)
+        assert outage == 0.0
+
+    def test_advance_starting_mid_segment(self):
+        plan = RatePlan({0: [0.0, 10.0]}, {0: [1.0, 0.5]}, 1)
+        # 4 nominal seconds from t=8: 2 work by t=10, then 2/0.5 = 4s.
+        end, _ = plan.advance(0, 8.0, 4.0)
+        assert end == pytest.approx(14.0)
+
+    def test_blackout_counts_as_outage(self):
+        # up at rate 1, down on [5, 8), then up again.
+        plan = RatePlan({0: [0.0, 5.0, 8.0]}, {0: [1.0, 0.0, 1.0]}, 1)
+        end, outage = plan.advance(0, 0.0, 10.0)
+        assert end == pytest.approx(13.0)
+        assert outage == pytest.approx(3.0)
+        assert plan.blackouts(0) == [(5.0, 8.0)]
+
+    def test_rate_at_lookup(self):
+        plan = RatePlan({0: [0.0, 5.0]}, {0: [1.0, 0.25]}, 2)
+        assert plan.rate_at(0, 4.999) == 1.0
+        assert plan.rate_at(0, 5.0) == 0.25
+        assert plan.rate_at(1, 100.0) == 1.0  # unscheduled rank
+
+    def test_permanent_blackout_rejected(self):
+        with pytest.raises(ConfigurationError, match="permanent blackout"):
+            RatePlan({0: [0.0, 1.0]}, {0: [1.0, 0.0]}, 1)
+
+    def test_min_rate_schedule_gates_on_slowest(self):
+        plan = RatePlan(
+            {0: [0.0, 2.0], 1: [0.0, 4.0]},
+            {0: [1.0, 0.5], 1: [1.0, 0.25]},
+            2,
+        )
+        times, mins = plan.min_rate_schedule()
+        assert times == [0.0, 2.0, 4.0]
+        assert mins == [1.0, 0.5, 0.25]
+
+
+class TestEngineRateSchedules:
+    def test_multiplier_takes_effect_at_the_right_time(self):
+        # One rank, 20 nominal seconds of gemm; speed halves at t=10.
+        plan = RatePlan({0: [0.0, 10.0]}, {0: [1.0, 0.5]}, 1)
+
+        def prog(rank):
+            yield Compute("gemm", 20.0)
+
+        res = _engine(1, rate_plan=plan).run(prog)
+        assert res.elapsed == pytest.approx(10.0 + 10.0 / 0.5)
+        assert res.stats[0].times["gemm"] == pytest.approx(30.0)
+
+    def test_schedule_applies_per_op_not_per_program(self):
+        # Two 6s ops across a t=10 breakpoint: the first runs entirely
+        # at rate 1, the second straddles it (4s at 1, 2/0.5 = 4s).
+        plan = RatePlan({0: [0.0, 10.0]}, {0: [1.0, 0.5]}, 1)
+
+        def prog(rank):
+            yield Compute("gemm", 6.0)
+            yield Compute("gemm", 6.0)
+
+        res = _engine(1, rate_plan=plan).run(prog)
+        assert res.elapsed == pytest.approx(6.0 + 4.0 + 4.0)
+
+    def test_blackout_accounted_as_wait_not_compute(self):
+        plan = RatePlan({0: [0.0, 2.0, 5.0]}, {0: [1.0, 0.0, 1.0]}, 1)
+
+        def prog(rank):
+            yield Compute("gemm", 4.0)
+
+        res = _engine(1, rate_plan=plan).run(prog)
+        assert res.elapsed == pytest.approx(7.0)  # 4 work + 3 down
+        assert res.stats[0].times["wait_outage"] == pytest.approx(3.0)
+        assert res.stats[0].total_compute == pytest.approx(4.0)
+
+    def test_unscheduled_ranks_run_at_full_speed(self):
+        plan = RatePlan({1: [0.0, 1.0]}, {1: [1.0, 0.5]}, 2)
+
+        def prog(rank):
+            yield Compute("gemm", 3.0)
+
+        res = _engine(2, rate_plan=plan).run(prog)
+        assert res.stats[0].times["gemm"] == pytest.approx(3.0)
+        assert res.stats[1].times["gemm"] == pytest.approx(1.0 + 2.0 / 0.5)
+
+
+class TestLinkPlan:
+    def test_jitter_is_deterministic(self):
+        a = LinkPlan(jitter_amplitude=1e-4, jitter_seed=7)
+        b = LinkPlan(jitter_amplitude=1e-4, jitter_seed=7)
+        seq_a = [a.perturb(0, 1, 0.0, 100.0) for _ in range(20)]
+        seq_b = [b.perturb(0, 1, 0.0, 100.0) for _ in range(20)]
+        assert seq_a == seq_b
+
+    def test_jitter_depends_on_seed_and_pair(self):
+        a = LinkPlan(jitter_amplitude=1e-4, jitter_seed=7)
+        b = LinkPlan(jitter_amplitude=1e-4, jitter_seed=8)
+        assert a.perturb(0, 1, 0.0, 1.0) != b.perturb(0, 1, 0.0, 1.0)
+        c = LinkPlan(jitter_amplitude=1e-4, jitter_seed=7)
+        assert c.perturb(0, 1, 0.0, 1.0) != c.perturb(0, 2, 0.0, 1.0)
+
+    def test_jitter_bounded_by_amplitude(self):
+        plan = LinkPlan(jitter_amplitude=1e-4, jitter_seed=7)
+        for _ in range(100):
+            _, extra = plan.perturb(0, 1, 0.0, 1.0)
+            assert 0.0 <= extra < 1e-4
+
+    def test_contention_scales_messages_starting_in_window(self):
+        plan = LinkPlan(windows=[(1.0, 2.0, 4.0)])
+        assert plan.perturb(0, 1, 1.5, 1.0) == (4.0, 0.0)
+        assert plan.perturb(0, 1, 0.5, 1.0) == (1.0, 0.0)
+        assert plan.perturb(0, 1, 2.0, 1.0) == (1.0, 0.0)  # [t0, t1)
+
+    def test_engine_internode_transfers_slowed_by_contention(self):
+        big = np.zeros(1 << 20)
+
+        def prog(rank):
+            if rank == 0:
+                yield Send(1, big, tag=1)
+            else:
+                yield Recv(0, tag=1)
+
+        # ranks on distinct nodes so the message crosses the fabric
+        clean = _engine(2, node_of=lambda r: r).run(prog)
+        jam = LinkPlan(windows=[(0.0, 10.0, 8.0)])
+        slow = _engine(2, node_of=lambda r: r, link_plan=jam).run(prog)
+        assert slow.elapsed > clean.elapsed * 2
+
+    def test_engine_jitter_reproducible_across_runs(self):
+        data = np.zeros(1024)
+
+        def prog(rank):
+            if rank == 0:
+                yield Send(1, data, tag=1)
+            else:
+                yield Recv(0, tag=1)
+
+        def run():
+            plan = LinkPlan(jitter_amplitude=1e-3, jitter_seed=42)
+            return _engine(2, node_of=lambda r: r, link_plan=plan).run(prog)
+
+        clean = _engine(2, node_of=lambda r: r).run(prog)
+        first, second = run(), run()
+        assert first.elapsed == second.elapsed
+        assert first.elapsed > clean.elapsed
+
+
+class TestCompileScenario:
+    def test_static_scenario_keeps_fast_path(self):
+        cfg = _cfg()
+        sc = Scenario(injections=(SlowRank(rank=1, factor=2.0),))
+        compiled = compile_scenario(sc, cfg)
+        assert compiled.is_static
+        assert compiled.rate_plan is None
+        assert compiled.static_multipliers[1] == pytest.approx(0.5)
+        assert compiled.pipeline_multiplier == pytest.approx(0.5)
+
+    def test_onset_becomes_a_rate_plan(self):
+        cfg = _cfg()
+        sc = Scenario(injections=(
+            Limplock(rank=2, factor=4.0, onset_frac=0.5),
+        ))
+        compiled = compile_scenario(sc, cfg)
+        assert not compiled.is_static
+        onset = 0.5 * compiled.horizon
+        assert compiled.rate_plan.rate_at(2, onset * 0.99) == 1.0
+        assert compiled.rate_plan.rate_at(2, onset * 1.01) == pytest.approx(0.25)
+        # degraded from onset on -> effective multiplier strictly between
+        assert 0.25 < compiled.pipeline_multiplier < 1.0
+
+    def test_crash_compiles_to_blackout_window(self):
+        cfg = _cfg()
+        sc = Scenario(injections=(
+            RankCrash(rank=3, at_frac=0.5, restart_delay_s=0.001),
+        ))
+        compiled = compile_scenario(sc, cfg)
+        (t0, t1), = compiled.blackout_windows[3]
+        assert t0 == pytest.approx(0.5 * compiled.horizon)
+        # downtime = restart delay + machine-priced LCG regeneration
+        assert t1 > t0 + 0.001
+        assert compiled.rate_plan.rate_at(3, (t0 + t1) / 2) == 0.0
+        assert compiled.rate_plan.blackouts(3) == [(t0, t1)]
+
+    def test_composed_positivity_enforced(self):
+        from repro.scenario import GlobalSpeed
+
+        cfg = _cfg()
+        sc = Scenario(injections=(
+            RateMultipliers(values=(1.0,) * (cfg.num_ranks - 1) + (0.5,)),
+            GlobalSpeed(factor=0.5),
+        ))
+        assert compile_scenario(sc, cfg).static_multipliers[-1] == 0.25
+        # every injection individually validates positive, but the
+        # composed product can still underflow to zero — the compiler's
+        # backstop must catch it before the virtual clock stalls
+        dead = Scenario(injections=(
+            GlobalSpeed(factor=1e-200),
+            GlobalSpeed(factor=1e-200),
+        ))
+        with pytest.raises(ConfigurationError, match="positive"):
+            compile_scenario(dead, cfg)
+
+    def test_thermal_throttle_staircase_descends(self):
+        cfg = _cfg()
+        sc = Scenario(injections=(
+            ThermalThrottle(floor=0.8, tau_s=0.01, onset_s=0.0, steps=4),
+        ))
+        compiled = compile_scenario(sc, cfg)
+        plan = compiled.rate_plan
+        rates = [plan.rate_at(0, t) for t in (0.005, 0.02, 10.0)]
+        assert rates[0] > rates[1] > 0.8
+        assert rates[2] == pytest.approx(0.8)
+
+    def test_frac_times_require_priceable_config(self):
+        cfg = _cfg()
+        # absolute times never need the model
+        sc_abs = Scenario(injections=(RankCrash(rank=0, at_s=0.01),))
+        assert compile_scenario(sc_abs, cfg).blackout_windows
+
+    def test_scenario_estimate_matches_pipeline_multiplier(self):
+        cfg = _cfg()
+        from repro.model.perf_model import estimate_run
+
+        sc = Scenario(injections=(SlowRank(rank=0, factor=2.0),))
+        est = scenario_estimate(cfg, sc)
+        clean = estimate_run(cfg)
+        direct = estimate_run(cfg, pipeline_multiplier=0.5)
+        # the scenario collapses to pipeline_multiplier = 1/factor
+        assert est.elapsed == pytest.approx(direct.elapsed)
+        assert est.elapsed > clean.elapsed * 1.5
+        # estimate_run(scenario=) is the same thing
+        assert estimate_run(cfg, scenario=sc).elapsed == pytest.approx(
+            est.elapsed
+        )
+
+
+class TestDriverScenarioPath:
+    def test_scenario_slows_the_simulated_run(self):
+        cfg = _cfg()
+        clean = simulate_run(cfg)
+        sc = Scenario(injections=(SlowRank(rank=0, factor=2.0),))
+        slow = simulate_run(cfg, scenario=sc)
+        assert slow.elapsed > clean.elapsed * 1.3
+
+    def test_onset_scenario_lands_between_clean_and_static(self):
+        cfg = _cfg()
+        clean = simulate_run(cfg)
+        static = simulate_run(
+            cfg, scenario=Scenario(injections=(
+                SlowRank(rank=0, factor=3.0),
+            ))
+        )
+        onset = simulate_run(
+            cfg, scenario=Scenario(injections=(
+                SlowRank(rank=0, factor=3.0, onset_frac=0.5),
+            ))
+        )
+        assert clean.elapsed < onset.elapsed < static.elapsed
+
+    def test_legacy_parameters_still_work(self):
+        cfg = _cfg()
+        mult = np.ones(cfg.num_ranks)
+        mult[0] = 0.5
+        legacy = simulate_run(cfg, rate_multipliers=mult)
+        sc = simulate_run(cfg, scenario=Scenario(injections=(
+            RateMultipliers(values=tuple(mult)),
+        )))
+        assert legacy.elapsed == pytest.approx(sc.elapsed)
+
+    def test_legacy_and_scenario_mutually_exclusive(self):
+        cfg = _cfg()
+        sc = Scenario(injections=(SlowRank(rank=0, factor=2.0),))
+        with pytest.raises(ConfigurationError, match="not both"):
+            run_benchmark(cfg, exact=False, scenario=sc,
+                          rate_multipliers=np.ones(cfg.num_ranks))
+
+    def test_rate_multiplier_positivity_via_shared_path(self):
+        # regression: run_benchmark used to accept zero/negative
+        # multipliers and hang the virtual clock
+        cfg = _cfg()
+        bad = np.ones(cfg.num_ranks)
+        bad[2] = 0.0
+        with pytest.raises(ConfigurationError, match="positive"):
+            run_benchmark(cfg, exact=False, rate_multipliers=bad)
+        bad[2] = -1.0
+        with pytest.raises(ConfigurationError, match="positive"):
+            run_benchmark(cfg, exact=False, rate_multipliers=bad)
+
+    def test_scenario_run_is_deterministic(self):
+        cfg = _cfg()
+        sc = Scenario(injections=(
+            Limplock(rank=1, factor=3.0, onset_frac=0.25),
+            LinkJitter(amplitude_s=2e-5, seed=11),
+        ))
+        a = simulate_run(cfg, scenario=sc)
+        b = simulate_run(cfg, scenario=sc)
+        assert a.elapsed == b.elapsed
+
+
+class TestCrashRestartReplay:
+    def test_lcg_blocks_replay_bitwise_identically(self):
+        # Restart-from-regeneration leans on the matrix being a pure
+        # function of (n, seed): a "restarted" rank's refilled tiles
+        # must equal the lost ones bit for bit.
+        from repro.lcg.matrix import HplAiMatrix
+
+        before = HplAiMatrix(512, seed=42, use_cache=False)
+        lost = before.block(128, 256, 64, 192)
+        restarted = HplAiMatrix(512, seed=42, use_cache=False)
+        regen = restarted.block(128, 256, 64, 192)
+        assert np.array_equal(lost, regen)  # bitwise, not approx
+
+    def test_crash_restart_run_reproduces_exact_numerics(self):
+        # A crash is a timing fault, not a data fault: the exact run
+        # under a crash/restart scenario must produce bitwise-identical
+        # numerics to the clean run, only later.
+        cfg = BenchmarkConfig(n=256, block=32, machine=SUMMIT,
+                              p_rows=2, p_cols=2)
+        clean = run_benchmark(cfg, exact=True)
+        sc = Scenario(injections=(
+            RankCrash(rank=1, at_frac=0.5, restart_delay_s=0.002),
+        ))
+        crashed = run_benchmark(cfg, exact=True, scenario=sc)
+        assert np.array_equal(clean.x, crashed.x)
+        assert crashed.residual_norm == clean.residual_norm
+        assert crashed.elapsed > clean.elapsed
+        # the outage shows up on the crashed rank's books
+        assert crashed.stats[1].times["wait_outage"] > 0.002
