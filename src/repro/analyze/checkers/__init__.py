@@ -1,5 +1,6 @@
 """Checker registry: the suite ``repro lint`` runs by default."""
 
+from repro.analyze.checkers.campaign_schema import CampaignStoreChecker
 from repro.analyze.checkers.collectives import CollectiveMatchingChecker
 from repro.analyze.checkers.health_schema import HealthReportChecker
 from repro.analyze.checkers.hygiene import HygieneChecker
@@ -12,6 +13,7 @@ from repro.analyze.checkers.trace_schema import (
 )
 
 __all__ = [
+    "CampaignStoreChecker",
     "CollectiveMatchingChecker",
     "HealthReportChecker",
     "HygieneChecker",
@@ -35,4 +37,5 @@ def all_checkers(require_layers: bool = False):
         ProfileReportChecker(),
         HealthReportChecker(),
         ScenarioChecker(),
+        CampaignStoreChecker(),
     ]

@@ -1,0 +1,110 @@
+"""``campaign-store``: validate campaign store rows and exports.
+
+Same pattern as the scenario/health schema checkers: the validation
+lives with the owning layer (:func:`repro.campaign.store.check_result_row`
+— which round-trips the embedded job through the campaign DSL), and
+this adapter makes ``repro lint store.jsonl --select campaign-store``
+the CI entry point.  It claims:
+
+- ``.jsonl`` files whose rows carry ``repro.campaign.result/v1``;
+- ``.json`` files that are either a single result row or a
+  ``repro.campaign.store/v1`` export (``{"schema": ..., "rows": [...]}``).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable, List
+
+from repro.analyze.findings import Finding, Severity
+from repro.analyze.framework import ArtifactChecker
+from repro.campaign.jobs import RESULT_SCHEMA
+from repro.campaign.store import STORE_SCHEMA, check_result_row
+
+
+def _looks_campaign(doc) -> bool:
+    return isinstance(doc, dict) and str(doc.get("schema", "")).startswith(
+        "repro.campaign."
+    )
+
+
+def check_store_document(doc) -> List[str]:
+    """Problem strings for a store export or single row (empty = valid)."""
+    if not isinstance(doc, dict):
+        return [f"top level must be an object, got {type(doc).__name__}"]
+    if doc.get("schema") == RESULT_SCHEMA:
+        return check_result_row(doc)
+    if doc.get("schema") == STORE_SCHEMA:
+        rows = doc.get("rows")
+        if not isinstance(rows, list):
+            return ["'rows' list is missing"]
+        problems = []
+        for i, row in enumerate(rows):
+            problems.extend(f"rows[{i}]: {p}" for p in check_result_row(row))
+        return problems
+    return [
+        f"schema must be {RESULT_SCHEMA!r} or {STORE_SCHEMA!r}, "
+        f"got {doc.get('schema')!r}"
+    ]
+
+
+class CampaignStoreChecker(ArtifactChecker):
+    id = "campaign-store"
+    description = (
+        "campaign store rows/exports validate against repro.campaign.result/v1"
+    )
+
+    def matches(self, path: str) -> bool:
+        return path.endswith((".json", ".jsonl"))
+
+    def check_file(self, path: str) -> Iterable[Finding]:
+        if path.endswith(".jsonl"):
+            yield from self._check_jsonl(path)
+            return
+        from repro.analyze.checkers.trace_schema import load_strict_json
+
+        try:
+            doc = load_strict_json(path)
+        except (ValueError, OSError) as exc:
+            yield Finding(
+                checker=self.id, path=path, line=0,
+                severity=Severity.ERROR,
+                message=f"not strict JSON: {exc}",
+            )
+            return
+        if not _looks_campaign(doc):
+            return
+        for problem in check_store_document(doc):
+            yield Finding(
+                checker=self.id, path=path, line=0,
+                severity=Severity.ERROR, message=problem,
+            )
+
+    def _check_jsonl(self, path: str) -> Iterable[Finding]:
+        try:
+            lines = open(path).read().splitlines()
+        except OSError as exc:
+            yield Finding(
+                checker=self.id, path=path, line=0,
+                severity=Severity.ERROR, message=f"unreadable: {exc}",
+            )
+            return
+        for i, line in enumerate(lines, start=1):
+            if not line.strip():
+                continue
+            try:
+                row = json.loads(line)
+            except ValueError as exc:
+                yield Finding(
+                    checker=self.id, path=path, line=i,
+                    severity=Severity.ERROR,
+                    message=f"row is not valid JSON: {exc}",
+                )
+                continue
+            if not _looks_campaign(row):
+                continue
+            for problem in check_result_row(row):
+                yield Finding(
+                    checker=self.id, path=path, line=i,
+                    severity=Severity.ERROR, message=problem,
+                )

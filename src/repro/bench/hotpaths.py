@@ -26,6 +26,7 @@ from repro.lcg.cache import clear_tile_cache, tile_cache
 from repro.lcg.matrix import HplAiMatrix
 from repro.machine import get_machine
 from repro.obs import context as obs_context
+from repro.util.atomicio import atomic_write_text
 
 SCHEMA = "repro.bench.hotpaths/v1"
 #: records live under the (gitignored) results directory; the bare
@@ -221,13 +222,22 @@ def run_hotpaths(
         "tile_cache": tile_cache().stats(),
     }
     if out:
-        prev = _previous_record(out)
-        if prev is not None:
-            record["previous"] = prev
-        path = Path(out)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        path.write_text(json.dumps(record, indent=2) + "\n")
+        write_record(record, out)
     return record
+
+
+def write_record(record: Dict[str, object], out: str) -> str:
+    """Write a hotpaths record, folding in one step of history.
+
+    The write is atomic (temp file in the same directory + rename): the
+    record is the ``--against`` CI gate's baseline, so a crash mid-write
+    must leave the previous baseline intact rather than a truncated
+    file.  Returns the path written.
+    """
+    prev = _previous_record(out)
+    if prev is not None:
+        record["previous"] = prev
+    return atomic_write_text(out, json.dumps(record, indent=2) + "\n")
 
 
 def load_record(path: str = DEFAULT_OUT) -> Optional[Dict[str, object]]:

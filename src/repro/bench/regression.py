@@ -27,16 +27,29 @@ MIN_GATE_SECONDS = 1e-3
 
 
 def stage_seconds(record: Dict[str, object]) -> Dict[str, float]:
-    """stage → ``min_s`` map of one hotpaths record."""
+    """stage → ``min_s`` map of one hotpaths record.
+
+    A stage row without a numeric ``min_s`` is a malformed (most likely
+    truncated) record; silently coercing it to ``0.0`` would land it
+    under :data:`MIN_GATE_SECONDS` and let it sail through the gate as
+    "within budget", so it raises instead.
+    """
     if not isinstance(record, dict) or "results" not in record:
         raise ConfigurationError(
             "not a hotpaths record: missing 'results' section"
         )
-    return {
-        str(r["stage"]): float(r.get("min_s", 0.0))
-        for r in record["results"]
-        if isinstance(r, dict) and "stage" in r
-    }
+    out: Dict[str, float] = {}
+    for r in record["results"]:
+        if not isinstance(r, dict) or "stage" not in r:
+            continue
+        min_s = r.get("min_s")
+        if not isinstance(min_s, (int, float)) or isinstance(min_s, bool):
+            raise ConfigurationError(
+                f"malformed hotpaths record: stage {r['stage']!r} has no "
+                f"numeric 'min_s' (truncated write?)"
+            )
+        out[str(r["stage"])] = float(min_s)
+    return out
 
 
 def compare_records(

@@ -19,6 +19,11 @@ Subcommands mirror the workflows in the paper:
   self-contained HTML file;
 - ``bench``   — hot-path benchmark harness (writes the hotpaths record
   under benchmarks/results/), with a ``--against`` regression gate;
+- ``campaign`` — the §VI-B record-run workflow; with sweep flags, a
+  sharded parallel sweep with a resumable queue, content-addressed run
+  cache and queryable result store (docs/CAMPAIGN.md);
+- ``serve``   — long-lived campaign HTTP/JSON API: cached/deduped run
+  requests, streamed progress;
 - ``lint``    — static analysis (precision-flow, tag-space,
   collective-matching, hygiene, trace-schema) with baseline support;
 - ``specs``   — print machine presets.
@@ -352,7 +357,19 @@ def cmd_dat(args) -> int:
 
 
 def cmd_campaign(args) -> int:
-    """Run the full record-run campaign workflow."""
+    """Record-run campaign: one config, or a sharded parallel sweep.
+
+    Without sweep flags this is the classic §VI-B single-config
+    workflow (scan, warm up, N consecutive runs, best-of report).  Any
+    of --sweep/--grids/--bcasts/--scenarios/--store/--resume/--workers>1
+    switches to the campaign engine: a persistent resumable job queue,
+    a content-addressed run cache, a multiprocessing worker pool, and a
+    queryable result store (see docs/CAMPAIGN.md).
+    """
+    if (args.sweep or args.grids or args.bcasts or args.scenarios
+            or args.store or args.resume or args.workers > 1
+            or args.against or args.export):
+        return _cmd_campaign_sweep(args)
     from repro.machine import GcdFleet
     from repro.tools.campaign import run_campaign
 
@@ -376,6 +393,125 @@ def cmd_campaign(args) -> int:
     print(f"\nbest run: {format_flops(res.best.total_flops_per_s)} "
           f"(run {res.best.index + 1}); post-first variability "
           f"{res.variability:.2%}")
+    return 0
+
+
+#: default location of the campaign store (queue/cache live beside it)
+DEFAULT_CAMPAIGN_STORE = "benchmarks/results/campaign/store.jsonl"
+
+
+def _campaign_paths(args):
+    """Resolve (store, queue, cache-dir) paths from the CLI flags."""
+    from pathlib import Path
+
+    store = Path(args.store or DEFAULT_CAMPAIGN_STORE)
+    queue = Path(args.queue) if args.queue else store.parent / "queue.json"
+    cache = Path(args.cache_dir) if args.cache_dir else store.parent / "cache"
+    return store, queue, cache
+
+
+def _cmd_campaign_sweep(args) -> int:
+    """The campaign engine path: queue + cache + store + worker pool."""
+    from pathlib import Path
+
+    from repro.bench.reporting import render_records
+    from repro.campaign import (
+        CampaignEngine,
+        JobQueue,
+        ResultStore,
+        RunCache,
+        SweepSpec,
+        compare_stores,
+    )
+    from repro.errors import ConfigurationError
+    from repro.util.atomicio import atomic_write_json
+
+    def _csv(raw, conv=str):
+        return [conv(v) for v in raw.split(",") if v] if raw else []
+
+    try:
+        if args.sweep:
+            spec = SweepSpec.load(args.sweep)
+        else:
+            scenarios = _csv(args.scenarios) or (
+                [args.scenario] if args.scenario else [None]
+            )
+            spec = SweepSpec(
+                machine=args.machine, nl=args.nl, block=args.block,
+                num_runs=args.runs, seed=args.seed,
+                spare_nodes=args.spare_nodes,
+                grids=_csv(args.grids, int) or [args.grid],
+                bcasts=_csv(args.bcasts) or
+                ([args.bcast] if args.bcast else ()),
+                scenarios=scenarios,
+            )
+        jobs = spec.expand()
+        store_path, queue_path, cache_dir = _campaign_paths(args)
+        if queue_path.exists() and not args.resume:
+            queue_path.unlink()
+        store = ResultStore(store_path)
+        queue = JobQueue(queue_path)
+        engine = CampaignEngine(
+            store, RunCache(cache_dir),
+            workers=args.workers, stream=sys.stdout,
+        )
+        outcome = engine.run_sweep(jobs, queue)
+    except ConfigurationError as exc:
+        raise SystemExit(f"campaign: {exc}")
+
+    print(render_records(
+        store.rows(),
+        title=f"campaign store: {store_path} ({len(store)} row(s))",
+        float_fmt="{:.3f}",
+    ))
+    print(
+        f"\nsweep: {outcome.total} job(s), {outcome.computed} computed, "
+        f"{outcome.cached} cached ({outcome.cache_hit_ratio:.0%} hit), "
+        f"{outcome.failed} failed, {outcome.workers} worker(s), "
+        f"{outcome.wall_s:.2f}s wall"
+    )
+    rc = 1 if outcome.failed else 0
+    if args.export:
+        atomic_write_json(args.export, store.export_document())
+        print(f"store export -> {args.export}")
+    if args.summary_json:
+        atomic_write_json(args.summary_json, outcome.to_dict())
+        print(f"summary -> {args.summary_json}")
+    if args.against:
+        from repro.bench.regression import render_regressions
+
+        try:
+            deltas = compare_stores(store, Path(args.against),
+                                    args.max_regress)
+        except ConfigurationError as exc:
+            raise SystemExit(f"campaign: {exc}")
+        print()
+        print(render_regressions(deltas, args.max_regress))
+        if any(d.regressed for d in deltas):
+            rc = 1
+    return rc
+
+
+def cmd_serve(args) -> int:
+    """Serve the campaign API over HTTP until interrupted."""
+    from repro.campaign.serve import make_server
+
+    store_path, _queue, cache_dir = _campaign_paths(args)
+    server = make_server(
+        store_path, cache_dir, host=args.host, port=args.port,
+        verbose=args.verbose,
+    )
+    host, port = server.server_address[:2]
+    print(f"repro serve listening on http://{host}:{port} "
+          f"(store={store_path}, cache={cache_dir})")
+    print("endpoints: GET /healthz /stats /results /results/<key>; "
+          "POST /run[?stream=1] /tune /profile")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("\nshutting down")
+    finally:
+        server.server_close()
     return 0
 
 
@@ -790,7 +926,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_dat)
 
     p = sub.add_parser(
-        "campaign", help="record-run campaign: scan, warm up, run, report"
+        "campaign",
+        help="record-run campaign: one config, or a sharded resumable "
+             "sweep with run cache + result store",
     )
     _add_run_args(p)
     _add_scenario_arg(p)
@@ -800,7 +938,61 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=2022)
     p.add_argument("--no-scan", action="store_true")
     p.add_argument("--no-warmup", action="store_true")
+    g = p.add_argument_group("sweep engine (docs/CAMPAIGN.md)")
+    g.add_argument("--sweep", default=None, metavar="FILE",
+                   help="sweep spec JSON (repro.campaign.sweep/v1); "
+                        "overrides the axis flags below")
+    g.add_argument("--grids", default=None, metavar="P1,P2,...",
+                   help="comma-separated grid dims to sweep")
+    g.add_argument("--bcasts", default=None, metavar="A1,A2,...",
+                   help="comma-separated broadcast algorithms to sweep")
+    g.add_argument("--scenarios", default=None, metavar="F1,F2,...",
+                   help="comma-separated scenario files as a sweep axis "
+                        "('none' = baseline row)")
+    g.add_argument("--workers", type=int, default=1,
+                   help="worker processes for the sweep (default 1)")
+    g.add_argument("--store", default=None, metavar="JSONL",
+                   help=f"result store path "
+                        f"(default {DEFAULT_CAMPAIGN_STORE})")
+    g.add_argument("--cache-dir", default=None, metavar="DIR",
+                   help="run-cache directory (default: 'cache' beside "
+                        "the store)")
+    g.add_argument("--queue", default=None, metavar="JSON",
+                   help="queue checkpoint path (default: 'queue.json' "
+                        "beside the store)")
+    g.add_argument("--resume", action="store_true",
+                   help="resume an interrupted sweep from the queue "
+                        "checkpoint (only pending jobs run)")
+    g.add_argument("--against", default=None, metavar="STORE",
+                   help="baseline store (.jsonl or export JSON) to gate "
+                        "per-config elapsed against (exit 1 on regression)")
+    g.add_argument("--max-regress", type=float, default=0.25,
+                   help="--against tolerance (default 0.25)")
+    g.add_argument("--export", default=None, metavar="JSON",
+                   help="write the store as one repro.campaign.store/v1 "
+                        "JSON document")
+    g.add_argument("--summary-json", default=None, metavar="JSON",
+                   help="write the sweep outcome summary "
+                        "(computed/cached/failed + cache stats)")
     p.set_defaults(func=cmd_campaign)
+
+    p = sub.add_parser(
+        "serve",
+        help="long-lived campaign HTTP/JSON API (cache-deduped runs, "
+             "streamed progress)",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8080)
+    p.add_argument("--store", default=None, metavar="JSONL",
+                   help=f"result store path "
+                        f"(default {DEFAULT_CAMPAIGN_STORE})")
+    p.add_argument("--cache-dir", default=None, metavar="DIR",
+                   help="run-cache directory (default: 'cache' beside "
+                        "the store)")
+    p.add_argument("--queue", default=None, help=argparse.SUPPRESS)
+    p.add_argument("--verbose", action="store_true",
+                   help="log every HTTP request")
+    p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser("figure", help="regenerate a paper table/figure")
     p.add_argument("id", choices=sorted(FIGURES))

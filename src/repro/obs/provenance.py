@@ -23,6 +23,25 @@ from repro._version import __version__
 PROVENANCE_SCHEMA = 1
 
 
+def code_version() -> str:
+    """Code-version token mixed into content-addressed run-cache keys.
+
+    A cached campaign result is only reusable while the code that
+    produced it still produces the same numbers, so the run cache
+    (:mod:`repro.campaign.cache`) keys every entry by config hash *and*
+    this token.  It is the package version plus the provenance schema;
+    the ``REPRO_CODE_VERSION`` environment variable overrides it, which
+    is how tests (and local development on an unreleased version) force
+    cache invalidation without bumping ``repro._version``.
+    """
+    import os
+
+    override = os.environ.get("REPRO_CODE_VERSION")
+    if override:
+        return override
+    return f"repro-{__version__}+prov{PROVENANCE_SCHEMA}"
+
+
 def run_provenance(cfg=None, extra: Optional[dict] = None) -> dict:
     """Provenance block for one run.
 

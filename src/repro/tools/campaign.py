@@ -41,6 +41,10 @@ class CampaignResult:
     scan: Optional[ScanReport]
     warmup: WarmupPlan
     runs: List[CampaignRun] = field(default_factory=list)
+    #: True only when the scan's exclusions were actually applied to the
+    #: fleet that hosted the runs; False when exclusion would have left
+    #: fewer GCDs than the job needs and the untrimmed fleet ran instead.
+    exclusion_applied: bool = False
 
     @property
     def best(self) -> CampaignRun:
@@ -71,10 +75,17 @@ class CampaignResult:
             f"{self.config.num_ranks} GCDs"
         )
         if self.scan is not None:
-            title += (
-                f"; excluded {len(self.scan.slow_nodes)} slow node(s) "
-                f"(x{self.scan.projected_speedup:.3f})"
-            )
+            if self.exclusion_applied:
+                title += (
+                    f"; excluded {len(self.scan.slow_nodes)} slow node(s) "
+                    f"(x{self.scan.projected_speedup:.3f})"
+                )
+            else:
+                title += (
+                    f"; scan flagged {len(self.scan.slow_nodes)} slow "
+                    f"node(s) but exclusion would leave fewer than "
+                    f"{self.config.num_ranks} GCDs — ran the untrimmed fleet"
+                )
         return render_table(
             ["run", "speed", "elapsed_s", "throughput", ""], rows, title=title
         )
@@ -127,6 +138,7 @@ def run_campaign(
 
     scan = None
     effective = fleet
+    exclusion_applied = False
     if exclude_slow_nodes:
         scan = scan_fleet(fleet, cfg.machine)
         q = cfg.machine.node.gcds_per_node
@@ -138,6 +150,7 @@ def run_campaign(
         trimmed = fleet.exclude(excluded) if excluded else fleet
         if trimmed.num_gcds >= cfg.num_ranks:
             effective = trimmed
+            exclusion_applied = True
     # The slowest GCD actually placed in the job gates the pipeline.
     # Without a scan, the scheduler places the job blindly (the GCDs'
     # speeds are unknown until probed), so the allocation is arbitrary;
@@ -163,4 +176,7 @@ def run_campaign(
                 total_flops_per_s=res.total_flops_per_s,
             )
         )
-    return CampaignResult(config=cfg, scan=scan, warmup=warmup, runs=runs)
+    return CampaignResult(
+        config=cfg, scan=scan, warmup=warmup, runs=runs,
+        exclusion_applied=exclusion_applied,
+    )

@@ -1,0 +1,50 @@
+"""Crash-safe file writes: temp file in the target directory + rename.
+
+Baselines and campaign state are exactly the files a crash must not
+corrupt: ``BENCH_hotpaths.json`` is the ``--against`` CI gate's input,
+and the campaign queue/store checkpoints are what ``--resume`` trusts
+after a mid-sweep kill.  A bare ``path.write_text(...)`` truncates the
+destination before the new bytes land, so an interruption leaves a
+half-written (or empty) file behind.  :func:`atomic_write_text` writes
+to a temporary sibling in the *same* directory (so the final
+``os.replace`` is a same-filesystem atomic rename) and fsyncs before
+renaming: readers see either the complete old content or the complete
+new content, never a mix.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Union
+
+
+def atomic_write_text(path: Union[str, Path], text: str) -> str:
+    """Atomically replace ``path``'s content with ``text``.
+
+    Parent directories are created as needed.  On any failure the
+    destination is left untouched and the temporary file is removed.
+    Returns the path written (as ``str``).
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(
+        dir=str(path.parent), prefix=path.name + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w") as fh:
+            fh.write(text)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    finally:
+        if os.path.exists(tmp):
+            os.unlink(tmp)
+    return str(path)
+
+
+def atomic_write_json(path: Union[str, Path], doc, indent: int = 2) -> str:
+    """Atomically write ``doc`` as JSON (trailing newline included)."""
+    return atomic_write_text(path, json.dumps(doc, indent=indent) + "\n")

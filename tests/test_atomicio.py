@@ -1,0 +1,104 @@
+"""Tests for crash-safe writes (repro.util.atomicio) and the bench
+record writer that depends on them."""
+
+import json
+import os
+
+import pytest
+
+from repro.util.atomicio import atomic_write_json, atomic_write_text
+
+
+class TestAtomicWriteText:
+    def test_writes_and_returns_path(self, tmp_path):
+        p = tmp_path / "out.txt"
+        assert atomic_write_text(p, "hello\n") == str(p)
+        assert p.read_text() == "hello\n"
+
+    def test_creates_parent_directories(self, tmp_path):
+        p = tmp_path / "a" / "b" / "out.txt"
+        atomic_write_text(p, "x")
+        assert p.read_text() == "x"
+
+    def test_overwrite_replaces_content(self, tmp_path):
+        p = tmp_path / "out.txt"
+        atomic_write_text(p, "old")
+        atomic_write_text(p, "new")
+        assert p.read_text() == "new"
+
+    def test_no_temp_files_left_behind(self, tmp_path):
+        p = tmp_path / "out.txt"
+        atomic_write_text(p, "x")
+        assert [f.name for f in tmp_path.iterdir()] == ["out.txt"]
+
+    def test_interrupted_write_leaves_original_intact(
+        self, tmp_path, monkeypatch
+    ):
+        # Simulate a crash at the rename: the destination must keep its
+        # previous content and the temp file must be cleaned up.  (A
+        # bare write_text here would have truncated the baseline.)
+        p = tmp_path / "baseline.json"
+        atomic_write_text(p, "precious baseline")
+
+        def boom(src, dst):
+            raise OSError("interrupted")
+
+        monkeypatch.setattr(os, "replace", boom)
+        with pytest.raises(OSError):
+            atomic_write_text(p, "half-written garbage")
+        assert p.read_text() == "precious baseline"
+        assert [f.name for f in tmp_path.iterdir()] == ["baseline.json"]
+
+
+class TestAtomicWriteJson:
+    def test_round_trips_with_trailing_newline(self, tmp_path):
+        p = tmp_path / "doc.json"
+        atomic_write_json(p, {"a": [1, 2]})
+        text = p.read_text()
+        assert text.endswith("\n")
+        assert json.loads(text) == {"a": [1, 2]}
+
+
+class TestHotpathsRecordWrite:
+    """write_record goes through the atomic helper and folds history."""
+
+    def _record(self, tag):
+        from repro.bench.hotpaths import SCHEMA
+
+        return {
+            "schema": SCHEMA,
+            "config": {"n": 256, "block": 32, "grid": 2,
+                       "machine": "summit", "seed": 42},
+            "results": [{"stage": tag, "reps": 1, "min_s": 1.0,
+                         "mean_s": 1.0, "max_s": 1.0}],
+        }
+
+    def test_folds_previous_record(self, tmp_path):
+        from repro.bench.hotpaths import load_record, write_record
+
+        out = str(tmp_path / "BENCH_hotpaths.json")
+        write_record(self._record("first"), out)
+        write_record(self._record("second"), out)
+        rec = load_record(out)
+        assert rec["results"][0]["stage"] == "second"
+        assert rec["previous"]["results"][0]["stage"] == "first"
+
+    def test_crash_mid_write_preserves_baseline(self, tmp_path, monkeypatch):
+        from repro.bench import hotpaths
+        from repro.bench.regression import stage_seconds
+
+        out = str(tmp_path / "BENCH_hotpaths.json")
+        hotpaths.write_record(self._record("baseline"), out)
+
+        import repro.util.atomicio as atomicio
+
+        def boom(src, dst):
+            raise OSError("power cut")
+
+        monkeypatch.setattr(atomicio.os, "replace", boom)
+        with pytest.raises(OSError):
+            hotpaths.write_record(self._record("doomed"), out)
+        rec = hotpaths.load_record(out)
+        assert rec["results"][0]["stage"] == "baseline"
+        # The preserved baseline still parses as a gate input.
+        assert stage_seconds(rec) == {"baseline": 1.0}

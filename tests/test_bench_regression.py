@@ -39,6 +39,21 @@ class TestStageSeconds:
         with pytest.raises(ConfigurationError):
             stage_seconds({"schema": SCHEMA})
 
+    def test_truncated_record_rejected(self):
+        # A crash mid-write used to leave rows without 'min_s'; the old
+        # coercion to 0.0 made every stage look infinitely faster and the
+        # gate silently passed.  Malformed rows must be an error instead.
+        rec = _record({"panel_factor": 0.5})
+        del rec["results"][0]["min_s"]
+        with pytest.raises(ConfigurationError, match="min_s"):
+            stage_seconds(rec)
+
+    def test_non_numeric_min_s_rejected(self):
+        rec = _record({"panel_factor": 0.5})
+        rec["results"][0]["min_s"] = "fast"
+        with pytest.raises(ConfigurationError, match="min_s"):
+            stage_seconds(rec)
+
 
 class TestCompareRecords:
     def test_within_budget_passes(self):

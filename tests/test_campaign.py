@@ -62,6 +62,35 @@ class TestCampaign:
             run_campaign(cfg, num_runs=0)
 
 
+class TestExclusionReporting:
+    """render() must say whether the scan's exclusions actually applied."""
+
+    def test_undersized_fleet_reports_untrimmed_run(self):
+        # A fleet with zero spares: the scan flags slow nodes, but
+        # excluding them would leave fewer GCDs than the job needs, so
+        # run_campaign falls back to the untrimmed fleet.  The report
+        # must say so instead of claiming the exclusion happened.
+        cfg = _cfg()
+        res = run_campaign(
+            cfg, fleet=GcdFleet(cfg.num_ranks, seed=13), num_runs=1
+        )
+        assert res.scan is not None and res.scan.slow_nodes  # precondition
+        assert not res.exclusion_applied
+        text = res.render()
+        assert "untrimmed" in text
+        assert "excluded" not in text
+
+    def test_spared_fleet_reports_exclusion(self):
+        cfg = _cfg()
+        res = run_campaign(
+            cfg, fleet=GcdFleet(cfg.num_ranks + 64, seed=13), num_runs=1
+        )
+        assert res.scan is not None and res.scan.slow_nodes  # precondition
+        assert res.exclusion_applied
+        assert "excluded" in res.render()
+        assert "untrimmed" not in res.render()
+
+
 class TestCustomMachineCampaign:
     def test_campaign_on_custom_machine(self):
         from repro.machine.custom import build_machine

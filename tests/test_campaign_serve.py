@@ -1,0 +1,190 @@
+"""Tests for ``repro serve``: HTTP endpoints, caching, and single-flight
+dedupe of identical concurrent requests."""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.campaign import ResultStore, RunCache
+from repro.campaign.serve import CampaignService, make_server
+
+JOB = {"machine": "frontier", "nl": 3072, "block": 768, "grid": 2,
+       "bcast": "bcast", "num_runs": 1}
+
+
+@pytest.fixture()
+def server(tmp_path):
+    srv = make_server(
+        tmp_path / "store.jsonl", tmp_path / "cache", port=0
+    )
+    thread = threading.Thread(target=srv.serve_forever, daemon=True)
+    thread.start()
+    yield srv
+    srv.shutdown()
+    srv.server_close()
+
+
+def _url(server, path):
+    host, port = server.server_address
+    return f"http://{host}:{port}{path}"
+
+
+def _get(server, path):
+    with urllib.request.urlopen(_url(server, path)) as resp:
+        return json.loads(resp.read())
+
+
+def _post(server, path, body):
+    req = urllib.request.Request(
+        _url(server, path), data=json.dumps(body).encode(),
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(req) as resp:
+        return json.loads(resp.read())
+
+
+class TestEndpoints:
+    def test_healthz(self, server):
+        assert _get(server, "/healthz")["ok"] is True
+
+    def test_run_then_cache_hit(self, server):
+        first = _post(server, "/run", JOB)
+        assert first["source"] == "computed"
+        second = _post(server, "/run", JOB)
+        assert second["source"] == "cache"
+        assert second["result"]["key"] == first["result"]["key"]
+        stats = _get(server, "/stats")
+        assert stats["counters"]["computed"] == 1
+        assert stats["counters"]["cache_hits"] == 1
+        assert stats["store_rows"] == 1
+
+    def test_results_listing_and_lookup(self, server):
+        key = _post(server, "/run", JOB)["result"]["key"]
+        rows = _get(server, "/results")["rows"]
+        assert [r["key"] for r in rows] == [key]
+        assert _get(server, f"/results/{key}")["key"] == key
+
+    def test_unknown_result_404(self, server):
+        with pytest.raises(urllib.error.HTTPError) as err:
+            _get(server, "/results/ffffffffffffffff")
+        assert err.value.code == 404
+
+    def test_unknown_path_404(self, server):
+        with pytest.raises(urllib.error.HTTPError) as err:
+            _get(server, "/nope")
+        assert err.value.code == 404
+
+    def test_bad_job_400(self, server):
+        with pytest.raises(urllib.error.HTTPError) as err:
+            _post(server, "/run", {"machine": "frontier", "bogus": 1})
+        assert err.value.code == 400
+
+    def test_tune(self, server):
+        rows = _post(server, "/tune", {
+            "machine": "frontier", "nl": 3072, "grid": 2,
+            "blocks": [512, 768],
+        })["rows"]
+        assert len(rows) == 2
+
+    def test_profile_with_deltas(self, server):
+        key = _post(server, "/run", JOB)["result"]["key"]
+        other = dict(JOB, bcast="ring2m")
+        key2 = _post(server, "/run", other)["result"]["key"]
+        out = _post(server, "/profile", {"key": key, "against": key2})
+        assert out["against"] == key2
+        assert any(d["name"] == "best" for d in out["deltas"])
+
+    def test_stream_emits_progress_events(self, server):
+        req = urllib.request.Request(
+            _url(server, "/run?stream=1"), data=json.dumps(JOB).encode(),
+        )
+        with urllib.request.urlopen(req) as resp:
+            events = [json.loads(line) for line in resp if line.strip()]
+        names = [e["event"] for e in events]
+        assert names == ["accepted", "start", "result"]
+        assert events[-1]["source"] == "computed"
+
+
+class TestSingleFlight:
+    def test_concurrent_duplicates_compute_once(self, tmp_path, monkeypatch):
+        # Slow the real executor down so all duplicate requests are
+        # in flight together, then assert exactly one computation.
+        import repro.campaign.serve as serve_mod
+
+        real = serve_mod.execute_job
+        release = threading.Event()
+
+        def slow(job_doc, code=None):
+            # The owner parks here until the test has seen all four
+            # requests arrive, so the other three must join the flight.
+            release.wait(10)
+            return real(job_doc, code=code)
+
+        monkeypatch.setattr(serve_mod, "execute_job", slow)
+        service = CampaignService(
+            ResultStore(tmp_path / "store.jsonl"),
+            RunCache(tmp_path / "cache"),
+            code="test-code",
+        )
+        results = []
+
+        def call():
+            results.append(service.execute(dict(JOB)))
+
+        threads = [threading.Thread(target=call) for _ in range(4)]
+        for t in threads:
+            t.start()
+        import time
+
+        deadline = time.monotonic() + 10
+        while (service.counters["requests"] < 4
+               and time.monotonic() < deadline):
+            time.sleep(0.005)
+        release.set()
+        for t in threads:
+            t.join()
+
+        sources = sorted(src for _row, src in results)
+        assert sources.count("computed") == 1
+        assert sources.count("joined") == 3
+        assert service.counters["computed"] == 1
+        assert service.counters["joined"] == 3
+        keys = {row["key"] for row, _src in results}
+        assert len(keys) == 1
+        # The one computation landed in both cache and store.
+        assert service.store.get(keys.pop()) is not None
+
+    def test_failed_flight_propagates_to_joiners(self, tmp_path, monkeypatch):
+        import repro.campaign.serve as serve_mod
+
+        gate = threading.Event()
+
+        def doomed(job_doc, code=None):
+            gate.wait(5)
+            raise RuntimeError("node fell over")
+
+        monkeypatch.setattr(serve_mod, "execute_job", doomed)
+        service = CampaignService(
+            ResultStore(tmp_path / "store.jsonl"),
+            RunCache(tmp_path / "cache"),
+            code="test-code",
+        )
+        errors = []
+
+        def call():
+            try:
+                service.execute(dict(JOB))
+            except Exception as exc:  # noqa: BLE001 - capturing for assert
+                errors.append(str(exc))
+
+        threads = [threading.Thread(target=call) for _ in range(3)]
+        for t in threads:
+            t.start()
+        gate.set()
+        for t in threads:
+            t.join()
+        assert len(errors) == 3
+        assert any("node fell over" in e for e in errors)
