@@ -6,6 +6,11 @@ from repro.analyze.checkers.health_schema import HealthReportChecker
 from repro.analyze.checkers.hygiene import HygieneChecker
 from repro.analyze.checkers.precision_flow import PrecisionFlowChecker
 from repro.analyze.checkers.scenario_schema import ScenarioChecker
+from repro.analyze.checkers.schedule import (
+    CommRaceChecker,
+    CommScheduleChecker,
+    TraceConformanceChecker,
+)
 from repro.analyze.checkers.tag_space import TagSpaceChecker
 from repro.analyze.checkers.trace_schema import (
     ProfileReportChecker,
@@ -15,12 +20,15 @@ from repro.analyze.checkers.trace_schema import (
 __all__ = [
     "CampaignStoreChecker",
     "CollectiveMatchingChecker",
+    "CommRaceChecker",
+    "CommScheduleChecker",
     "HealthReportChecker",
     "HygieneChecker",
     "PrecisionFlowChecker",
     "ProfileReportChecker",
     "ScenarioChecker",
     "TagSpaceChecker",
+    "TraceConformanceChecker",
     "TraceSchemaChecker",
     "all_checkers",
 ]
@@ -38,4 +46,7 @@ def all_checkers(require_layers: bool = False):
         HealthReportChecker(),
         ScenarioChecker(),
         CampaignStoreChecker(),
+        CommScheduleChecker(),
+        CommRaceChecker(),
+        TraceConformanceChecker(),
     ]

@@ -15,10 +15,23 @@ are written so that both sides of every exchange spell the tag with the
   module, and vice versa.  (Warning, not error: cross-module protocols
   are possible, but none exist in this codebase.)
 - **conditional collective** (warning): ``comm.allreduce`` /
-  ``comm.barrier`` / a raw ``Barrier(...)`` event inside an ``if``
-  whose condition depends on rank-local state (anything other than the
-  shared ``cfg``) — whole-communicator collectives must be executed
-  unconditionally by every member or the engine deadlocks.
+  ``comm.reduce`` / ``comm.barrier`` / a raw ``Barrier(...)`` event
+  inside an ``if`` whose condition depends on rank-local state
+  (anything other than the shared ``cfg``) — collectives must be
+  executed unconditionally by every member or the engine deadlocks.
+  Exemption: a *membership guard* comparing a grid coordinate
+  (``.p_ir`` / ``.p_ic``) against a shared selector, protecting a
+  collective over an explicit subgroup (``grid.row_members(jr)``) —
+  the guard then selects exactly the subgroup, which is the idiomatic
+  sub-communicator collective.
+- **member symmetry** (error): a rank-local value (``rank`` /
+  ``.p_ir`` / ``.p_ic``) in a *shape-changing* position of a members
+  expression — a subscript index, an arithmetic subterm, a
+  comprehension filter, or a literal element.  Different ranks would
+  then post the collective with different member lists, which the
+  engine rejects ("not a member") or deadlocks on.  A rank-local
+  value as a plain *selector* argument (``grid.row_members(ex.p_ir)``)
+  is fine: all members of the selected group share the coordinate.
 
 Bare tag *names* (e.g. a ``tag`` local) are skipped: both sides share
 the variable, so the pairing is trivially symmetric at the site where
@@ -39,9 +52,15 @@ _RECV_METHODS = {"recv": 1, "irecv": 1}
 _START_METHODS = {"bcast_start": 3}
 _FINISH_METHODS = {"bcast_finish": 1}
 #: collectives every member of the communicator must call
-_SYMMETRIC_METHODS = {"allreduce", "barrier"}
+_SYMMETRIC_METHODS = {"allreduce", "reduce", "barrier"}
+#: members-list positional index per collective method
+_MEMBERS_ARG = {"allreduce": 1, "reduce": 2, "barrier": 0}
 #: Name roots in an if-condition that are uniform across all ranks
 _UNIFORM_ROOTS = {"cfg", "config"}
+#: attribute/name leaves that differ between the ranks of one group
+_RANK_LOCAL_LEAVES = {"rank", "p_ir", "p_ic"}
+#: grid coordinates a membership guard may legitimately compare
+_COORD_ATTRS = {"p_ir", "p_ic"}
 
 
 def _comm_call(node: ast.AST) -> Optional[Tuple[str, ast.Call]]:
@@ -64,6 +83,84 @@ def _tag_arg(call: ast.Call, index: int) -> Optional[ast.AST]:
     if len(call.args) > index:
         return call.args[index]
     return None
+
+
+def _members_arg(call: ast.Call, method: str) -> Optional[ast.AST]:
+    """The members-list argument of a collective call."""
+    for kw in call.keywords:
+        if kw.arg == "members":
+            return kw.value
+    index = _MEMBERS_ARG[method]
+    if len(call.args) > index:
+        return call.args[index]
+    return None
+
+
+def _is_rank_local_leaf(node: ast.AST) -> Optional[str]:
+    """The leaf's name when ``node`` reads rank-local state."""
+    if isinstance(node, ast.Name) and node.id in _RANK_LOCAL_LEAVES:
+        return node.id
+    if isinstance(node, ast.Attribute) and node.attr in _RANK_LOCAL_LEAVES:
+        return node.attr
+    return None
+
+
+def _rank_local_leaves(expr: ast.AST) -> List[str]:
+    found = []
+    for sub in ast.walk(expr):
+        leaf = _is_rank_local_leaf(sub)
+        if leaf is not None:
+            found.append(leaf)
+    return found
+
+
+def _shape_changing_leaves(members: ast.AST) -> List[str]:
+    """Rank-local leaves in positions that change the member *list*.
+
+    A leaf as a plain selector argument (``row_members(ex.p_ir)``) is
+    group-uniform; a leaf inside a subscript, arithmetic, comprehension
+    filter, or literal element makes different ranks compute different
+    lists."""
+    bad: List[str] = []
+    for node in ast.walk(members):
+        if isinstance(node, ast.Subscript):
+            bad.extend(_rank_local_leaves(node.slice))
+        elif isinstance(node, ast.BinOp):
+            bad.extend(_rank_local_leaves(node.left))
+            bad.extend(_rank_local_leaves(node.right))
+        elif isinstance(node, (ast.ListComp, ast.SetComp, ast.GeneratorExp)):
+            for gen in node.generators:
+                for cond in gen.ifs:
+                    bad.extend(_rank_local_leaves(cond))
+        elif isinstance(node, (ast.Tuple, ast.List, ast.Set)):
+            for elt in node.elts:
+                leaf = _is_rank_local_leaf(elt)
+                if leaf is not None:
+                    bad.append(leaf)
+    return bad
+
+
+def _is_membership_guard(test: ast.AST, members: Optional[ast.AST]) -> bool:
+    """``if ex.p_ir == jr:`` around a collective over
+    ``grid.row_members(jr)``: the guard selects exactly the subgroup the
+    collective runs over, so rank-conditional execution is correct."""
+    if members is None:
+        return False
+    subgroup = any(
+        isinstance(n, ast.Call)
+        and isinstance(n.func, ast.Attribute)
+        and n.func.attr.endswith("_members")
+        for n in ast.walk(members)
+    )
+    if not subgroup:
+        return False
+    for node in ast.walk(test):
+        if isinstance(node, ast.Compare):
+            for side in (node.left, *node.comparators):
+                if isinstance(side, ast.Attribute) \
+                        and side.attr in _COORD_ATTRS:
+                    return True
+    return False
 
 
 def _condition_roots(test: ast.AST) -> set:
@@ -116,6 +213,7 @@ class CollectiveMatchingChecker(SourceChecker):
                 record(finishes, call, _FINISH_METHODS[method])
             if method in _SYMMETRIC_METHODS:
                 yield from self._check_conditional(module, call, method)
+                yield from self._check_member_symmetry(module, call, method)
 
         yield from self._pairing(
             module, starts, finishes, "bcast_start", "bcast_finish",
@@ -155,6 +253,7 @@ class CollectiveMatchingChecker(SourceChecker):
             )
 
     def _check_conditional(self, module, call, method):
+        members = _members_arg(call, method)
         cur = module.parent_of(call)
         while cur is not None and not isinstance(
             cur, (ast.FunctionDef, ast.AsyncFunctionDef)
@@ -162,6 +261,11 @@ class CollectiveMatchingChecker(SourceChecker):
             if isinstance(cur, ast.If):
                 roots = _condition_roots(cur.test)
                 if roots - _UNIFORM_ROOTS:
+                    if _is_membership_guard(cur.test, members):
+                        # the guard selects exactly the subgroup the
+                        # collective runs over; keep scanning outer ifs
+                        cur = module.parent_of(cur)
+                        continue
                     yield Finding(
                         checker=self.id, path=module.path,
                         line=call.lineno, col=call.col_offset,
@@ -177,6 +281,25 @@ class CollectiveMatchingChecker(SourceChecker):
                     return
             cur = module.parent_of(cur)
 
+    def _check_member_symmetry(self, module, call, method):
+        members = _members_arg(call, method)
+        if members is None or isinstance(members, ast.Name):
+            return  # a shared variable is symmetric at its binding site
+        bad = _shape_changing_leaves(members)
+        if bad:
+            yield Finding(
+                checker=self.id, path=module.path,
+                line=call.lineno, col=call.col_offset,
+                severity=Severity.ERROR,
+                message=(
+                    f"comm.{method} members "
+                    f"`{ast.unparse(members)}` depends on rank-local "
+                    f"`{', '.join(sorted(set(bad)))}` in a shape-changing "
+                    "position: ranks would post the collective with "
+                    "different member lists (engine error or deadlock)"
+                ),
+            )
+
     def _check_raw_barrier(self, module, node):
         if (
             isinstance(node, ast.Call)
@@ -184,6 +307,22 @@ class CollectiveMatchingChecker(SourceChecker):
             and node.func.id == "Barrier"
         ):
             yield from self._check_conditional_raw(module, node)
+            members = node.args[0] if node.args else None
+            if members is not None and not isinstance(members, ast.Name):
+                bad = _shape_changing_leaves(members)
+                if bad:
+                    yield Finding(
+                        checker=self.id, path=module.path,
+                        line=node.lineno, col=node.col_offset,
+                        severity=Severity.ERROR,
+                        message=(
+                            f"Barrier members `{ast.unparse(members)}` "
+                            "depends on rank-local "
+                            f"`{', '.join(sorted(set(bad)))}` in a "
+                            "shape-changing position: ranks would post "
+                            "the barrier with different member lists"
+                        ),
+                    )
 
     def _check_conditional_raw(self, module, call):
         cur = module.parent_of(call)

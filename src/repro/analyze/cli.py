@@ -46,11 +46,49 @@ def add_lint_parser(sub) -> None:
                    "and exit 0")
     p.add_argument("--select", default=None,
                    help="comma-separated checker ids to run")
+    p.add_argument("--changed", action="store_true",
+                   help="restrict the given paths to files touched in "
+                   "the working tree (git diff vs HEAD plus untracked)")
     p.add_argument("--list", action="store_true", dest="list_checkers",
                    help="list available checkers and exit")
     p.add_argument("--require-layers", action="store_true",
                    help="trace-schema: require engine/executor/comm spans")
     p.set_defaults(func=cmd_lint)
+
+
+def _changed_files(paths):
+    """Files under ``paths`` touched in the working tree, or ``None``
+    when git is unavailable (callers fall back to analyzing everything).
+
+    "Touched" = modified/added vs ``HEAD`` plus untracked-but-not-ignored;
+    deleted files are skipped (nothing left to analyze)."""
+    import os
+    import subprocess
+
+    def _git(*argv):
+        return subprocess.run(
+            ["git", *argv], capture_output=True, text=True, check=True
+        ).stdout
+
+    try:
+        top = Path(_git("rev-parse", "--show-toplevel").strip())
+        listed = (
+            _git("diff", "--name-only", "HEAD")
+            + _git("ls-files", "--others", "--exclude-standard")
+        )
+    except (OSError, subprocess.CalledProcessError):
+        return None
+    scopes = [Path(p).resolve() for p in paths]
+    keep = []
+    for line in sorted(set(listed.splitlines())):
+        if not line.strip():
+            continue
+        full = (top / line).resolve()
+        if not full.exists():
+            continue
+        if any(full == s or s in full.parents for s in scopes):
+            keep.append(os.path.relpath(full))
+    return keep
 
 
 def _resolve_baseline(args):
@@ -84,9 +122,21 @@ def cmd_lint(args) -> int:
         print(f"lint: cannot load baseline: {exc}", file=sys.stderr)
         return 2
 
+    paths = args.paths
+    if args.changed:
+        changed = _changed_files(paths)
+        if changed is None:
+            print("lint: --changed needs a git checkout; analyzing all "
+                  "given paths", file=sys.stderr)
+        elif not changed:
+            print("lint: --changed: no modified files under the given paths")
+            return 0
+        else:
+            paths = changed
+
     try:
         report = run_analysis(
-            args.paths, checkers=checkers, baseline=baseline, select=select
+            paths, checkers=checkers, baseline=baseline, select=select
         )
     except ValueError as exc:
         print(f"lint: {exc}", file=sys.stderr)

@@ -1,12 +1,15 @@
 """Checker framework: module model, baseline, and the analysis driver.
 
-Checkers come in two kinds:
+Checkers come in three kinds:
 
 - :class:`SourceChecker` — receives a parsed :class:`SourceModule`
   (AST + source text) per ``.py`` file and yields findings;
 - :class:`ArtifactChecker` — receives non-Python artifact paths it
   claims via :meth:`ArtifactChecker.matches` (e.g. exported trace
-  JSON files).
+  JSON files);
+- :class:`ProgramChecker` — sees the whole analyzed file set once and
+  runs a global analysis (e.g. the communication-schedule verifier),
+  gated on explicit selection or on relevant files being analyzed.
 
 The driver (:func:`run_analysis`) walks the requested paths, dispatches
 files to checkers, honours inline suppressions
@@ -122,6 +125,28 @@ class ArtifactChecker:
 
     def check_file(self, path: str) -> Iterable[Finding]:
         """Yield findings for one artifact file."""
+        raise NotImplementedError
+
+
+class ProgramChecker:
+    """Base class: whole-program checks that are not per-file.
+
+    A program checker sees the full list of analyzed Python files once
+    and runs a global analysis (e.g. extracting and model-checking the
+    communication schedule, which spans comm/core/simulate).  Because
+    such checks execute the rank programs, they only run when
+    explicitly ``--select``-ed or when the analyzed set includes files
+    they declare relevant via :meth:`triggered_by`."""
+
+    id: str = ""
+    description: str = ""
+
+    def triggered_by(self, py_files: Sequence[str]) -> bool:
+        """Whether the analyzed file set warrants running this checker."""
+        raise NotImplementedError
+
+    def check_program(self, py_files: Sequence[str]) -> Iterable[Finding]:
+        """Yield findings for the whole program."""
         raise NotImplementedError
 
 
@@ -250,21 +275,29 @@ def run_analysis(
         checkers = [c for c in checkers if c.id in select]
     source_checkers = [c for c in checkers if isinstance(c, SourceChecker)]
     artifact_checkers = [c for c in checkers if isinstance(c, ArtifactChecker)]
+    program_checkers = [c for c in checkers if isinstance(c, ProgramChecker)]
 
     report = AnalysisReport(checkers_run=[c.id for c in checkers])
     raw: List[Finding] = []
 
+    py_files: List[str] = []
     for path in _iter_python_files(paths):
         try:
             module = SourceModule.parse(path)
         except (SyntaxError, ValueError, OSError) as exc:
             report.parse_errors.append((path, str(exc)))
             continue
+        py_files.append(path)
         report.files_checked += 1
         for checker in source_checkers:
             for finding in checker.check(module):
                 if not module.suppressed(finding.line, finding.checker):
                     raw.append(finding)
+
+    explicit = set(select or ())
+    for checker in program_checkers:
+        if checker.id in explicit or checker.triggered_by(py_files):
+            raw.extend(checker.check_program(py_files))
 
     for path in _iter_artifact_files(paths):
         claimed = [c for c in artifact_checkers if c.matches(path)]

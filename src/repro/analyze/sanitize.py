@@ -11,7 +11,9 @@ dtype and finiteness contracts of the mixed-precision algorithm:
 - ``getrf``: square finite input, finite factors out (a blown-up
   unpivoted factorization surfaces here, not three phases later);
 - ``trsm``/``trsv``: finite triangular factors and right-hand sides,
-  finite solutions.
+  finite solutions;
+- ``gemv``/``gemv_update``: finite tiles and vectors in the FP64
+  residual regeneration, finite products out.
 
 Violations raise :class:`repro.errors.SanitizerError` with the
 operation name and the offending operand, so a CI shard run with
@@ -136,4 +138,18 @@ class SanitizedBlasShim(BlasShim):
         self._require_finite("trsv", "x", x)
         out = super().trsv_upper(t, x)
         self._require_finite("trsv", "y (solution)", out)
+        return out
+
+    def gemv(self, a, x):
+        self._require_finite("gemv", "A", a)
+        self._require_finite("gemv", "x", x)
+        out = super().gemv(a, x)
+        self._require_finite("gemv", "y (product)", out)
+        return out
+
+    def gemv_update(self, y, a, x):
+        self._require_finite("gemv", "A", a)
+        self._require_finite("gemv", "x", x)
+        out = super().gemv_update(y, a, x)
+        self._require_finite("gemv", "y (updated)", out)
         return out

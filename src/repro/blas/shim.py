@@ -18,6 +18,8 @@ from typing import Callable, Dict, List
 import numpy as np
 
 from repro.blas.gemm import gemm_update as _gemm_update
+from repro.blas.gemv import gemv as _gemv
+from repro.blas.gemv import gemv_update as _gemv_update
 from repro.blas.getrf import getrf_nopiv as _getrf_nopiv
 from repro.blas.trsm import trsm as _trsm_dispatch
 from repro.blas.trsv import trsv_lower_unit as _trsv_lower_unit
@@ -31,12 +33,14 @@ VENDOR_NAMES: Dict[str, Dict[str, str]] = {
         "trsm": "cublasStrsm",
         "getrf": "cusolverDnSgetrf",
         "trsv": "openBLAS_strsv",
+        "gemv": "cublasDgemv",
     },
     "rocm": {
         "gemm": "rocblas_gemm_ex",
         "trsm": "rocblas_strsm",
         "getrf": "rocsolver_sgetrf",
         "trsv": "openBLAS_strsv",
+        "gemv": "rocblas_dgemv",
     },
 }
 
@@ -135,6 +139,17 @@ class BlasShim:
         """Upper TRSV (refinement backward solve), via openBLAS."""
         self._record("trsv", t.shape)
         return _trsv_upper(t, x)
+
+    def gemv(self, a: np.ndarray, x: np.ndarray) -> np.ndarray:
+        """FP64 tile matvec for the residual regeneration."""
+        self._record("gemv", a.shape)
+        return _gemv(a, x)
+
+    def gemv_update(self, y: np.ndarray, a: np.ndarray,
+                    x: np.ndarray) -> np.ndarray:
+        """``y <- y - A @ x`` in place (residual accumulation)."""
+        self._record("gemv", a.shape)
+        return _gemv_update(y, a, x)
 
 
 _SHIMS: Dict[str, Callable[[], BlasShim]] = {

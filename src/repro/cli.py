@@ -1130,8 +1130,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_bench)
 
     from repro.analyze.cli import add_lint_parser
+    from repro.analyze.schedule.cli import add_verify_comm_parser
 
     add_lint_parser(sub)
+    add_verify_comm_parser(sub)
 
     p = sub.add_parser("specs", help="print machine presets")
     p.set_defaults(func=cmd_specs)

@@ -213,6 +213,8 @@ class BenchmarkConfig:
             "node_grid": f"{self.q_rows}x{self.q_cols}",
             "N_L": f"{self.local_rows}x{self.local_cols}",
             "bcast": self.bcast_algorithm,
+            "allreduce": self.allreduce_algorithm,
+            "progression": self.progression,
             "lookahead": self.lookahead,
             "gpu_aware": self.gpu_aware,
             "port_binding": self.port_binding,

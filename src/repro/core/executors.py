@@ -23,7 +23,6 @@ from typing import Optional, Tuple
 import numpy as np
 
 from repro.blas.shim import get_shim
-from repro.blas.trsv import trsv_lower_unit, trsv_upper
 from repro.core.config import BenchmarkConfig
 from repro.core.layout import StepPlan, make_step_plan
 from repro.errors import ConfigurationError
@@ -498,9 +497,9 @@ class ExactExecutor(ExecutorBase):
                 j = cfg.col_dim.global_block(self.p_ic, lc)
                 tile = band[:, j * b : (j + 1) * b]
                 if sign < 0:
-                    seg -= tile @ v[j * b : (j + 1) * b]
+                    self.shim.gemv_update(seg, tile, v[j * b : (j + 1) * b])
                 else:
-                    seg += tile @ v[j * b : (j + 1) * b]
+                    seg += self.shim.gemv(tile, v[j * b : (j + 1) * b])
 
     def ir_matvec_partial(self, v: np.ndarray) -> Tuple[np.ndarray, float]:
         """Partial ``A @ v`` over this rank's tiles (for GMRES).
@@ -555,9 +554,9 @@ class ExactExecutor(ExecutorBase):
         """TRSV of the j-th diagonal block (FP32 factors, FP64 rhs)."""
         block = self._local_block(j, j).astype(np.float64)
         if lower:
-            w = trsv_lower_unit(block, y)
+            w = self.shim.trsv_lower_unit(block, y)
         else:
-            w = trsv_upper(block, y)
+            w = self.shim.trsv_upper(block, y)
         return w, self.cm.trsv_time(self.b)
 
     def ir_col_update(self, j: int, w, lower: bool) -> float:

@@ -228,6 +228,11 @@ def config_from_provenance(prov: dict):
             p_cols=p_cols,
             bcast_algorithm=str(desc["bcast"]),
             lookahead=bool(desc["lookahead"]),
+            # older traces predate these fields; their defaults match
+            allreduce_algorithm=(
+                str(desc["allreduce"]) if desc.get("allreduce") else None
+            ),
+            progression=str(desc.get("progression", "routed")),
             gpu_aware=bool(desc["gpu_aware"]),
             port_binding=bool(desc["port_binding"]),
         )

@@ -1,0 +1,59 @@
+"""Deliberately broken collective protocols (checker fixture only).
+
+Imported as *data* by ``tests/test_analyze_collectives.py`` — never
+executed.  Each function is one defect class the ``collective-matching``
+checker must flag (or, for the ``_ok`` variants, must NOT flag).
+"""
+
+import numpy as np
+
+from repro.comm.vmpi import RankComm
+from repro.simulate.events import Barrier
+
+
+def rank_conditional_barrier(rank: int, members):
+    """Only rank 0 posts the barrier: everyone else sails past it and
+    rank 0 waits forever."""
+    comm = RankComm(rank)
+    if rank == 0:
+        yield from comm.barrier(members)
+
+
+def rank_conditional_reduce(rank: int, members):
+    """A reduce posted only by the lexicographically first rank."""
+    comm = RankComm(rank)
+    contrib = np.zeros(4)
+    if comm.rank == members[0]:
+        yield from comm.reduce(contrib, members[0], members)
+
+
+def asymmetric_barrier_members(rank: int, members):
+    """Every rank excludes *itself* from the member list, so no two
+    ranks agree on the group."""
+    comm = RankComm(rank)
+    yield from comm.barrier(tuple(r for r in members if r != rank))
+
+
+def asymmetric_raw_barrier(rank: int, members):
+    """Raw Barrier event whose member tuple is sliced by rank."""
+    yield Barrier(members[rank:])
+
+
+def membership_guarded_reduce_ok(ex, comm, grid, contrib, owner, jr):
+    """The refine.py idiom: a reduce over one process row, guarded by
+    the matching row-coordinate test.  Must NOT be flagged."""
+    if ex.p_ir == jr:
+        result = yield from comm.reduce(contrib, owner, grid.row_members(jr))
+        return result
+    return None
+
+
+def selector_members_ok(ex, comm, grid, contrib, owner):
+    """A rank-local *selector* argument is group-uniform (all members of
+    row ``ex.p_ir`` share ``p_ir``).  Must NOT be flagged."""
+    if ex.p_ir == owner:
+        result = yield from comm.reduce(
+            contrib, owner, grid.row_members(ex.p_ir)
+        )
+        return result
+    return None

@@ -122,3 +122,68 @@ class TestRepositoryIsClean:
         monkeypatch.chdir(REPO_ROOT)
         assert main(["lint", "src"]) == 0
         assert "baseline: .lint-baseline.json" in capsys.readouterr().out
+
+
+class TestChangedScoping:
+    """``repro lint --changed``: diff-scoped analysis."""
+
+    def _git_repo(self, tmp_path):
+        import subprocess
+
+        def git(*argv):
+            subprocess.run(
+                ["git", *argv], cwd=tmp_path, check=True,
+                capture_output=True,
+                env={"GIT_AUTHOR_NAME": "t", "GIT_AUTHOR_EMAIL": "t@t",
+                     "GIT_COMMITTER_NAME": "t", "GIT_COMMITTER_EMAIL": "t@t",
+                     "HOME": str(tmp_path), "PATH": "/usr/bin:/bin"},
+            )
+
+        git("init", "-q")
+        (tmp_path / "committed.py").write_text(DIRTY)
+        git("add", "committed.py")
+        git("commit", "-qm", "seed")
+        return git
+
+    def test_only_touched_files_are_linted(self, tmp_path, monkeypatch,
+                                           capsys):
+        self._git_repo(tmp_path)
+        # the committed dirty file is NOT touched; a new dirty file is
+        (tmp_path / "fresh.py").write_text(DIRTY)
+        monkeypatch.chdir(tmp_path)
+        rc = main(["lint", str(tmp_path), "--no-baseline", "--changed",
+                   "--select", "hygiene"])
+        assert rc == 1
+        out = capsys.readouterr().out
+        assert "fresh.py" in out
+        assert "committed.py" not in out
+        assert "1 file(s)" in out
+
+    def test_modified_tracked_file_is_linted(self, tmp_path, monkeypatch,
+                                             capsys):
+        self._git_repo(tmp_path)
+        (tmp_path / "committed.py").write_text(DIRTY + "x = 1\n")
+        monkeypatch.chdir(tmp_path)
+        rc = main(["lint", str(tmp_path), "--no-baseline", "--changed",
+                   "--select", "hygiene"])
+        assert rc == 1
+        assert "committed.py" in capsys.readouterr().out
+
+    def test_no_changes_is_clean(self, tmp_path, monkeypatch, capsys):
+        self._git_repo(tmp_path)
+        monkeypatch.chdir(tmp_path)
+        rc = main(["lint", str(tmp_path), "--no-baseline", "--changed"])
+        assert rc == 0
+        assert "no modified files" in capsys.readouterr().out
+
+    def test_outside_git_falls_back_to_full_lint(self, tmp_path,
+                                                 monkeypatch, capsys):
+        clean = tmp_path / "clean.py"
+        clean.write_text("x = 1\n")
+        monkeypatch.chdir(tmp_path)
+        monkeypatch.setenv("GIT_DIR", str(tmp_path / "no-such-repo"))
+        rc = main(["lint", str(tmp_path), "--no-baseline", "--changed",
+                   "--select", "hygiene"])
+        assert rc == 0
+        err = capsys.readouterr().err
+        assert "needs a git checkout" in err

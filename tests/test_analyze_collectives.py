@@ -145,3 +145,123 @@ class TestReceiverHeuristic:
             "    yield from row_comm.send(peer, x, tag=16 * k)\n"
         )
         assert len(findings) == 1
+
+
+class TestReduceSymmetry:
+    def test_rank_conditional_reduce_warns(self):
+        findings = _lint(
+            "def prog(comm, members):\n"
+            "    if comm.rank == members[0]:\n"
+            "        y = yield from comm.reduce(1.0, members[0], members)\n"
+        )
+        assert len(findings) == 1
+        assert findings[0].severity == Severity.WARNING
+        assert "comm.reduce" in findings[0].message
+
+    def test_membership_guard_is_exempt(self):
+        # The refine.py idiom: the guard selects exactly the subgroup
+        # the reduce runs over.
+        findings = _lint(
+            "def prog(ex, comm, grid, contrib, owner, jr):\n"
+            "    if ex.p_ir == jr:\n"
+            "        y = yield from comm.reduce("
+            "contrib, owner, grid.row_members(jr))\n"
+        )
+        assert findings == []
+
+
+class TestMemberSymmetry:
+    def test_comprehension_filtered_by_rank_is_an_error(self):
+        findings = _lint(
+            "def prog(comm, members, rank):\n"
+            "    yield from comm.barrier("
+            "tuple(r for r in members if r != rank))\n"
+        )
+        assert len(findings) == 1
+        assert findings[0].severity == Severity.ERROR
+        assert "different member lists" in findings[0].message
+
+    def test_subscript_by_rank_is_an_error(self):
+        findings = _lint(
+            "def prog(comm, members, rank):\n"
+            "    y = yield from comm.allreduce(1.0, members[rank:])\n"
+        )
+        assert len(findings) == 1
+        assert findings[0].severity == Severity.ERROR
+
+    def test_literal_element_rank_is_an_error(self):
+        findings = _lint(
+            "def prog(comm, rank):\n"
+            "    yield from comm.barrier((0, rank))\n"
+        )
+        assert len(findings) == 1
+        assert "rank" in findings[0].message
+
+    def test_raw_barrier_slice_is_an_error(self):
+        findings = _lint(
+            "def prog(members, rank):\n"
+            "    yield Barrier(members[rank:])\n"
+        )
+        assert len(findings) == 1
+        assert findings[0].severity == Severity.ERROR
+
+    def test_selector_argument_is_uniform(self):
+        # All members of row p_ir share the coordinate: symmetric.
+        findings = _lint(
+            "def prog(ex, comm, grid, contrib, owner):\n"
+            "    if ex.p_ir == owner:\n"
+            "        y = yield from comm.reduce("
+            "contrib, owner, grid.row_members(ex.p_ir))\n"
+        )
+        assert findings == []
+
+    def test_shared_variable_members_is_clean(self):
+        findings = _lint(
+            "def prog(comm, members):\n"
+            "    yield from comm.barrier(members)\n"
+        )
+        assert findings == []
+
+
+class TestRankConditionalBarrierFixture:
+    """The shipped fixture module must keep producing its findings."""
+
+    def _fixture_findings(self):
+        from pathlib import Path
+
+        path = (
+            Path(__file__).parent / "fixtures" / "analyze"
+            / "rank_conditional_barrier.py"
+        )
+        module = SourceModule.parse(str(path), path.read_text())
+        return list(CollectiveMatchingChecker().check(module))
+
+    def test_fixture_defects_are_flagged(self):
+        findings = self._fixture_findings()
+        messages = "\n".join(f.message for f in findings)
+        assert "comm.barrier under a condition on `rank`" in messages
+        assert "comm.reduce under a condition" in messages
+        assert "different member lists" in messages
+        assert "Barrier members `members[rank:]`" in messages
+        assert len(findings) == 4
+
+    def test_ok_variants_are_not_flagged(self):
+        findings = self._fixture_findings()
+        flagged_lines = {f.line for f in findings}
+        import ast
+        from pathlib import Path
+
+        path = (
+            Path(__file__).parent / "fixtures" / "analyze"
+            / "rank_conditional_barrier.py"
+        )
+        tree = ast.parse(path.read_text())
+        ok_spans = [
+            range(node.lineno, node.end_lineno + 1)
+            for node in tree.body
+            if isinstance(node, ast.FunctionDef)
+            and node.name.endswith("_ok")
+        ]
+        assert ok_spans, "fixture lost its _ok control functions"
+        for span in ok_spans:
+            assert not (flagged_lines & set(span))

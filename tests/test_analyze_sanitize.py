@@ -140,3 +140,72 @@ class TestEndToEndUnderSanitizer:
 
         res = solve_hplai(n=64, block=16, p_rows=2, p_cols=2)
         assert res.ir_converged
+
+
+def _dispatch_ops():
+    """Every BlasShim entry point that records a vendor call."""
+    import inspect
+
+    return sorted(
+        name for name, fn in vars(BlasShim).items()
+        if callable(fn) and not name.startswith("_")
+        and "_record(" in inspect.getsource(fn)
+    )
+
+
+class TestShimCoverage:
+    """The sanitizer must wrap every BLAS shim entry point — a new op
+    added to :class:`BlasShim` without a sanitized override silently
+    escapes the dtype/finiteness contracts."""
+
+    def test_dispatch_surface_is_what_we_think(self):
+        assert _dispatch_ops() == [
+            "gemm_update", "gemv", "gemv_update", "getrf",
+            "trsm", "trsv_lower_unit", "trsv_upper",
+        ]
+
+    @pytest.mark.parametrize("op", [
+        "gemm_update", "gemv", "gemv_update", "getrf",
+        "trsm", "trsv_lower_unit", "trsv_upper",
+    ])
+    def test_entry_point_is_wrapped(self, op):
+        assert op in vars(SanitizedBlasShim), (
+            f"BlasShim.{op} has no SanitizedBlasShim override: calls "
+            "would bypass the runtime precision contracts"
+        )
+
+    def test_no_unwrapped_dispatch_ops(self):
+        unwrapped = [
+            op for op in _dispatch_ops()
+            if op not in vars(SanitizedBlasShim)
+        ]
+        assert unwrapped == []
+
+
+class TestGemvContracts:
+    def test_clean_gemv(self, shim):
+        a = np.ones((4, 4))
+        x = np.ones(4)
+        assert np.allclose(shim.gemv(a, x), 4.0)
+
+    def test_gemv_rejects_non_finite_tile(self, shim):
+        a = np.ones((4, 4))
+        a[2, 1] = np.inf
+        with pytest.raises(SanitizerError, match=r"gemv.*A"):
+            shim.gemv(a, np.ones(4))
+
+    def test_gemv_update_rejects_non_finite_vector(self, shim):
+        y = np.zeros(4)
+        x = np.ones(4)
+        x[0] = np.nan
+        with pytest.raises(SanitizerError, match=r"gemv.*x"):
+            shim.gemv_update(y, np.ones((4, 4)), x)
+
+    def test_gemv_update_in_place(self, shim):
+        y = np.full(4, 10.0)
+        shim.gemv_update(y, np.ones((4, 4)), np.ones(4))
+        assert np.allclose(y, 6.0)
+
+    def test_vendor_names_cover_gemv(self):
+        for platform in ("cuda", "rocm"):
+            assert BlasShim(platform).vendor_name("gemv")
