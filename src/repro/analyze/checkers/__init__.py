@@ -2,6 +2,7 @@
 
 from repro.analyze.checkers.campaign_schema import CampaignStoreChecker
 from repro.analyze.checkers.collectives import CollectiveMatchingChecker
+from repro.analyze.checkers.fleet_schema import FleetSchemaChecker
 from repro.analyze.checkers.health_schema import HealthReportChecker
 from repro.analyze.checkers.hygiene import HygieneChecker
 from repro.analyze.checkers.precision_flow import PrecisionFlowChecker
@@ -22,6 +23,7 @@ __all__ = [
     "CollectiveMatchingChecker",
     "CommRaceChecker",
     "CommScheduleChecker",
+    "FleetSchemaChecker",
     "HealthReportChecker",
     "HygieneChecker",
     "PrecisionFlowChecker",
@@ -44,6 +46,7 @@ def all_checkers(require_layers: bool = False):
         TraceSchemaChecker(require_layers=require_layers),
         ProfileReportChecker(),
         HealthReportChecker(),
+        FleetSchemaChecker(),
         ScenarioChecker(),
         CampaignStoreChecker(),
         CommScheduleChecker(),

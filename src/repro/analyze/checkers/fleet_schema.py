@@ -1,0 +1,56 @@
+"""``fleet-schema``: validate ``repro fleet --format json`` documents.
+
+Same pattern as the health/profile schema checkers: the pure
+validation lives in :func:`repro.obs.fleet.check_fleet_document`,
+adapted to the :mod:`repro.analyze` framework by
+:class:`FleetSchemaChecker` so ``repro lint fleet.json --select
+fleet-schema`` is the CI entry point for campaign analytics artifacts
+(:data:`~repro.obs.fleet.report.FLEET_SCHEMA`).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.analyze.findings import Finding, Severity
+from repro.analyze.framework import ArtifactChecker
+from repro.obs.fleet.report import FLEET_SCHEMA, check_fleet_document
+
+
+def _is_fleet_doc(doc) -> bool:
+    return isinstance(doc, dict) and doc.get("schema") == FLEET_SCHEMA
+
+
+class FleetSchemaChecker(ArtifactChecker):
+    id = "fleet-schema"
+    description = "repro fleet JSON documents match the documented schema"
+
+    def matches(self, path: str) -> bool:
+        return path.endswith(".json")
+
+    def check_file(self, path: str) -> Iterable[Finding]:
+        from repro.analyze.checkers.trace_schema import load_strict_json
+
+        try:
+            doc = load_strict_json(path)
+        except (ValueError, OSError) as exc:
+            yield Finding(
+                checker=self.id, path=path, line=0,
+                severity=Severity.ERROR,
+                message=f"not strict JSON: {exc}",
+            )
+            return
+        # Ours when it claims the fleet schema, or plainly wants to be
+        # a fleet document (characteristic section pair present) with a
+        # wrong tag.  Traces/profiles/health docs belong elsewhere.
+        looks_like_fleet = isinstance(doc, dict) and (
+            _is_fleet_doc(doc)
+            or ("heatmap" in doc and "trend" in doc)
+        )
+        if not looks_like_fleet:
+            return
+        for problem in check_fleet_document(doc):
+            yield Finding(
+                checker=self.id, path=path, line=0,
+                severity=Severity.ERROR, message=problem,
+            )

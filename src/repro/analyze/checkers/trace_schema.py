@@ -147,6 +147,11 @@ class TraceSchemaChecker(ArtifactChecker):
         if _is_scenario_doc(doc):
             # ScenarioChecker's document, not a trace.
             return
+        from repro.analyze.checkers.fleet_schema import _is_fleet_doc
+
+        if _is_fleet_doc(doc):
+            # FleetSchemaChecker's document, not a trace.
+            return
         for problem in check_trace(doc, require_layers=self.require_layers):
             yield Finding(
                 checker=self.id, path=path, line=0,

@@ -43,6 +43,31 @@ def _count(event: str) -> None:
         obs.metrics.counter("campaign.jobs", event=event).inc()
 
 
+def _count_worker(row: dict) -> None:
+    """Mirror a computed row's worker meta as ``campaign.worker`` metrics.
+
+    Recorded parent-side when the row lands: forked pool workers have
+    their own registries that die with the process, so the utilization
+    signal has to come back through the row's ``meta`` block.
+    """
+    obs = obs_context.current()
+    if not obs.enabled:
+        return
+    meta = row.get("meta", {})
+    worker = str(meta.get("worker") or "unknown")
+    obs.metrics.counter("campaign.worker", worker=worker, event="jobs").inc()
+    wait = meta.get("queue_wait_s")
+    if isinstance(wait, (int, float)):
+        obs.metrics.histogram(
+            "campaign.worker.queue_wait_s", worker=worker
+        ).observe(float(wait))
+    wall = meta.get("compute_wall_s")
+    if isinstance(wall, (int, float)):
+        obs.metrics.histogram(
+            "campaign.worker.run_s", worker=worker
+        ).observe(float(wall))
+
+
 @dataclass
 class SweepOutcome:
     """What one ``run_sweep`` call did (the ``--summary-json`` document)."""
@@ -135,7 +160,7 @@ class CampaignEngine:
             )
 
         # -- cache pass ---------------------------------------------------
-        misses: List[Tuple[str, dict, str]] = []
+        misses: List[Tuple[str, dict, str, float]] = []
         for key, job_doc in pending:
             row = self.cache.get(key)
             if row is not None:
@@ -147,7 +172,7 @@ class CampaignEngine:
                 if on_complete is not None:
                     on_complete(key, row)
             else:
-                misses.append((key, job_doc, code))
+                misses.append((key, job_doc, code, time.time()))
         queue.checkpoint()
 
         # -- compute pass -------------------------------------------------
@@ -164,6 +189,7 @@ class CampaignEngine:
                 queue.mark_done(key)
                 out.computed += 1
                 _count("computed")
+                _count_worker(row)
                 self._progress(out, key, row, source="computed")
             queue.checkpoint()
             if on_complete is not None:
@@ -174,7 +200,7 @@ class CampaignEngine:
         out.queue_counts = queue.counts()
         return out
 
-    def _execute(self, items: List[Tuple[str, dict, str]]):
+    def _execute(self, items: List[Tuple[str, dict, str, float]]):
         """Yield ``(key, row, error)`` for each miss, sharded if asked."""
         if not items:
             return

@@ -18,6 +18,7 @@ picklable for ``multiprocessing``.
 
 from __future__ import annotations
 
+import multiprocessing
 import os
 import time
 from datetime import datetime, timezone
@@ -81,15 +82,32 @@ def execute_job(job_doc: dict, code: Optional[str] = None) -> dict:
     return row
 
 
-def pool_execute(item: Tuple[str, dict, str]) -> Tuple[str, Optional[dict], str]:
-    """Pool adapter: ``(key, job_doc, code) -> (key, row | None, error)``.
+def pool_execute(item: Tuple) -> Tuple[str, Optional[dict], str]:
+    """Pool adapter: ``(key, job_doc, code[, enqueued_unix])`` →
+    ``(key, row | None, error)``.
 
     Exceptions never cross the pool boundary raw — a failed job becomes
     a ``(key, None, message)`` triple so one bad config cannot abort a
     thousand-job sweep.
+
+    The optional fourth element is the engine-side enqueue timestamp
+    (``time.time()``, comparable across forked workers); when present,
+    the result row's ``meta`` gains the fleet-utilization facts —
+    ``worker`` (the pool process name), ``queue_wait_s`` (enqueue →
+    start), and ``started_unix`` — which
+    :func:`repro.obs.fleet.build_fleet` turns into per-worker
+    queue-wait/run-time rollups and the campaign dashboard's Gantt.
     """
-    key, job_doc, code = item
+    key, job_doc, code = item[0], item[1], item[2]
+    enqueued_unix = float(item[3]) if len(item) > 3 else None
+    started_unix = time.time()
     try:
-        return key, execute_job(job_doc, code=code), ""
+        row = execute_job(job_doc, code=code)
     except Exception as exc:  # lint: ignore[hygiene] - worker boundary: error crosses the pool as data
         return key, None, f"{type(exc).__name__}: {exc}"
+    meta = row.setdefault("meta", {})
+    meta["worker"] = multiprocessing.current_process().name
+    meta["started_unix"] = round(started_unix, 6)
+    if enqueued_unix is not None:
+        meta["queue_wait_s"] = round(max(0.0, started_unix - enqueued_unix), 6)
+    return key, row, ""

@@ -18,19 +18,32 @@ Endpoints::
 
     GET  /healthz           liveness probe
     GET  /stats             cache/dedupe/store counters
+    GET  /metrics           Prometheus text: request counts, latency
     GET  /results           store summary rows
     GET  /results/<key>     one full result row
     POST /run[?stream=1]    run (or fetch) one campaign job document
     POST /tune              block-size sweep rows for a machine
     POST /profile           stored row + optional deltas vs another key
 
-Errors are JSON (``{"error": ...}``) with conventional status codes.
+The service carries its own :class:`~repro.obs.metrics.MetricsRegistry`
+(independent of the ambient obs context, which stays mirrored): every
+request increments ``serve.requests{endpoint=, status=}``, observes
+``serve.latency_s{endpoint=}``, and moves the ``serve.inflight`` gauge,
+with ``campaign.serve{event=}`` counting dedupe/cache sources.  ``GET
+/metrics`` renders all of it through the same
+:func:`repro.obs.export.to_prometheus_text` renderer the exporter CLI
+uses.  Non-stream ``POST /run`` responses carry an ``X-Repro-Source``
+header (``cache``/``joined``/``computed``).
+
+Errors are structured JSON (``{"error", "status", "path"}``) with
+conventional status codes.
 """
 
 from __future__ import annotations
 
 import json
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
 from typing import Callable, Dict, Optional, Tuple, Union
@@ -42,6 +55,8 @@ from repro.campaign.runner import execute_job
 from repro.campaign.store import ResultStore
 from repro.errors import ConfigurationError
 from repro.obs import context as obs_context
+from repro.obs.export import to_prometheus_text
+from repro.obs.metrics import MetricsRegistry
 
 SERVE_SCHEMA = "repro.campaign.serve/v1"
 
@@ -80,12 +95,41 @@ class CampaignService:
         self.store = store
         self.cache = cache
         self.code = code
+        self.metrics = MetricsRegistry()
         self._lock = threading.Lock()
         self._inflight: Dict[str, _Flight] = {}
+        self._http_inflight = 0
         self.counters = {
             "requests": 0, "computed": 0, "cache_hits": 0, "joined": 0,
             "errors": 0,
         }
+
+    def _event(self, event: str) -> None:
+        """Count a service event in the scrape registry + obs mirror."""
+        self.metrics.counter("campaign.serve", event=event).inc()
+        _count(event)
+
+    # -- request-level telemetry (driven by the HTTP handler) -------------
+
+    def request_started(self) -> None:
+        """Raise the ``serve.inflight`` gauge as a request enters."""
+        with self._lock:
+            self._http_inflight += 1
+            self.metrics.gauge("serve.inflight").set(self._http_inflight)
+
+    def request_finished(
+        self, endpoint: str, status: int, elapsed_s: float
+    ) -> None:
+        """Record one finished request: latency, status, in-flight."""
+        with self._lock:
+            self._http_inflight -= 1
+            self.metrics.gauge("serve.inflight").set(self._http_inflight)
+        self.metrics.counter(
+            "serve.requests", endpoint=endpoint, status=str(status)
+        ).inc()
+        self.metrics.histogram(
+            "serve.latency_s", endpoint=endpoint
+        ).observe(elapsed_s)
 
     def execute(
         self,
@@ -106,7 +150,7 @@ class CampaignService:
             row = self.cache.get(key)
             if row is not None:
                 self.counters["cache_hits"] += 1
-                _count("cache_hit")
+                self._event("cache_hit")
                 if key not in self.store:
                     self.store.put(row)
                 emit({"event": "cache_hit", "key": key})
@@ -128,7 +172,7 @@ class CampaignService:
                 )
             with self._lock:
                 self.counters["joined"] += 1
-            _count("joined")
+            self._event("joined")
             return flight.row, "joined"
         try:
             emit({"event": "start", "key": key})
@@ -137,14 +181,14 @@ class CampaignService:
                 self.cache.put(key, row)
                 self.store.put(row)
                 self.counters["computed"] += 1
-            _count("computed")
+            self._event("computed")
             flight.row = row
             return row, "computed"
         except Exception as exc:  # lint: ignore[hygiene] - flight boundary: joiners need the error
             flight.error = f"{type(exc).__name__}: {exc}"
             with self._lock:
                 self.counters["errors"] += 1
-            _count("error")
+            self._event("error")
             raise
         finally:
             with self._lock:
@@ -235,16 +279,35 @@ class _Handler(BaseHTTPRequestHandler):
 
     # -- plumbing ---------------------------------------------------------
 
-    def _send_json(self, doc, status: int = 200) -> None:
+    def _send_json(
+        self, doc, status: int = 200,
+        headers: Optional[Dict[str, str]] = None,
+    ) -> None:
         body = json.dumps(doc, indent=2).encode() + b"\n"
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
+        self._status_sent = status
+
+    def _send_text(self, text: str, status: int = 200) -> None:
+        body = text.encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "text/plain; version=0.0.4")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+        self._status_sent = status
 
     def _send_error_json(self, status: int, message: str) -> None:
-        self._send_json({"error": message}, status=status)
+        self._send_json(
+            {"error": message, "status": status,
+             "path": urlparse(self.path).path},
+            status=status,
+        )
 
     def _read_body(self) -> dict:
         length = int(self.headers.get("Content-Length") or 0)
@@ -256,12 +319,41 @@ class _Handler(BaseHTTPRequestHandler):
 
     # -- routes -----------------------------------------------------------
 
+    def _endpoint(self) -> str:
+        """Normalized endpoint label (``/results/<key>`` collapses to
+        one label so the scrape cardinality stays bounded)."""
+        path = urlparse(self.path).path
+        if path.startswith("/results/"):
+            return "/results/{key}"
+        return path
+
+    def _timed(self, dispatch: Callable[[], None]) -> None:
+        """Run one request under the latency/in-flight instrumentation."""
+        self._status_sent = 200
+        self.service.request_started()
+        t0 = time.perf_counter()
+        try:
+            dispatch()
+        finally:
+            self.service.request_finished(
+                self._endpoint(), self._status_sent,
+                time.perf_counter() - t0,
+            )
+
     def do_GET(self) -> None:  # noqa: N802 - http.server contract
+        self._timed(self._route_get)
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server contract
+        self._timed(self._route_post)
+
+    def _route_get(self) -> None:
         url = urlparse(self.path)
         if url.path == "/healthz":
             self._send_json({"ok": True, "schema": SERVE_SCHEMA})
         elif url.path == "/stats":
             self._send_json(self.service.stats())
+        elif url.path == "/metrics":
+            self._send_text(to_prometheus_text(self.service.metrics))
         elif url.path == "/results":
             self._send_json({"rows": self.service.store.rows()})
         elif url.path.startswith("/results/"):
@@ -274,7 +366,7 @@ class _Handler(BaseHTTPRequestHandler):
         else:
             self._send_error_json(404, f"unknown path {url.path!r}")
 
-    def do_POST(self) -> None:  # noqa: N802 - http.server contract
+    def _route_post(self) -> None:
         url = urlparse(self.path)
         try:
             body = self._read_body()
@@ -300,7 +392,10 @@ class _Handler(BaseHTTPRequestHandler):
     def _handle_run(self, body: dict, stream: bool) -> None:
         if not stream:
             row, source = self.service.execute(body)
-            self._send_json({"source": source, "result": row})
+            self._send_json(
+                {"source": source, "result": row},
+                headers={"X-Repro-Source": source},
+            )
             return
         # Close-delimited NDJSON progress stream (HTTP/1.0 semantics).
         self.send_response(200)

@@ -178,12 +178,27 @@ class ResultStore:
             })
         return out
 
+    def all_rows(self) -> List[dict]:
+        """Every full result row, in sorted-key order."""
+        return [self._rows[k] for k in sorted(self._rows)]
+
     def elapsed_by_label(self) -> Dict[str, float]:
-        """label → best elapsed seconds (the gate comparison basis)."""
-        return {
-            row["label"]: float(row["best"]["elapsed_s"])
-            for row in self._rows.values()
-        }
+        """label → best elapsed seconds (the gate comparison basis).
+
+        Raises :class:`ConfigurationError` when two rows share a label:
+        a label names the *shape* of a job (machine/N/B/grid/bcast/
+        scenario) but not its seed, run count, or spare nodes, so a
+        store that accumulated rows from variant sweeps can hold
+        distinct keys under one label — a silent overwrite here would
+        gate against an arbitrary one of them.
+        """
+        out: Dict[str, float] = {}
+        owners: Dict[str, str] = {}
+        for key in sorted(self._rows):
+            row = self._rows[key]
+            _claim_label(owners, row["label"], key)
+            out[row["label"]] = float(row["best"]["elapsed_s"])
+        return out
 
     def export_document(self) -> dict:
         """Self-describing single-JSON export of the whole store."""
@@ -191,6 +206,19 @@ class ResultStore:
             "schema": STORE_SCHEMA,
             "rows": [self._rows[k] for k in sorted(self._rows)],
         }
+
+
+def _claim_label(owners: Dict[str, str], label: str, key: str) -> None:
+    """Record ``label`` as owned by ``key``; raise on a collision."""
+    prior = owners.get(label)
+    if prior is not None and prior != key:
+        raise ConfigurationError(
+            f"duplicate job label {label!r} in campaign store: keys "
+            f"{prior} and {key} share it (jobs differing only in seed/"
+            "num_runs/spare_nodes collide on label); gate by a store "
+            "with one row per configuration"
+        )
+    owners[label] = key
 
 
 def _scenario_name(row: dict) -> str:
@@ -214,10 +242,12 @@ def _elapsed_map(source) -> Dict[str, float]:
             raise ConfigurationError(f"cannot load store export {p}: {exc}")
     if isinstance(source, dict) and source.get("schema") == STORE_SCHEMA:
         out = {}
+        owners: Dict[str, str] = {}
         for row in source.get("rows", []):
             problems = check_result_row(row)
             if problems:
                 raise ConfigurationError(f"store export: {problems[0]}")
+            _claim_label(owners, row["label"], row["key"])
             out[row["label"]] = float(row["best"]["elapsed_s"])
         return out
     raise ConfigurationError(

@@ -16,14 +16,18 @@ Subcommands mirror the workflows in the paper:
 - ``health``  — simulate under the online health monitor (straggler /
   collapse / limplock detectors + run watchdog) and report findings;
 - ``dashboard`` — render trace + time series + health findings into one
-  self-contained HTML file;
+  self-contained HTML file (``--campaign STORE`` renders the
+  campaign-level page: sweep heatmap, trajectories, worker Gantt);
 - ``bench``   — hot-path benchmark harness (writes the hotpaths record
   under benchmarks/results/), with a ``--against`` regression gate;
 - ``campaign`` — the §VI-B record-run workflow; with sweep flags, a
   sharded parallel sweep with a resumable queue, content-addressed run
   cache and queryable result store (docs/CAMPAIGN.md);
+- ``fleet``   — campaign analytics over a result store: GF/s heatmaps,
+  best/worst cells, health/cache rollups, worker utilization, and a
+  ``--against`` trend gate (docs/OBSERVABILITY.md);
 - ``serve``   — long-lived campaign HTTP/JSON API: cached/deduped run
-  requests, streamed progress;
+  requests, streamed progress, Prometheus ``/metrics``;
 - ``lint``    — static analysis (precision-flow, tag-space,
   collective-matching, hygiene, trace-schema) with baseline support;
 - ``specs``   — print machine presets.
@@ -504,8 +508,8 @@ def cmd_serve(args) -> int:
     host, port = server.server_address[:2]
     print(f"repro serve listening on http://{host}:{port} "
           f"(store={store_path}, cache={cache_dir})")
-    print("endpoints: GET /healthz /stats /results /results/<key>; "
-          "POST /run[?stream=1] /tune /profile")
+    print("endpoints: GET /healthz /stats /metrics /results "
+          "/results/<key>; POST /run[?stream=1] /tune /profile")
     try:
         server.serve_forever()
     except KeyboardInterrupt:
@@ -742,18 +746,97 @@ def cmd_health(args) -> int:
     return 0
 
 
+def cmd_fleet(args) -> int:
+    """Campaign analytics over a result store (the fleet document).
+
+    With ``--against``, gates every heatmap cell through the shared
+    :func:`repro.campaign.store.compare_stores` regression engine and
+    exits 1 on drift.
+    """
+    import json
+
+    from repro.errors import ConfigurationError
+    from repro.obs.fleet import (
+        build_fleet,
+        render_fleet_csv,
+        render_fleet_text,
+    )
+    from repro.util.atomicio import atomic_write_text
+
+    try:
+        doc = build_fleet(
+            args.store, artifacts=args.artifacts, summary=args.summary,
+            baselines=args.against or (), max_regress=args.max_regress,
+        )
+    except ConfigurationError as exc:
+        raise SystemExit(f"fleet: {exc}")
+    if args.format == "json":
+        rendered = json.dumps(doc, indent=2, sort_keys=True) + "\n"
+    elif args.format == "csv":
+        rendered = render_fleet_csv(doc)
+    else:
+        rendered = render_fleet_text(doc) + "\n"
+    if args.out:
+        atomic_write_text(args.out, rendered)
+        print(f"fleet document -> {args.out}")
+    else:
+        print(rendered, end="")
+    if args.against and args.format == "text" and not args.out:
+        from repro.bench.regression import render_regressions
+        from repro.campaign.store import compare_stores
+
+        for baseline in args.against:
+            print()
+            print(render_regressions(
+                compare_stores(args.store, baseline, args.max_regress),
+                args.max_regress,
+            ))
+    return 1 if doc.get("regressed") else 0
+
+
+def _cmd_campaign_dashboard(args) -> int:
+    """The ``dashboard --campaign STORE`` branch: fleet-level HTML."""
+    from pathlib import Path
+
+    from repro.errors import ConfigurationError
+    from repro.obs.fleet import build_fleet, render_campaign_dashboard
+    from repro.obs.health import validate_self_contained
+
+    try:
+        doc = build_fleet(
+            args.campaign, artifacts=args.artifacts,
+            baselines=args.against or (),
+        )
+    except ConfigurationError as exc:
+        raise SystemExit(f"dashboard: {exc}")
+    html = render_campaign_dashboard(
+        doc, title=f"repro campaign dashboard: {args.campaign}"
+    )
+    problems = validate_self_contained(html)
+    Path(args.out).write_text(html)
+    cells = len(doc.get("heatmap", {}).get("cells", []))
+    print(f"wrote {args.out} ({len(html)} bytes, {cells} cell(s), "
+          f"{len(doc.get('workers', {}).get('per_worker', []))} worker(s))")
+    for prob in problems:
+        print(f"dashboard: {prob}")
+    return 1 if problems else 0
+
+
 def cmd_dashboard(args) -> int:
     """Render the self-contained HTML dashboard for a run.
 
-    Either simulates fresh (run args, optional --slow-rank) or renders
+    Either simulates fresh (run args, optional --slow-rank), renders
     from previously exported artifacts (--trace plus optional
-    --health).
+    --health), or renders the campaign-level page from a result store
+    (--campaign).
     """
     import json
     from pathlib import Path
 
     from repro.obs.health import render_dashboard, validate_self_contained
 
+    if args.campaign:
+        return _cmd_campaign_dashboard(args)
     if args.trace:
         from repro.obs.analysis import load_profile_input
 
@@ -1090,9 +1173,47 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--health", default=None, metavar="HEALTH_JSON",
                    help="health report (from `repro health --json`) to "
                         "annotate a --trace rendering with")
+    p.add_argument("--campaign", default=None, metavar="STORE",
+                   help="render the campaign-level dashboard from a "
+                        "result store (.jsonl) instead of one run")
+    p.add_argument("--artifacts", default=None, metavar="DIR",
+                   help="with --campaign: directory of per-job "
+                        "<key>.profile.json / <key>.health.json artifacts "
+                        "(default: the store's directory)")
+    p.add_argument("--against", action="append", default=[],
+                   metavar="BASELINE",
+                   help="with --campaign: baseline store(s) for the "
+                        "trend panel (repeatable)")
     p.add_argument("--out", default="dashboard.html",
                    help="output HTML path (default dashboard.html)")
     p.set_defaults(func=cmd_dashboard)
+
+    p = sub.add_parser(
+        "fleet",
+        help="campaign analytics: GF/s heatmaps, rollups, worker "
+             "utilization, store-over-store trend gate",
+    )
+    p.add_argument("store",
+                   help="campaign result store (.jsonl) or "
+                        "repro.campaign.store/v1 export to analyze")
+    p.add_argument("--format", choices=("text", "json", "csv"),
+                   default="text", help="report format (default text)")
+    p.add_argument("--out", default=None,
+                   help="write the rendered report to a file")
+    p.add_argument("--artifacts", default=None, metavar="DIR",
+                   help="directory of per-job <key>.profile.json / "
+                        "<key>.health.json artifacts (default: the "
+                        "store's directory)")
+    p.add_argument("--summary", default=None, metavar="SUMMARY_JSON",
+                   help="sweep summary (repro.campaign.summary/v1) for "
+                        "the cache rollup")
+    p.add_argument("--against", action="append", default=[],
+                   metavar="BASELINE",
+                   help="baseline store for the trend gate (repeatable); "
+                        "exit 1 when any cell regresses")
+    p.add_argument("--max-regress", type=float, default=0.25,
+                   help="per-cell regression gate (default 0.25)")
+    p.set_defaults(func=cmd_fleet)
 
     p = sub.add_parser("gantt", help="per-rank Gantt of a small simulation")
     _add_run_args(p)

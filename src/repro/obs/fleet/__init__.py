@@ -1,0 +1,40 @@
+"""Fleet observability: campaign-level analytics over a result store.
+
+Where :mod:`repro.obs.analysis` explains one run and
+:mod:`repro.obs.health` watches one run live, the fleet layer explains
+a whole *campaign*: :func:`build_fleet` turns a
+:class:`~repro.campaign.store.ResultStore` (plus optional per-job
+profile/health artifacts) into one ``repro.obs.fleet/v1`` document —
+GF/s heatmaps over the sweep axes, best/worst cells with phase
+attribution, health and cache rollups, per-worker utilization, and
+store-over-store trend gating through the shared
+:func:`~repro.obs.analysis.regression_deltas` engine.
+:func:`render_campaign_dashboard` is the matching self-contained HTML
+page (validated by the same
+:func:`~repro.obs.health.validate_self_contained` gate).
+
+Quick start::
+
+    from repro.obs.fleet import build_fleet, render_fleet_text
+
+    doc = build_fleet("benchmarks/results/campaign/store.jsonl")
+    print(render_fleet_text(doc))
+"""
+
+from repro.obs.fleet.analytics import build_fleet
+from repro.obs.fleet.dashboard import render_campaign_dashboard
+from repro.obs.fleet.report import (
+    FLEET_SCHEMA,
+    check_fleet_document,
+    render_fleet_csv,
+    render_fleet_text,
+)
+
+__all__ = [
+    "FLEET_SCHEMA",
+    "build_fleet",
+    "check_fleet_document",
+    "render_campaign_dashboard",
+    "render_fleet_csv",
+    "render_fleet_text",
+]

@@ -1,0 +1,326 @@
+"""Build one fleet analytics document from a campaign result store.
+
+:func:`build_fleet` is the aggregation core behind ``repro fleet`` and
+``repro dashboard --campaign``: it walks every stored result row,
+pivots the best-run numbers onto the sweep axes (grid × bcast ×
+scenario — the Figs. 4–8 axes of the paper), pulls worker utilization
+out of each row's volatile ``meta`` block, folds in optional per-job
+profile/health artifacts (``<key>.profile.json`` / ``<key>.health.json``
+next to the store or in an explicit artifacts directory), and gates the
+store against any number of baseline stores through the *same*
+:func:`repro.campaign.store.compare_stores` →
+:func:`repro.obs.analysis.regression_deltas` engine every other gate in
+the repo uses.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.campaign.store import (
+    STORE_SCHEMA,
+    ResultStore,
+    _scenario_name,
+    check_result_row,
+    compare_stores,
+)
+from repro.errors import ConfigurationError
+from repro.obs.fleet.report import FLEET_SCHEMA
+
+
+def build_fleet(
+    store: Union[str, Path, ResultStore],
+    artifacts: Optional[Union[str, Path]] = None,
+    summary: Optional[Union[str, Path, dict]] = None,
+    baselines: Sequence[Union[str, Path]] = (),
+    max_regress: float = 0.25,
+) -> dict:
+    """The ``repro.obs.fleet/v1`` document for one result store.
+
+    ``artifacts`` is a directory searched for ``<key>.profile.json``
+    and ``<key>.health.json`` companions (defaults to the store's own
+    directory); ``summary`` is a ``repro.campaign.summary/v1`` document
+    (or path) supplying the cache rollup; each entry of ``baselines``
+    becomes one trend series gated at ``max_regress``.
+    """
+    source, rows, compare_source, default_art_dir = _load_store(store)
+    art_dir = (
+        Path(artifacts) if artifacts is not None else default_art_dir
+    )
+
+    doc: Dict[str, object] = {
+        "schema": FLEET_SCHEMA,
+        "source": source,
+        "store": _store_summary(rows),
+        "heatmap": _heatmap(rows),
+        "rollup": {
+            "health": _health_rollup(rows, art_dir),
+            "cache": _cache_rollup(summary),
+        },
+        "workers": _workers(rows),
+    }
+    doc["best"], doc["worst"] = _extremes(rows, art_dir)
+    trend = []
+    any_regressed = False
+    for baseline in baselines:
+        deltas = compare_stores(
+            compare_source, baseline, max_regress=max_regress
+        )
+        cells = [
+            {"name": d.name, "current_s": d.current_s,
+             "baseline_s": d.baseline_s, "delta": round(d.delta, 6),
+             "regressed": d.regressed}
+            for d in deltas
+        ]
+        regressed = any(c["regressed"] for c in cells)
+        any_regressed = any_regressed or regressed
+        trend.append({
+            "baseline": str(baseline),
+            "max_regress": max_regress,
+            "cells": cells,
+            "regressed": regressed,
+        })
+    doc["trend"] = trend
+    doc["regressed"] = any_regressed
+    return doc
+
+
+# -- loading ----------------------------------------------------------------
+
+
+def _load_store(store):
+    """``(source, rows, compare_source, artifacts_default)`` for a
+    ResultStore, a ``.jsonl`` store path, or a store-export ``.json``."""
+    if isinstance(store, ResultStore):
+        return str(store.path), store.all_rows(), store, store.path.parent
+    path = Path(store)
+    if path.suffix == ".jsonl":
+        rs = ResultStore(path)
+        return str(path), rs.all_rows(), rs, path.parent
+    try:
+        doc = json.loads(path.read_text())
+    except (OSError, ValueError) as exc:
+        raise ConfigurationError(f"cannot load store export {path}: {exc}")
+    if not (isinstance(doc, dict) and doc.get("schema") == STORE_SCHEMA):
+        raise ConfigurationError(
+            f"{path}: not a campaign store (.jsonl) or {STORE_SCHEMA!r} "
+            "export"
+        )
+    rows = doc.get("rows", [])
+    for row in rows:
+        problems = check_result_row(row)
+        if problems:
+            raise ConfigurationError(f"{path}: {problems[0]}")
+    return str(path), rows, doc, path.parent
+
+
+# -- sections ---------------------------------------------------------------
+
+
+def _store_summary(rows: List[dict]) -> dict:
+    machines = sorted({r.get("job", {}).get("machine", "?") for r in rows})
+    codes = sorted({str(r.get("code", "?")) for r in rows})
+    return {"rows": len(rows), "machines": machines, "code_versions": codes}
+
+
+def _grid_label(row: dict) -> str:
+    g = row.get("job", {}).get("grid")
+    return f"{g}x{g}"
+
+
+def _cell(row: dict) -> dict:
+    best = row.get("best", {})
+    return {
+        "grid": _grid_label(row),
+        "bcast": row.get("job", {}).get("bcast", "?"),
+        "scenario": _scenario_name(row),
+        "key": row.get("key"),
+        "label": row.get("label"),
+        "elapsed_s": best.get("elapsed_s"),
+        "gflops_per_gcd": best.get("gflops_per_gcd"),
+        "total_flops_per_s": best.get("total_flops_per_s"),
+        "variability": row.get("variability"),
+        # consecutive-run trajectory (§VI-B), the sparkline basis
+        "run_elapsed_s": [
+            r.get("elapsed_s") for r in row.get("runs", [])
+            if isinstance(r.get("elapsed_s"), (int, float))
+        ],
+    }
+
+
+def _heatmap(rows: List[dict]) -> dict:
+    cells = [_cell(r) for r in rows]
+    grids = sorted({c["grid"] for c in cells},
+                   key=lambda g: int(g.split("x", 1)[0]))
+    bcasts = sorted({c["bcast"] for c in cells})
+    scenarios = sorted({c["scenario"] for c in cells})
+    have = {(c["grid"], c["bcast"], c["scenario"]) for c in cells}
+    missing = [
+        {"grid": g, "bcast": b, "scenario": s}
+        for g in grids for b in bcasts for s in scenarios
+        if (g, b, s) not in have
+    ]
+    return {
+        "grids": grids, "bcasts": bcasts, "scenarios": scenarios,
+        "cells": cells, "missing": missing,
+    }
+
+
+def _load_artifact(art_dir: Path, key: str, kind: str) -> Optional[dict]:
+    """``<key>.<kind>.json`` from the artifacts dir, or None.
+
+    A malformed companion raises: silently dropping a health document
+    would turn a real finding into a clean rollup.
+    """
+    path = art_dir / f"{key}.{kind}.json"
+    if not path.exists():
+        return None
+    try:
+        doc = json.loads(path.read_text())
+    except (OSError, ValueError) as exc:
+        raise ConfigurationError(
+            f"cannot load fleet artifact {path}: {exc}"
+        )
+    return doc if isinstance(doc, dict) else None
+
+
+def _extremes(rows: List[dict], art_dir: Path):
+    """Best/worst cells by GF/s per GCD, with phase attribution."""
+    scored = [
+        r for r in rows
+        if isinstance(r.get("best", {}).get("gflops_per_gcd"), (int, float))
+    ]
+    if not scored:
+        return None, None
+
+    def _attributed(row: dict) -> dict:
+        out = {"cell": _cell(row), "phase_seconds": None,
+               "bounding_phase": None}
+        profile = _load_artifact(art_dir, str(row.get("key")), "profile")
+        if profile is not None:
+            out["phase_seconds"] = profile.get("phase_seconds")
+            out["bounding_phase"] = (
+                profile.get("critical_path", {}).get("bounding_phase")
+            )
+        return out
+
+    ranked = sorted(scored, key=lambda r: r["best"]["gflops_per_gcd"])
+    return _attributed(ranked[-1]), _attributed(ranked[0])
+
+
+def _health_rollup(rows: List[dict], art_dir: Path) -> dict:
+    documents = 0
+    findings = 0
+    by_severity: Dict[str, int] = {}
+    by_kind: Dict[str, int] = {}
+    unhealthy: List[str] = []
+    for row in rows:
+        key = str(row.get("key"))
+        health = _load_artifact(art_dir, key, "health")
+        if health is None:
+            continue
+        documents += 1
+        found = health.get("findings") or []
+        findings += len(found)
+        for f in found:
+            sev = str(f.get("severity", "?"))
+            kind = str(f.get("kind", "?"))
+            by_severity[sev] = by_severity.get(sev, 0) + 1
+            by_kind[kind] = by_kind.get(kind, 0) + 1
+        if found or (health.get("watchdog") or {}).get("tripped"):
+            unhealthy.append(key)
+    return {
+        "documents": documents,
+        "findings": findings,
+        "by_severity": by_severity,
+        "by_kind": by_kind,
+        "unhealthy_keys": sorted(unhealthy),
+    }
+
+
+def _cache_rollup(summary) -> Optional[dict]:
+    if summary is None:
+        return None
+    if isinstance(summary, (str, Path)):
+        try:
+            summary = json.loads(Path(summary).read_text())
+        except (OSError, ValueError) as exc:
+            raise ConfigurationError(
+                f"cannot load sweep summary {summary}: {exc}"
+            )
+    if not isinstance(summary, dict):
+        raise ConfigurationError("sweep summary must be a JSON object")
+    return {
+        "cache_hit_ratio": summary.get("cache_hit_ratio", 0.0),
+        "computed": summary.get("computed", 0),
+        "cached": summary.get("cached", 0),
+        "failed": summary.get("failed", 0),
+        "wall_s": summary.get("wall_s", 0.0),
+        "workers": summary.get("workers", 1),
+    }
+
+
+def _stat(values: List[float]) -> dict:
+    if not values:
+        return {"total": 0.0, "mean": 0.0, "max": 0.0}
+    return {
+        "total": round(sum(values), 6),
+        "mean": round(sum(values) / len(values), 6),
+        "max": round(max(values), 6),
+    }
+
+
+def _workers(rows: List[dict]) -> dict:
+    """Per-worker utilization from row ``meta`` (queue-wait vs run)."""
+    per: Dict[str, Dict[str, list]] = {}
+    timeline: List[dict] = []
+    starts: List[float] = []
+    for row in rows:
+        meta = row.get("meta") or {}
+        worker = meta.get("worker")
+        if worker is None:
+            pid = meta.get("worker_pid")
+            worker = f"pid:{pid}" if pid is not None else None
+        if worker is None:
+            continue
+        worker = str(worker)
+        bucket = per.setdefault(worker, {"wait": [], "run": []})
+        wait = meta.get("queue_wait_s")
+        if isinstance(wait, (int, float)):
+            bucket["wait"].append(float(wait))
+        wall = meta.get("compute_wall_s")
+        if isinstance(wall, (int, float)):
+            bucket["run"].append(float(wall))
+        start = meta.get("started_unix")
+        if isinstance(start, (int, float)) and isinstance(
+            wall, (int, float)
+        ):
+            starts.append(float(start))
+            timeline.append({
+                "worker": worker,
+                "key": row.get("key"),
+                "label": row.get("label"),
+                "start_unix": float(start),
+                "run_s": float(wall),
+            })
+    t0 = min(starts) if starts else 0.0
+    for entry in timeline:
+        entry["start_s"] = round(entry.pop("start_unix") - t0, 6)
+        entry["end_s"] = round(entry["start_s"] + entry.pop("run_s"), 6)
+    timeline.sort(key=lambda e: (e["worker"], e["start_s"]))
+    per_worker = [
+        {
+            "worker": worker,
+            "jobs": max(len(b["wait"]), len(b["run"])),
+            "queue_wait_s": _stat(b["wait"]),
+            "run_s": _stat(b["run"]),
+        }
+        for worker, b in sorted(per.items())
+    ]
+    return {
+        "jobs": sum(w["jobs"] for w in per_worker),
+        "per_worker": per_worker,
+        "timeline": timeline,
+    }

@@ -1,0 +1,339 @@
+"""Self-contained HTML dashboard for a whole campaign.
+
+:func:`render_campaign_dashboard` is the fleet-level sibling of
+:func:`repro.obs.health.dashboard.render_dashboard`: one HTML file,
+inline CSS and inline SVG only, renderable on an air-gapped machine and
+guarded by the same
+:func:`~repro.obs.health.dashboard.validate_self_contained` gate in CI.
+It renders a ``repro.obs.fleet/v1`` document (see
+:func:`repro.obs.fleet.build_fleet`) — the document alone, so the page
+can be rebuilt long after the store and its artifacts moved on.
+
+Panels:
+
+- campaign header (rows, machines, code versions, drift verdict);
+- sweep heatmap — one grid × bcast matrix per scenario, cells shaded
+  by GF/s per GCD (the Figs. 4–8 pivot);
+- run trajectories — per-cell consecutive-run sparklines (§VI-B) plus
+  one trend strip per baseline comparison;
+- health findings rollup;
+- worker Gantt — one strip per pool worker, jobs placed at their
+  recorded start/run times from the row ``meta`` blocks.
+"""
+
+from __future__ import annotations
+
+import html as _html
+from typing import Dict, List
+
+#: workers beyond this many rows are omitted from the Gantt
+MAX_GANTT_WORKERS = 32
+
+_CSS = """
+body { font: 13px/1.45 system-ui, sans-serif; margin: 1.2em 2em;
+       color: #222; background: #fafafa; }
+h1 { font-size: 1.25em; } h2 { font-size: 1.05em; margin-top: 1.6em; }
+table { border-collapse: collapse; margin: 0.5em 0; }
+th, td { border: 1px solid #ccc; padding: 2px 8px; text-align: left; }
+th { background: #eee; }
+.meta span { margin-right: 1.6em; color: #555; }
+.meta b { color: #111; }
+svg { background: #fff; border: 1px solid #ddd; }
+.ok { color: #1e8449; font-weight: 600; }
+.bad { color: #c0392b; font-weight: 600; }
+"""
+
+_WORKER_COLORS = ("#4e79a7", "#f28e2b", "#59a14f", "#b07aa1", "#76b7b2",
+                  "#edc948", "#9c755f", "#e15759")
+
+
+def render_campaign_dashboard(
+    doc: dict, title: str = "repro campaign dashboard"
+) -> str:
+    """One self-contained HTML page for a fleet analytics document."""
+    parts = [
+        "<!DOCTYPE html>",
+        '<html lang="en"><head><meta charset="utf-8">',
+        f"<title>{_esc(title)}</title>",
+        f"<style>{_CSS}</style>",
+        "</head><body>",
+        f"<h1>{_esc(title)}</h1>",
+        _header_html(doc),
+        "<h2>Sweep heatmap (GF/s per GCD)</h2>",
+        _heatmaps_html(doc.get("heatmap", {})),
+        "<h2>Run trajectories</h2>",
+        _trajectories_html(doc.get("heatmap", {})),
+    ]
+    trend = doc.get("trend") or []
+    if trend:
+        parts.append("<h2>Trend vs baselines</h2>")
+        parts.append(_trend_html(trend))
+    parts.append("<h2>Health findings rollup</h2>")
+    parts.append(_health_html(doc.get("rollup", {}).get("health", {})))
+    parts.append("<h2>Worker utilization</h2>")
+    parts.append(_gantt_svg(doc.get("workers", {})))
+    parts.append("</body></html>")
+    return "\n".join(parts)
+
+
+# -- building blocks -------------------------------------------------------
+
+
+def _esc(s) -> str:
+    return _html.escape(str(s), quote=True)
+
+
+def _header_html(doc: dict) -> str:
+    store = doc.get("store", {})
+    cells = [
+        f"<span>rows <b>{store.get('rows', 0)}</b></span>",
+        f"<span>machines <b>{_esc(', '.join(store.get('machines', [])))}"
+        "</b></span>",
+        f"<span>code <b>{_esc(', '.join(store.get('code_versions', [])))}"
+        "</b></span>",
+        f"<span>source <b>{_esc(doc.get('source', '<store>'))}</b></span>",
+    ]
+    if doc.get("trend"):
+        verdict = (
+            '<span class="bad">DRIFT: cell(s) regressed</span>'
+            if doc.get("regressed")
+            else '<span class="ok">no drift vs baselines</span>'
+        )
+        cells.append(verdict)
+    return f'<p class="meta">{" ".join(cells)}</p>'
+
+
+def _shade(frac: float) -> str:
+    """White → deep blue ramp (same family as the comm heatmap)."""
+    frac = max(0.0, min(1.0, frac)) ** 0.5
+    return (
+        f"rgb({int(255 - 205 * frac)},{int(255 - 155 * frac)},255)"
+    )
+
+
+def _heatmaps_html(heatmap: dict) -> str:
+    grids = heatmap.get("grids", [])
+    bcasts = heatmap.get("bcasts", [])
+    scenarios = heatmap.get("scenarios", [])
+    cells = {
+        (c["grid"], c["bcast"], c["scenario"]): c
+        for c in heatmap.get("cells", [])
+    }
+    values = [
+        c.get("gflops_per_gcd") for c in heatmap.get("cells", [])
+        if isinstance(c.get("gflops_per_gcd"), (int, float))
+    ]
+    if not values or not grids or not bcasts:
+        return "<p>no heatmap cells in the store</p>"
+    peak = max(values) or 1.0
+    cell_w, cell_h, left, top = 84, 26, 64, 24
+    out = []
+    for scenario in scenarios:
+        w = left + len(bcasts) * cell_w + 8
+        h = top + len(grids) * cell_h + 10
+        rows = [
+            f'<text x="4" y="14" font-size="11" fill="#333">'
+            f"scenario: {_esc(scenario)}</text>"
+        ]
+        for j, bcast in enumerate(bcasts):
+            rows.append(
+                f'<text x="{left + j * cell_w + cell_w / 2:.0f}" y="{top - 6}" '
+                f'font-size="10" fill="#777" text-anchor="middle">'
+                f"{_esc(bcast)}</text>"
+            )
+        for i, grid in enumerate(grids):
+            y = top + i * cell_h
+            rows.append(
+                f'<text x="{left - 6}" y="{y + cell_h * 0.7:.0f}" '
+                f'font-size="10" fill="#777" text-anchor="end">'
+                f"{_esc(grid)}</text>"
+            )
+            for j, bcast in enumerate(bcasts):
+                x = left + j * cell_w
+                cell = cells.get((grid, bcast, scenario))
+                if cell is None or not isinstance(
+                    cell.get("gflops_per_gcd"), (int, float)
+                ):
+                    rows.append(
+                        f'<rect x="{x}" y="{y}" width="{cell_w - 2}" '
+                        f'height="{cell_h - 2}" fill="#f0f0f0">'
+                        f"<title>{_esc(grid)}/{_esc(bcast)}: no row"
+                        "</title></rect>"
+                    )
+                    continue
+                gfs = float(cell["gflops_per_gcd"])
+                rows.append(
+                    f'<rect x="{x}" y="{y}" width="{cell_w - 2}" '
+                    f'height="{cell_h - 2}" fill="{_shade(gfs / peak)}">'
+                    f"<title>{_esc(cell.get('label'))}: {gfs:.1f} GF/s "
+                    f"per GCD</title></rect>"
+                )
+                rows.append(
+                    f'<text x="{x + (cell_w - 2) / 2:.0f}" '
+                    f'y="{y + cell_h * 0.65:.0f}" font-size="10" '
+                    f'fill="#222" text-anchor="middle">{gfs:.1f}</text>'
+                )
+        out.append(
+            f'<svg width="{w}" height="{h}" viewBox="0 0 {w} {h}" '
+            f'style="margin:0 10px 10px 0">' + "".join(rows) + "</svg>"
+        )
+    return "\n".join(out)
+
+
+def _sparkline(values: List[float], w: int = 110, h: int = 26) -> str:
+    if len(values) < 2:
+        return ""
+    v0, v1 = min(values), max(values)
+    span = (v1 - v0) or 1.0
+    sx = (w - 6) / (len(values) - 1)
+    pts = " ".join(
+        f"{3 + i * sx:.1f},{h - 4 - (v - v0) / span * (h - 8):.1f}"
+        for i, v in enumerate(values)
+    )
+    return (
+        f'<svg width="{w}" height="{h}" viewBox="0 0 {w} {h}">'
+        f'<polyline points="{pts}" fill="none" stroke="#4e79a7" '
+        f'stroke-width="1.3"/></svg>'
+    )
+
+
+def _trajectories_html(heatmap: dict) -> str:
+    rows = [
+        "<table><tr><th>cell</th><th>runs (elapsed s)</th>"
+        "<th>trajectory</th><th>variability</th></tr>"
+    ]
+    drawn = 0
+    for cell in heatmap.get("cells", []):
+        series = [
+            float(v) for v in cell.get("run_elapsed_s") or []
+            if isinstance(v, (int, float))
+        ]
+        spark = _sparkline(series)
+        runs = ", ".join(f"{v:.3f}" for v in series) or "-"
+        var = cell.get("variability")
+        rows.append(
+            f"<tr><td>{_esc(cell.get('label'))}</td><td>{runs}</td>"
+            f"<td>{spark or '-'}</td>"
+            f"<td>{var if var is not None else '-'}</td></tr>"
+        )
+        drawn += 1
+    if not drawn:
+        return "<p>no stored runs</p>"
+    rows.append("</table>")
+    return "".join(rows)
+
+
+def _trend_html(trend: List[dict]) -> str:
+    out = []
+    for entry in trend:
+        cells = entry.get("cells", [])
+        regressed = [c for c in cells if c.get("regressed")]
+        cls = "bad" if regressed else "ok"
+        out.append(
+            f'<p class="{cls}">vs {_esc(entry.get("baseline"))}: '
+            f"{len(regressed)}/{len(cells)} cell(s) regressed "
+            f"(gate {float(entry.get('max_regress', 0.25)):.0%})</p>"
+        )
+        if not cells:
+            continue
+        rows = [
+            "<table><tr><th>cell</th><th>baseline (s)</th>"
+            "<th>current (s)</th><th>delta</th></tr>"
+        ]
+        for c in sorted(cells, key=lambda c: -abs(c.get("delta", 0.0))):
+            mark = ' class="bad"' if c.get("regressed") else ""
+            rows.append(
+                f"<tr{mark}><td>{_esc(c.get('name'))}</td>"
+                f"<td>{float(c.get('baseline_s', 0.0)):.4f}</td>"
+                f"<td>{float(c.get('current_s', 0.0)):.4f}</td>"
+                f"<td>{float(c.get('delta', 0.0)):+.1%}</td></tr>"
+            )
+        rows.append("</table>")
+        out.append("".join(rows))
+    return "\n".join(out)
+
+
+def _health_html(health: dict) -> str:
+    if not health.get("documents"):
+        return "<p>no per-job health artifacts found</p>"
+    if not health.get("findings"):
+        return (
+            f'<p class="ok">{health["documents"]} health document(s), '
+            "no findings.</p>"
+        )
+    rows = [
+        f"<p>{health['documents']} document(s), "
+        f"<b>{health['findings']}</b> finding(s)</p>",
+        "<table><tr><th>axis</th><th>value</th><th>count</th></tr>",
+    ]
+    for axis, counts in (
+        ("severity", health.get("by_severity", {})),
+        ("kind", health.get("by_kind", {})),
+    ):
+        for name, count in sorted(counts.items()):
+            rows.append(
+                f"<tr><td>{_esc(axis)}</td><td>{_esc(name)}</td>"
+                f"<td>{count}</td></tr>"
+            )
+    rows.append("</table>")
+    unhealthy = health.get("unhealthy_keys", [])
+    if unhealthy:
+        rows.append(
+            "<p>unhealthy job(s): <b>"
+            + ", ".join(_esc(k) for k in unhealthy) + "</b></p>"
+        )
+    return "".join(rows)
+
+
+def _gantt_svg(workers: dict) -> str:
+    timeline = workers.get("timeline") or []
+    if not timeline:
+        return "<p>no worker timing in the store's meta blocks</p>"
+    names = sorted({e["worker"] for e in timeline})[:MAX_GANTT_WORKERS]
+    row_of: Dict[str, int] = {w: i for i, w in enumerate(names)}
+    span = max(e["end_s"] for e in timeline) or 1.0
+    row_h, gap, left, width = 18, 5, 120, 860
+    height = len(names) * (row_h + gap) + 26
+    sx = width / span
+    rows: List[str] = []
+    for w in names:
+        y = row_of[w] * (row_h + gap) + 4
+        rows.append(
+            f'<text x="4" y="{y + row_h - 5}" font-size="11" '
+            f'fill="#555">{_esc(w)}</text>'
+        )
+    for e in timeline:
+        if e["worker"] not in row_of:
+            continue
+        y = row_of[e["worker"]] * (row_h + gap) + 4
+        x = left + e["start_s"] * sx
+        wdt = max((e["end_s"] - e["start_s"]) * sx, 1.0)
+        color = _WORKER_COLORS[row_of[e["worker"]] % len(_WORKER_COLORS)]
+        rows.append(
+            f'<rect x="{x:.2f}" y="{y}" width="{wdt:.2f}" '
+            f'height="{row_h}" fill="{color}">'
+            f"<title>{_esc(e.get('label'))} ({_esc(e.get('key'))}) "
+            f"{e['start_s']:.3f}-{e['end_s']:.3f}s</title></rect>"
+        )
+    axis_y = height - 14
+    rows.append(
+        f'<line x1="{left}" y1="{axis_y}" x2="{left + width}" '
+        f'y2="{axis_y}" stroke="#999"/>'
+    )
+    for i in range(5):
+        t = span * i / 4
+        x = left + t * sx
+        rows.append(
+            f'<text x="{x:.1f}" y="{height - 2}" font-size="10" '
+            f'fill="#777" text-anchor="middle">{t:.3g}s</text>'
+        )
+    omitted = len({e["worker"] for e in timeline}) - len(names)
+    note = (
+        f"<p>{omitted} worker(s) beyond the first {MAX_GANTT_WORKERS} "
+        "omitted.</p>" if omitted > 0 else ""
+    )
+    return (
+        f'<svg width="{left + width + 8}" height="{height}" '
+        f'viewBox="0 0 {left + width + 8} {height}">'
+        + "".join(rows) + "</svg>" + note
+    )

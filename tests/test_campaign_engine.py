@@ -330,6 +330,103 @@ class TestStoreQueries:
         assert eng.store.rows(machine="summit") == []
 
 
+class TestLabelCollisions:
+    """Two rows may share a label (seed/num_runs/spare_nodes are not in
+    it) — the gate join must refuse to silently pick one."""
+
+    def _two_rows_one_label(self, tmp_path):
+        eng = _engine(tmp_path)
+        eng.run_sweep(_jobs()[:1], JobQueue(tmp_path / "q.json"), code=CODE)
+        row = json.loads(json.dumps(eng.store.get(eng.store.keys()[0])))
+        variant = _job(grid=2, bcast="bcast", seed=999)
+        row["key"] = variant.key(CODE)
+        row["job"]["seed"] = 999
+        eng.store.put(row)
+        return eng.store
+
+    def test_duplicate_label_raises_with_both_keys(self, tmp_path):
+        store = self._two_rows_one_label(tmp_path)
+        assert len(store) == 2
+        with pytest.raises(ConfigurationError, match="duplicate job label"):
+            store.elapsed_by_label()
+        try:
+            store.elapsed_by_label()
+        except ConfigurationError as exc:
+            for key in store.keys():
+                assert key in str(exc)
+
+    def test_compare_stores_refuses_colliding_store(self, tmp_path):
+        store = self._two_rows_one_label(tmp_path)
+        with pytest.raises(ConfigurationError, match="duplicate job label"):
+            compare_stores(store, store)
+
+    def test_export_document_join_also_guarded(self, tmp_path):
+        from repro.campaign.store import _elapsed_map
+
+        store = self._two_rows_one_label(tmp_path)
+        with pytest.raises(ConfigurationError, match="duplicate job label"):
+            _elapsed_map(store.export_document())
+
+    def test_distinct_labels_unaffected(self, tmp_path):
+        eng = _engine(tmp_path)
+        eng.run_sweep(_jobs(), JobQueue(tmp_path / "q.json"), code=CODE)
+        assert len(eng.store.elapsed_by_label()) == 4
+
+
+class TestWorkerMeta:
+    """pool_execute stamps fleet-utilization facts into row meta."""
+
+    def test_pool_execute_records_worker_and_queue_wait(self):
+        import time
+
+        from repro.campaign.runner import pool_execute
+
+        job = _job()
+        enqueued = time.time() - 1.0
+        key, row, err = pool_execute(
+            (job.key(CODE), job.to_dict(), CODE, enqueued)
+        )
+        assert err == "" and row is not None
+        meta = row["meta"]
+        assert meta["worker"] == "MainProcess"
+        assert meta["queue_wait_s"] >= 1.0
+        assert meta["started_unix"] > enqueued
+        assert "completed_utc" in meta and "compute_wall_s" in meta
+
+    def test_legacy_three_tuple_still_accepted(self):
+        from repro.campaign.runner import pool_execute
+
+        job = _job()
+        key, row, err = pool_execute((job.key(CODE), job.to_dict(), CODE))
+        assert err == "" and row["meta"]["worker"] == "MainProcess"
+        assert "queue_wait_s" not in row["meta"]
+
+    def test_sweep_rows_carry_worker_meta(self, tmp_path):
+        eng = _engine(tmp_path, workers=2)
+        eng.run_sweep(_jobs(), JobQueue(tmp_path / "q.json"), code=CODE)
+        for key in eng.store.keys():
+            meta = eng.store.get(key)["meta"]
+            assert meta["worker"]
+            assert meta["queue_wait_s"] >= 0.0
+
+    def test_worker_counters_mirrored_to_obs(self, tmp_path):
+        from repro.obs import Observability, use
+
+        obs = Observability()
+        with use(obs):
+            eng = _engine(tmp_path)
+            eng.run_sweep(_jobs()[:2], JobQueue(tmp_path / "q.json"),
+                          code=CODE)
+        counter = obs.metrics.counter(
+            "campaign.worker", worker="MainProcess", event="jobs"
+        )
+        assert counter.value == 2
+        hist = obs.metrics.histogram(
+            "campaign.worker.run_s", worker="MainProcess"
+        )
+        assert hist.count == 2
+
+
 class TestCampaignStoreChecker:
     def _findings(self, path):
         from repro.analyze.checkers import CampaignStoreChecker

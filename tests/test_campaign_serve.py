@@ -108,6 +108,75 @@ class TestEndpoints:
         assert events[-1]["source"] == "computed"
 
 
+class TestServeTelemetry:
+    def _metrics_text(self, server, *expect):
+        """Scrape /metrics; poll briefly for ``expect`` lines — the
+        handler thread records latency a hair after the client sees the
+        response body, so an instant scrape can race the bookkeeping."""
+        import time
+
+        deadline = time.monotonic() + 5.0
+        while True:
+            with urllib.request.urlopen(_url(server, "/metrics")) as resp:
+                assert resp.headers["Content-Type"].startswith("text/plain")
+                text = resp.read().decode()
+            if all(e in text for e in expect) or time.monotonic() > deadline:
+                return text
+            time.sleep(0.01)
+
+    def test_run_responses_carry_source_header(self, server):
+        req = urllib.request.Request(
+            _url(server, "/run"), data=json.dumps(JOB).encode(),
+            headers={"Content-Type": "application/json"},
+        )
+        with urllib.request.urlopen(req) as resp:
+            assert resp.headers["X-Repro-Source"] == "computed"
+        with urllib.request.urlopen(req) as resp:
+            assert resp.headers["X-Repro-Source"] == "cache"
+
+    def test_error_bodies_are_structured_json(self, server):
+        with pytest.raises(urllib.error.HTTPError) as err:
+            _get(server, "/results/ffffffffffffffff")
+        doc = json.loads(err.value.read())
+        assert doc["status"] == 404
+        assert doc["path"] == "/results/ffffffffffffffff"
+        assert "ffffffffffffffff" in doc["error"]
+        with pytest.raises(urllib.error.HTTPError) as err:
+            _post(server, "/run", {"machine": "frontier", "bogus": 1})
+        doc = json.loads(err.value.read())
+        assert doc["status"] == 400 and doc["path"] == "/run"
+
+    def test_metrics_exposes_latency_and_request_counts(self, server):
+        _get(server, "/healthz")
+        _post(server, "/run", JOB)
+        with pytest.raises(urllib.error.HTTPError):
+            _get(server, "/results/ffffffffffffffff")
+        text = self._metrics_text(
+            server,
+            'serve_requests{endpoint="/healthz",status="200"} 1',
+            'serve_requests{endpoint="/run",status="200"} 1',
+            'serve_requests{endpoint="/results/{key}",status="404"} 1',
+        )
+        assert 'serve_requests{endpoint="/healthz",status="200"} 1' in text
+        assert 'serve_requests{endpoint="/run",status="200"} 1' in text
+        # /results/<key> collapses to one endpoint label, tagged 404.
+        assert (
+            'serve_requests{endpoint="/results/{key}",status="404"} 1'
+            in text
+        )
+        assert 'serve_latency_s_count{endpoint="/run"} 1' in text
+        assert 'serve_latency_s{endpoint="/run",quantile="0.5"}' in text
+        assert 'campaign_serve{event="computed"} 1' in text
+        assert "serve_inflight" in text
+
+    def test_metrics_scrape_counts_itself(self, server):
+        self._metrics_text(server)
+        text = self._metrics_text(
+            server, 'serve_requests{endpoint="/metrics",status="200"} 1'
+        )
+        assert 'serve_requests{endpoint="/metrics",status="200"} 1' in text
+
+
 class TestSingleFlight:
     def test_concurrent_duplicates_compute_once(self, tmp_path, monkeypatch):
         # Slow the real executor down so all duplicate requests are

@@ -1,0 +1,101 @@
+"""Tests for the campaign (fleet) dashboard renderer and its CLI path.
+
+The non-negotiable property: the emitted page must survive
+``validate_self_contained`` — it gets attached to CI runs and mailed
+around, so any external fetch is a broken image on someone's laptop.
+"""
+
+import json
+
+import pytest
+
+from repro.campaign import CampaignEngine, Job, JobQueue, ResultStore, RunCache
+from repro.obs.health.dashboard import validate_self_contained
+from repro.obs.fleet import build_fleet, render_campaign_dashboard
+
+CODE = "fleet-dash-test-v1"
+
+
+def _sweep(tmp_path, grids=(2, 4), bcasts=("bcast", "ring2m")):
+    store = ResultStore(tmp_path / "store.jsonl")
+    engine = CampaignEngine(
+        store, RunCache(tmp_path / "cache"), log=lambda _m: None
+    )
+    jobs = [
+        Job(machine="frontier", nl=3072, block=768, grid=g, bcast=b,
+            num_runs=2)
+        for g in grids for b in bcasts
+    ]
+    engine.run_sweep(jobs, JobQueue(tmp_path / "q.json"), code=CODE)
+    return store
+
+
+@pytest.fixture()
+def fleet_doc(tmp_path):
+    return build_fleet(_sweep(tmp_path))
+
+
+class TestRenderCampaignDashboard:
+    def test_page_is_self_contained(self, fleet_doc):
+        html = render_campaign_dashboard(fleet_doc)
+        assert validate_self_contained(html) == []
+
+    def test_panels_present(self, fleet_doc):
+        html = render_campaign_dashboard(fleet_doc)
+        assert "Sweep heatmap" in html
+        assert "<svg" in html
+        assert "Run trajectories" in html
+        assert "Worker utilization" in html
+        assert "Health findings rollup" in html
+
+    def test_heatmap_carries_every_cell_value(self, fleet_doc):
+        html = render_campaign_dashboard(fleet_doc)
+        for cell in fleet_doc["heatmap"]["cells"]:
+            assert f"{cell['gflops_per_gcd']:.1f}" in html
+
+    def test_trend_panel_shows_drift_verdict(self, fleet_doc, tmp_path):
+        src = tmp_path / "store.jsonl"
+        fast = tmp_path / "fast.jsonl"
+        rows = [json.loads(line) for line in
+                src.read_text().splitlines() if line.strip()]
+        with fast.open("w") as f:
+            for row in rows:
+                row["best"]["elapsed_s"] *= 0.5
+                f.write(json.dumps(row) + "\n")
+        doc = build_fleet(src, baselines=[str(fast)])
+        html = render_campaign_dashboard(doc)
+        assert "DRIFT: cell(s) regressed" in html
+        assert validate_self_contained(html) == []
+
+    def test_title_is_escaped(self, fleet_doc):
+        html = render_campaign_dashboard(
+            fleet_doc, title="<script>alert(1)</script>"
+        )
+        assert "<script>" not in html
+
+    def test_single_cell_store(self, tmp_path):
+        doc = build_fleet(_sweep(tmp_path, grids=(2,), bcasts=("bcast",)))
+        html = render_campaign_dashboard(doc)
+        assert validate_self_contained(html) == []
+        assert "2x2" in html
+
+
+class TestDashboardCli:
+    def test_campaign_flag_builds_valid_page(self, tmp_path, monkeypatch,
+                                             capsys):
+        monkeypatch.setenv("REPRO_CODE_VERSION", CODE)
+        from repro.cli import main
+
+        store = tmp_path / "store.jsonl"
+        assert main([
+            "campaign", "--nl", "3072", "-b", "768", "--grids", "2",
+            "--bcasts", "bcast,ring2m", "--runs", "1",
+            "--store", str(store),
+        ]) == 0
+        out = tmp_path / "campaign.html"
+        rc = main(["dashboard", "--campaign", str(store),
+                   "--out", str(out)])
+        assert rc == 0
+        html = out.read_text()
+        assert validate_self_contained(html) == []
+        assert "Sweep heatmap" in html

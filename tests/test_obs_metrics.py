@@ -129,6 +129,43 @@ class TestRegistry:
         assert a.counter("n").value == 5
 
 
+class TestHistogramQuantileEdges:
+    """The quantile corner cases the serve /metrics endpoint leans on."""
+
+    def test_empty_histogram_every_quantile_is_zero(self):
+        h = Histogram(boundaries=[1.0, 2.0])
+        for q in (0.0, 0.5, 1.0):
+            assert h.quantile(q) == 0.0
+
+    def test_q0_is_the_first_bucket_boundary(self):
+        h = Histogram(boundaries=[1.0, 2.0, 4.0])
+        h.observe(3.0)
+        assert h.quantile(0.0) == 1.0
+
+    def test_q1_covers_the_last_observation(self):
+        h = Histogram(boundaries=[1.0, 2.0, 4.0])
+        for v in (0.5, 1.5, 3.0):
+            h.observe(v)
+        assert h.quantile(1.0) == 4.0
+
+    def test_q1_overflow_bucket_returns_observed_max(self):
+        h = Histogram(boundaries=[1.0])
+        h.observe(9.0)
+        assert h.quantile(1.0) == 9.0
+
+    def test_single_bucket_histogram(self):
+        h = Histogram(boundaries=[1.0])
+        h.observe(0.5)
+        assert h.quantile(0.5) == 1.0
+        assert h.quantile(1.0) == 1.0
+
+    def test_out_of_range_quantile_rejected(self):
+        h = Histogram(boundaries=[1.0])
+        for q in (-0.1, 1.1):
+            with pytest.raises(ConfigurationError):
+                h.quantile(q)
+
+
 class TestPrometheusText:
     def test_counter_and_gauge_lines(self):
         reg = MetricsRegistry()
@@ -152,6 +189,13 @@ class TestPrometheusText:
 
     def test_empty_registry(self):
         assert to_prometheus_text(MetricsRegistry()) == ""
+
+    def test_registry_with_only_unobserved_instruments(self):
+        reg = MetricsRegistry()
+        reg.histogram("lat", boundaries=[1.0])
+        text = to_prometheus_text(reg)
+        assert "lat_count 0" in text
+        assert "quantile" not in text
 
     def test_histogram_quantile_summary_lines(self):
         reg = MetricsRegistry()
